@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark prints the regenerated paper artifact (the same rows or
+series the paper reports) through the ``report`` fixture, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the whole
+evaluation section on stdout, and times the regeneration.
+"""
+
+import pytest
+
+from repro.tech import st012
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return st012()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a rendered experiment table, bypassing capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+            print()
+
+    return _print

@@ -1,0 +1,32 @@
+"""Benchmarks for the design-choice ablations DESIGN.md calls out.
+
+* serialization ratio (slice width) design space;
+* early word-acknowledge extension (the paper's future work);
+* buffer-count sensitivity of the throughput ceilings.
+"""
+
+from repro.experiments import ablation
+
+
+def test_bench_ablation_serialization(benchmark, tech, report):
+    result = benchmark(ablation.serialization_sweep, tech)
+    report(result.render())
+    assert result.all_ok
+
+
+def test_bench_ablation_early_ack(benchmark, tech, report):
+    result = benchmark.pedantic(
+        ablation.early_ack_study,
+        args=(tech,),
+        kwargs={"n_flits": 12},
+        rounds=2,
+        iterations=1,
+    )
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]
+
+
+def test_bench_ablation_buffer_count(benchmark, tech, report):
+    result = benchmark(ablation.buffer_count_study, tech)
+    report(result.render())
+    assert result.all_ok

@@ -1,0 +1,37 @@
+"""Benchmark: mesh-level cost sheet (extension of Figs 10/11/13 + Table 1).
+
+Sums the paper's per-link metrics over a whole 4×4 mesh: total wires,
+wiring area, circuit area and link power per implementation.
+"""
+
+from repro.analysis import format_table, mesh_cost_comparison
+from repro.noc import Topology
+
+
+def test_bench_mesh_cost(benchmark, tech, report):
+    comparison = benchmark(
+        mesh_cost_comparison, tech, Topology(4, 4), 1000.0, 4, 300.0
+    )
+    rows = []
+    for kind, cost in comparison.items():
+        rows.append(
+            [
+                kind,
+                cost.total_wires,
+                f"{cost.wiring_area_um2:,.0f}",
+                f"{cost.circuit_area_um2:,.0f}",
+                f"{cost.total_area_um2:,.0f}",
+                f"{cost.total_power_mw:.1f}",
+            ]
+        )
+    report(
+        format_table(
+            ("link", "wires", "wiring area (um^2)", "circuit area (um^2)",
+             "total area (um^2)", "power (mW)"),
+            rows,
+            title="4x4 mesh (48 links), 1 mm links, 4 buffers, 300 MHz",
+        )
+    )
+    i1, i3 = comparison["I1"], comparison["I3"]
+    assert i3.total_wires * 3 < i1.total_wires * 1.01
+    assert i3.total_area_um2 < i1.total_area_um2

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 10 (bandwidth vs. wires)."""
+
+from repro.experiments import fig10
+
+
+def test_bench_fig10(benchmark, tech, report):
+    result = benchmark(fig10.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 11 (wiring area vs. wire length)."""
+
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark, tech, report):
+    result = benchmark(fig11.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 12 (power vs. buffers @ 100 MHz)."""
+
+from repro.experiments import fig12
+
+
+def test_bench_fig12(benchmark, tech, report):
+    result = benchmark(fig12.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

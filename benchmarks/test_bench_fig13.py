@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig 13 (power vs. buffers @ 300 MHz)."""
+
+from repro.experiments import fig13
+
+
+def test_bench_fig13(benchmark, tech, report):
+    result = benchmark(fig13.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 14 (component power breakdown).
+
+The benchmark loop times the analytical breakdown; one gate-level
+activity measurement is run outside the loop and appended to the report
+(it is the slow cross-check, not the figure itself).
+"""
+
+from repro.experiments import fig14
+
+
+def test_bench_fig14(benchmark, tech, report):
+    result = benchmark(fig14.run, tech)
+    full = fig14.run(tech, with_activity=True, activity_flits=16)
+    report(full.render())
+    assert result.all_ok, [c.row() for c in result.failures()]
+    assert full.all_ok

@@ -1,0 +1,54 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact — these track the cost of the event kernel and the
+gate-level link simulation so regressions in the substrate are visible.
+"""
+
+from repro.link import LinkConfig, build_i3, measure_throughput
+from repro.sim import Bus, Clock, Simulator
+
+
+def test_bench_event_kernel_throughput(benchmark):
+    """Schedule-and-run cost for 10k chained events."""
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1, tick)
+
+        sim.schedule(1, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bench_bus_activity_counting(benchmark):
+    def toggle_bus():
+        sim = Simulator()
+        # start on one phase of the pattern so every set is a full toggle
+        bus = Bus(sim, 32, "b", init=0x5A5A5A5A)
+        for _ in range(500):
+            bus.set(0xA5A5A5A5)
+            bus.set(0x5A5A5A5A)
+        return bus.transitions
+
+    assert benchmark(toggle_bus) == 500 * 64
+
+
+def test_bench_gate_level_i3_link(benchmark, tech):
+    """Full gate-level I3 link pushing 8 flits at 300 MHz."""
+
+    def run_link():
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i3(sim, clock.signal, LinkConfig(), tech)
+        m = measure_throughput(sim, clock, link, n_flits=8)
+        return m.flits_received
+
+    assert benchmark(run_link) == 8

@@ -1,0 +1,54 @@
+"""Benchmark: load-latency curves for meshes on each link implementation.
+
+The standard NoC characterization the paper's system context implies:
+mean packet latency vs offered load for a 4×4 mesh wired with I1 / I2 /
+I3 links at a 300 MHz switch clock.
+"""
+
+from repro.analysis import format_table
+from repro.link.behavioral import derive_link_params
+from repro.noc import Topology, latency_vs_load
+
+RATES = (0.05, 0.15, 0.25, 0.35)
+
+
+def sweep(tech, kind):
+    topo = Topology(4, 4)
+    params = derive_link_params(tech, kind, 300.0)
+    return latency_vs_load(
+        topo, params, injection_rates=RATES,
+        warmup_cycles=300, measure_cycles=1200,
+    )
+
+
+def test_bench_load_latency(benchmark, tech, report):
+    i3 = benchmark.pedantic(sweep, args=(tech, "I3"), rounds=2, iterations=1)
+    curves = {"I3": i3, "I1": sweep(tech, "I1"), "I2": sweep(tech, "I2")}
+    rows = []
+    for kind in ("I1", "I2", "I3"):
+        for row in curves[kind]:
+            rows.append(
+                [
+                    kind,
+                    row["offered_rate"],
+                    f"{row['throughput']:.3f}",
+                    f"{row['mean_latency']:.1f}",
+                    f"{row['p99_latency']:.0f}",
+                ]
+            )
+    report(
+        format_table(
+            ("link", "offered (flit/node/cyc)", "accepted",
+             "mean latency (cyc)", "p99 (cyc)"),
+            rows,
+            title="4x4 mesh load-latency, uniform traffic, 300 MHz",
+        )
+    )
+    # below saturation every link type accepts the offered load
+    for kind, sweep_rows in curves.items():
+        low = sweep_rows[0]
+        assert low["throughput"] >= 0.8 * low["offered_rate"], kind
+    # latency curves are monotone in load
+    for kind, sweep_rows in curves.items():
+        lats = [r["mean_latency"] for r in sweep_rows]
+        assert lats == sorted(lats), kind

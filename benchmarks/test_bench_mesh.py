@@ -1,0 +1,55 @@
+"""Benchmark: mesh-level comparison of I1 vs I3 links.
+
+Beyond the paper's point-to-point evaluation: a 4×4 mesh under uniform
+traffic, comparing packet latency and total wiring cost when every
+switch-to-switch link is the synchronous baseline vs the proposed
+serialized asynchronous link.
+"""
+
+from repro.analysis import format_table
+from repro.link.behavioral import derive_link_params
+from repro.noc import Network, Topology, TrafficConfig, TrafficGenerator
+
+
+def run_mesh(tech, kind, rate=0.1, cycles=1200, mhz=300.0):
+    topo = Topology(4, 4)
+    params = derive_link_params(tech, kind, mhz)
+    net = Network(topo, params)
+    traffic = TrafficGenerator(
+        topo, TrafficConfig(injection_rate=rate, seed=2008)
+    )
+    net.run(cycles, traffic)
+    net.drain(max_cycles=200_000)
+    return net
+
+
+def test_bench_mesh_i1_vs_i3(benchmark, tech, report):
+    net_i3 = benchmark.pedantic(
+        run_mesh, args=(tech, "I3"), rounds=2, iterations=1
+    )
+    net_i1 = run_mesh(tech, "I1")
+    rows = []
+    for label, net in (("I1 (32-wire sync)", net_i1),
+                       ("I3 (10-wire async)", net_i3)):
+        rows.append(
+            [
+                label,
+                net.total_wires,
+                f"{net.stats.mean_packet_latency:.1f}",
+                f"{net.stats.throughput_flits_per_node_cycle(16):.3f}",
+                net.stats.packets_ejected,
+            ]
+        )
+    report(
+        format_table(
+            ("link", "total wires", "mean latency (cyc)",
+             "throughput (flit/node/cyc)", "packets"),
+            rows,
+            title="4x4 mesh, uniform traffic @ 0.1 flit/node/cycle, 300 MHz",
+        )
+    )
+    # the system-level claim: same performance, one third the wires
+    assert net_i3.stats.mean_packet_latency <= (
+        net_i1.stats.mean_packet_latency * 1.25
+    )
+    assert net_i3.total_wires * 3 < net_i1.total_wires * 1.01

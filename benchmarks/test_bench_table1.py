@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (circuit area overhead)."""
+
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark, tech, report):
+    result = benchmark(table1.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

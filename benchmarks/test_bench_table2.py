@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 2 (module breakdown of I2)."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2(benchmark, tech, report):
+    result = benchmark(table2.run, tech)
+    report(result.render())
+    assert result.all_ok, [c.row() for c in result.failures()]

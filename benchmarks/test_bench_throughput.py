@@ -1,0 +1,23 @@
+"""Benchmark: Section V delay equations + gate-level throughput.
+
+The benchmark loop times a full gate-level I3 throughput measurement
+(the paper's key validation); the report includes the analytical and
+simulated numbers side by side.
+"""
+
+from repro.experiments import throughput
+from repro.experiments.throughput import simulate_ceiling_mflits
+
+
+def test_bench_throughput_i3_gate_level(benchmark, tech, report):
+    ceiling = benchmark.pedantic(
+        simulate_ceiling_mflits,
+        args=("I3", tech),
+        kwargs={"n_flits": 16},
+        rounds=3,
+        iterations=1,
+    )
+    result = throughput.run(tech, simulate=True)
+    report(result.render())
+    assert 290 <= ceiling <= 315
+    assert result.all_ok, [c.row() for c in result.failures()]

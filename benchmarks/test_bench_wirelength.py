@@ -1,0 +1,15 @@
+"""Benchmark: wire-length study (Tp restored into the Section V eqns).
+
+The benchmark loop times the analytic sweep; one gate-level cross-check
+run is printed alongside (simulated vs equation ceilings at each Tp).
+"""
+
+from repro.experiments import wirelength
+
+
+def test_bench_wirelength(benchmark, tech, report):
+    analytic = benchmark(wirelength.run, tech, (0, 50, 150, 300), 4, False)
+    full = wirelength.run(tech, segment_delays_ps=(0, 150), n_flits=12)
+    report(full.render())
+    assert analytic.all_ok
+    assert full.all_ok, [c.row() for c in full.failures()]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""GALS demo: two switch domains on unrelated clocks, one serial link.
+
+The paper's motivation section points out that a synchronous serialized
+link would need a second, faster, phase-locked clock tree.  The
+asynchronous link needs none — and as a consequence the two switches do
+not even have to share a frequency.  This demo runs the gate-level I3
+link between a 283 MHz transmitter and a 127 MHz receiver (deliberately
+unrelated periods) and shows lossless, rate-matched delivery.
+
+Run:  python examples/gals_demo.py
+"""
+
+from repro.analysis import format_table
+from repro.link import LinkConfig, LinkTestbench, build_i3
+from repro.sim import Clock, Simulator
+
+PAIRS = [
+    (300.0, 300.0),   # the paper's configuration
+    (283.0, 127.0),   # fast → slow, unrelated periods
+    (127.0, 283.0),   # slow → fast
+    (600.0, 75.0),    # 8× mismatch
+]
+
+
+def run_pair(tx_mhz, rx_mhz, n_flits=16):
+    sim = Simulator()
+    tx_clock = Clock.from_mhz(sim, tx_mhz, name="txclk")
+    rx_clock = Clock.from_mhz(sim, rx_mhz, name="rxclk",
+                              start_delay_ps=777)  # arbitrary phase
+    link = build_i3(sim, tx_clock.signal, LinkConfig(),
+                    rx_clk=rx_clock.signal)
+    bench = LinkTestbench(sim, tx_clock, link, rx_clock=rx_clock)
+    flits = [0xA5A5A5A5 if i % 2 == 0 else 0x5A5A5A5A
+             for i in range(n_flits)]
+    m = bench.run(flits, timeout_ns=1e6)
+    assert m.received_values == flits, "GALS transfer corrupted data"
+    return m
+
+
+def main() -> None:
+    rows = []
+    for tx_mhz, rx_mhz in PAIRS:
+        m = run_pair(tx_mhz, rx_mhz)
+        bottleneck = min(tx_mhz, rx_mhz, 304.1)
+        rows.append(
+            [
+                f"{tx_mhz:.0f}",
+                f"{rx_mhz:.0f}",
+                m.flits_received,
+                f"{m.throughput_mflits:.1f}",
+                f"{bottleneck:.1f}",
+            ]
+        )
+    print(
+        format_table(
+            ("TX clock (MHz)", "RX clock (MHz)", "flits",
+             "measured (MFlit/s)", "expected bottleneck"),
+            rows,
+            title="I3 link between independent clock domains "
+                  "(16 worst-case flits each)",
+        )
+    )
+    print()
+    print(
+        "Every configuration delivers losslessly at the rate of the "
+        "slowest element (TX clock, RX clock, or the ~304 MFlit/s serial "
+        "ceiling) — no phase-locking, no second clock tree."
+    )
+
+
+if __name__ == "__main__":
+    main()

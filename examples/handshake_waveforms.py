@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Visualize the asynchronous handshakes as ASCII waveforms.
+
+Two scenes, straight from the paper's figures:
+
+1. the per-transfer serializer (Fig 6a) pushing one 32-bit flit as four
+   request/acknowledge-handshaked byte slices;
+2. the word-level transmitter (Fig 8a) emitting the same flit as a
+   ring-oscillator-timed VALID burst with a single word acknowledge.
+
+The contrast is the whole paper in one picture: four complete four-phase
+cycles versus four bare pulses and one acknowledge.
+
+Run:  python examples/handshake_waveforms.py
+"""
+
+from repro.link import Channel, Serializer, WordDeserializer, WordSerializer
+from repro.link.channel import ValidChannel, sink_process, source_process
+from repro.link.wiring import wire, wire_bus
+from repro.sim import Simulator, Tracer, spawn
+
+FLIT = 0xA5C3F00F
+
+
+def per_transfer_scene() -> str:
+    sim = Simulator()
+    in_ch = Channel(sim, 32, "word")
+    ser = Serializer(sim, in_ch, slice_width=8)
+    tracer = Tracer()
+    tracer.watch(in_ch.req, in_ch.ack, ser.out_ch.req, ser.out_ch.ack)
+    slices = []
+    spawn(sim, source_process(in_ch, [FLIT]))
+    spawn(sim, sink_process(ser.out_ch, slices, count=4, ack_delay_ps=150))
+    sim.run(max_events=1_000_000)
+    art = tracer.render(until_ps=sim.now + 200, step_ps=60)
+    return (
+        f"Per-transfer (I2, Fig 6a): flit 0x{FLIT:08X} as slices "
+        f"{[hex(s) for s in slices]}\n{art}"
+    )
+
+
+def per_word_scene() -> str:
+    sim = Simulator()
+    in_ch = Channel(sim, 32, "word")
+    wser = WordSerializer(sim, in_ch, slice_width=8)
+    rx = ValidChannel(sim, 8, "rx")
+    wdes = WordDeserializer(sim, rx, 32)
+    wire_bus(wser.out_ch.data, rx.data, 0)
+    wire(wser.out_ch.valid, rx.valid, 0)
+    wire(wdes.ack_to_tx, wser.out_ch.ack, 0)
+    tracer = Tracer()
+    tracer.watch(in_ch.req, wser.out_ch.valid, wser.osc.out,
+                 wser.out_ch.ack)
+    words = []
+    spawn(sim, source_process(in_ch, [FLIT]))
+    spawn(sim, sink_process(wdes.out_ch, words, count=1))
+    sim.run(max_events=1_000_000)
+    art = tracer.render(until_ps=sim.now + 200, step_ps=60)
+    return (
+        f"Per-word (I3, Fig 8a): flit 0x{FLIT:08X} reassembled as "
+        f"{[hex(w) for w in words]}\n{art}"
+    )
+
+
+def main() -> None:
+    print(per_transfer_scene())
+    print()
+    print(per_word_scene())
+    print()
+    print(
+        "Top: every byte slice pays a full REQ/ACK return-to-zero cycle. "
+        "Bottom: four VALID pulses timed by the local ring oscillator, "
+        "then one acknowledge for the whole word."
+    )
+
+
+if __name__ == "__main__":
+    main()

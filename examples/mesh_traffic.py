@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A 4×4 mesh NoC wired with each of the paper's three links.
+
+The paper evaluates a single point-to-point link; this example answers
+the system-level question its introduction poses — what happens to a
+whole NoC's wiring bill and performance when every inter-switch link is
+replaced by the serialized asynchronous design.
+
+For each link implementation the mesh runs uniform-random traffic at
+increasing injection rates and reports accepted throughput and packet
+latency, alongside the total number of inter-switch wires and the
+estimated link power drawn from the Fig 12/13 model.
+
+Run:  python examples/mesh_traffic.py
+"""
+
+from repro.analysis import format_table, link_power_uw
+from repro.link.behavioral import derive_link_params
+from repro.noc import Network, Topology, TrafficConfig, TrafficGenerator
+from repro.tech import st012
+
+MESH = Topology(4, 4)
+CLOCK_MHZ = 300.0
+RATES = (0.05, 0.15, 0.25)
+
+
+def run_point(kind, rate, tech):
+    params = derive_link_params(tech, kind, CLOCK_MHZ)
+    network = Network(MESH, params)
+    traffic = TrafficGenerator(
+        MESH,
+        TrafficConfig(pattern="uniform", injection_rate=rate, seed=2008),
+    )
+    network.run(2000, traffic)
+    network.drain(max_cycles=300_000)
+    stats = network.stats
+    return {
+        "throughput": stats.throughput_flits_per_node_cycle(MESH.n_nodes),
+        "latency": stats.mean_packet_latency,
+        "p99": stats.p99_packet_latency,
+        "wires": network.total_wires,
+    }
+
+
+def main() -> None:
+    tech = st012()
+    n_links = MESH.n_directed_links
+    rows = []
+    for kind in ("I1", "I2", "I3"):
+        link_uw = link_power_uw(tech, kind, 4, CLOCK_MHZ, usage=0.5)
+        for rate in RATES:
+            r = run_point(kind, rate, tech)
+            rows.append(
+                [
+                    kind,
+                    rate,
+                    f"{r['throughput']:.3f}",
+                    f"{r['latency']:.1f}",
+                    f"{r['p99']:.0f}",
+                    r["wires"],
+                    f"{link_uw * n_links / 1000:.1f}",
+                ]
+            )
+    print(
+        format_table(
+            (
+                "link", "offered (flit/node/cyc)", "accepted",
+                "mean lat (cyc)", "p99 lat", "total wires",
+                "est. link power (mW)",
+            ),
+            rows,
+            title=(
+                f"4x4 mesh, uniform traffic, {CLOCK_MHZ:.0f} MHz switch "
+                f"clock, {n_links} directed links"
+            ),
+        )
+    )
+    print()
+    print(
+        "I3 carries the same traffic as I1 on one third of the wires and "
+        "about two thirds of the link power at this 4-buffer operating "
+        "point; the saving grows to 65 % with 8 buffers per link "
+        "(paper Fig 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e . --no-build-isolation`` works on environments whose
+setuptools predates PEP 660 editable wheels (and offline boxes without
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

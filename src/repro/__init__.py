@@ -1,0 +1,38 @@
+"""repro — reproduction of "Serialized Asynchronous Links for NoC".
+
+Ogg, Valli, Al-Hashimi, Yakovlev, D'Alessandro, Benini — DATE 2008.
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation kernel (signals, processes, clocks).
+``repro.tech``
+    Technology models; ``st012()`` is the calibrated 0.12 um instance.
+``repro.elements``
+    Asynchronous circuit primitives (C-element, David cell, latch
+    controllers, ring oscillator, shift registers).
+``repro.link``
+    The paper's three link implementations (synchronous baseline I1,
+    per-transfer-ack I2, per-word-ack I3) plus testbenches.
+``repro.noc``
+    Synchronous NoC substrate (switches, mesh topologies, traffic).
+``repro.analysis``
+    Timing/power/area/wire-count models reproducing the evaluation.
+``repro.experiments``
+    One module per paper table/figure regenerating its rows/series.
+"""
+
+__version__ = "1.0.0"
+
+from . import sim, tech, elements, link, noc, analysis, experiments  # noqa: F401
+
+__all__ = [
+    "sim",
+    "tech",
+    "elements",
+    "link",
+    "noc",
+    "analysis",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro                 # every table/figure + checks
+    python -m repro fig12 table1    # a subset
+    python -m repro --fast          # skip gate-level simulations
+    python -m repro --ablations     # include the extension studies
+
+Exit status is non-zero if any paper-vs-measured check fails, so the
+module doubles as a reproduction smoke test in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ablation, run_all
+from .tech import st012
+
+EXPERIMENT_IDS = (
+    "fig10", "fig11", "fig12", "fig13", "fig14",
+    "table1", "table2", "throughput", "wirelength",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce the evaluation of 'Serialized Asynchronous Links "
+            "for NoC' (Ogg et al., DATE 2008)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"subset of experiments to run (default: all of "
+             f"{', '.join(EXPERIMENT_IDS)})",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip gate-level simulations (analytical results only)",
+    )
+    parser.add_argument(
+        "--ablations",
+        action="store_true",
+        help="also run the extension/ablation studies",
+    )
+    args = parser.parse_args(argv)
+
+    unknown = [e for e in args.experiments if e not in EXPERIMENT_IDS]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {unknown}; choose from {EXPERIMENT_IDS}"
+        )
+
+    tech = st012()
+    results = run_all(tech, simulate=not args.fast)
+    selected = args.experiments or list(EXPERIMENT_IDS)
+
+    failures = 0
+    for key in selected:
+        result = results[key]
+        print(result.render())
+        print()
+        if not result.all_ok:
+            failures += len(result.failures())
+
+    if args.ablations:
+        studies = [
+            ablation.serialization_sweep(tech),
+            ablation.buffer_count_study(tech),
+        ]
+        if not args.fast:
+            studies.append(ablation.early_ack_study(tech, n_flits=12))
+        for result in studies:
+            print(result.render())
+            print()
+            if not result.all_ok:
+                failures += len(result.failures())
+
+    if failures:
+        print(f"{failures} paper-vs-measured check(s) FAILED", file=sys.stderr)
+        return 1
+    print("all paper-vs-measured checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

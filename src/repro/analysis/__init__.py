@@ -1,0 +1,81 @@
+"""Evaluation models: timing, wires, area, power, reporting.
+
+Each module maps to part of the paper's Section V:
+
+* :mod:`repro.analysis.timing` — the per-transfer/per-word cycle-delay
+  equations and throughput upper bounds;
+* :mod:`repro.analysis.wires` — wires-vs-bandwidth (Fig 10);
+* :mod:`repro.analysis.area` — wiring area (Fig 11) and circuit area
+  (Tables 1–2);
+* :mod:`repro.analysis.power` — analytical power (Figs 12–14) and
+  activity-based shape verification;
+* :mod:`repro.analysis.report` — the ASCII table/series renderers the
+  benchmark harness prints.
+"""
+
+from .timing import (
+    ThroughputEstimate,
+    link_upper_bound_mflits,
+    per_transfer_cycle_delay,
+    per_word_cycle_delay,
+    scaled_word_timings,
+    sync_link_throughput,
+)
+from .wires import (
+    WireCountPoint,
+    async_wires_needed,
+    fig10_series,
+    sync_wires_needed,
+)
+from .area import (
+    AreaBreakdown,
+    fig11_series,
+    link_area,
+    table1,
+    table2,
+    wire_area_um2,
+)
+from .power import (
+    COMPONENT_CATEGORIES,
+    ActivityReport,
+    buffer_sweep,
+    link_power_uw,
+    measure_link_activity,
+    power_breakdown,
+    power_saving_percent,
+)
+from .cost import MeshCost, mesh_cost, mesh_cost_comparison
+from .report import format_series, format_table, relative_error, within
+
+__all__ = [
+    "ThroughputEstimate",
+    "link_upper_bound_mflits",
+    "per_transfer_cycle_delay",
+    "per_word_cycle_delay",
+    "scaled_word_timings",
+    "sync_link_throughput",
+    "WireCountPoint",
+    "async_wires_needed",
+    "fig10_series",
+    "sync_wires_needed",
+    "AreaBreakdown",
+    "fig11_series",
+    "link_area",
+    "table1",
+    "table2",
+    "wire_area_um2",
+    "COMPONENT_CATEGORIES",
+    "ActivityReport",
+    "buffer_sweep",
+    "link_power_uw",
+    "measure_link_activity",
+    "power_breakdown",
+    "power_saving_percent",
+    "MeshCost",
+    "mesh_cost",
+    "mesh_cost_comparison",
+    "format_series",
+    "format_table",
+    "relative_error",
+    "within",
+]

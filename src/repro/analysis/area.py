@@ -1,0 +1,140 @@
+"""Area models: wiring area (Fig 11) and circuit area (Tables 1–2).
+
+Wiring area follows the paper's equation for ``N`` parallel wires of
+length ``L`` at minimum width/gap::
+
+    AREA = L × (N × MetW + (N + 1) × MetG)
+
+(each wire is MetW wide; N wires need N+1 gaps to the neighbours).  For
+METAL6 in ST 0.12 µm (MetW = 0.44 µm, MetG = 0.46 µm) this gives the
+published ≈30 000 µm² for the 32-wire link and ≈7 500 µm² for the 8-wire
+link at L = 1000 µm.
+
+Circuit area is a straight module-table sum; the I2 breakdown is
+Table 2 verbatim, the I1/I3 totals land on Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..tech.technology import Technology
+
+
+def wire_area_um2(
+    n_wires: int,
+    length_um: float,
+    tech: Technology,
+) -> float:
+    """The paper's Fig 11 wiring-area equation."""
+    if n_wires < 1:
+        raise ValueError(f"need at least one wire, got {n_wires}")
+    if length_um < 0:
+        raise ValueError(f"length must be non-negative, got {length_um}")
+    met = tech.metal
+    return length_um * (n_wires * met.met_w_um + (n_wires + 1) * met.met_g_um)
+
+
+def fig11_series(
+    tech: Technology,
+    lengths_um: Sequence[float] = tuple(range(0, 3001, 250)),
+    sync_wires: int = 32,
+    async_wires: int = 8,
+) -> dict[str, list[tuple[float, float]]]:
+    """The two Fig 11 curves: (length, area) pairs for I1 and I2/I3."""
+    return {
+        "I1-Synch": [
+            (length, wire_area_um2(sync_wires, length, tech))
+            for length in lengths_um
+        ],
+        "I2 & I3-Asynch (proposed)": [
+            (length, wire_area_um2(async_wires, length, tech))
+            for length in lengths_um
+        ],
+    }
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Per-module circuit area of one link implementation, µm²."""
+
+    modules: Dict[str, float]
+    quantities: Dict[str, int]
+
+    @property
+    def total_um2(self) -> float:
+        return sum(
+            self.modules[name] * self.quantities[name] for name in self.modules
+        )
+
+    def rows(self) -> list[tuple[str, float, int]]:
+        """(module, area, qty) rows in insertion order — Table 2 format."""
+        return [
+            (name, self.modules[name], self.quantities[name])
+            for name in self.modules
+        ]
+
+
+def link_area(tech: Technology, kind: str, n_buffers: int = 4) -> AreaBreakdown:
+    """Circuit-area breakdown for I1 / I2 / I3 with ``n_buffers``."""
+    a = tech.areas
+    kind = kind.upper()
+    if kind == "I1":
+        return AreaBreakdown(
+            modules={"Synchronous buffer": a.sync_buffer},
+            quantities={"Synchronous buffer": n_buffers},
+        )
+    if kind == "I2":
+        return AreaBreakdown(
+            modules={
+                "Synch to Asynch interface": a.sync_to_async,
+                "Asynch 32 to 8 serializer": a.serializer_i2,
+                "Asynch 8 wire buffer": a.wire_buffer_i2,
+                "Asynch 8 to 32 de-serializer": a.deserializer_i2,
+                "Asynch to Synch interface": a.async_to_sync,
+            },
+            quantities={
+                "Synch to Asynch interface": 1,
+                "Asynch 32 to 8 serializer": 1,
+                "Asynch 8 wire buffer": n_buffers,
+                "Asynch 8 to 32 de-serializer": 1,
+                "Asynch to Synch interface": 1,
+            },
+        )
+    if kind == "I3":
+        return AreaBreakdown(
+            modules={
+                "Synch to Asynch interface": a.sync_to_async,
+                "Asynch 32 to 8 word serializer": a.serializer_i3,
+                "Inverter repeater station": a.wire_buffer_i3,
+                "Asynch 8 to 32 word de-serializer": a.deserializer_i3,
+                "Asynch to Synch interface": a.async_to_sync,
+            },
+            quantities={
+                "Synch to Asynch interface": 1,
+                "Asynch 32 to 8 word serializer": 1,
+                "Inverter repeater station": n_buffers,
+                "Asynch 8 to 32 word de-serializer": 1,
+                "Asynch to Synch interface": 1,
+            },
+        )
+    raise ValueError(f"unknown link kind {kind!r}")
+
+
+def table1(tech: Technology, n_buffers: int = 4) -> dict[str, float]:
+    """Table 1: total circuit area of each implementation, µm²."""
+    return {
+        "Synchronous (I1)": link_area(tech, "I1", n_buffers).total_um2,
+        "Asynchronous per-transfer ack. (I2)": link_area(
+            tech, "I2", n_buffers
+        ).total_um2,
+        "Asynchronous per-word ack. (I3)": link_area(
+            tech, "I3", n_buffers
+        ).total_um2,
+    }
+
+
+def table2(tech: Technology, n_buffers: int = 4) -> AreaBreakdown:
+    """Table 2: the module-level breakdown of implementation I2."""
+    return link_area(tech, "I2", n_buffers)

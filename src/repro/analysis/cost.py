@@ -1,0 +1,105 @@
+"""Mesh-level cost model: the paper's link metrics scaled to a NoC.
+
+The paper's introduction motivates serialization with the *growth* of
+point-to-point links as more cores integrate; this module quantifies
+that: for an N×M mesh with a given inter-switch wire length it combines
+
+* the wire count per link (Fig 10),
+* the wiring area per link (Fig 11),
+* the circuit area per link (Tables 1–2),
+* the link power (Figs 12–13)
+
+into one cost sheet per link implementation, so the head-to-head
+comparison the paper makes for a single link can be read for a whole
+chip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..tech.technology import Technology
+from ..noc.topology import Topology
+from .area import link_area, wire_area_um2
+from .power import link_power_uw
+
+
+@dataclass(frozen=True)
+class MeshCost:
+    """Aggregate cost of wiring one mesh with one link implementation."""
+
+    kind: str
+    n_links: int
+    wires_per_link: int
+    total_wires: int
+    wiring_area_um2: float
+    circuit_area_um2: float
+    link_power_uw: float
+
+    @property
+    def total_area_um2(self) -> float:
+        return self.wiring_area_um2 + self.circuit_area_um2
+
+    @property
+    def total_power_mw(self) -> float:
+        return self.link_power_uw / 1000.0
+
+
+def mesh_cost(
+    tech: Technology,
+    topology: Topology,
+    kind: str,
+    link_length_um: float = 1000.0,
+    n_buffers: int = 4,
+    freq_mhz: float = 300.0,
+    usage: float = 0.5,
+    flit_width: int = 32,
+    slice_width: int = 8,
+    count_control: bool = True,
+) -> MeshCost:
+    """Cost sheet for ``topology`` wired entirely with link ``kind``.
+
+    ``count_control`` includes the request/acknowledge (or valid/ack)
+    pair in the wire tally for the serial links — the honest total; the
+    paper's Fig 10 counts data wires only.
+    """
+    kind = kind.upper()
+    n_links = topology.n_directed_links
+    if kind == "I1":
+        wires = flit_width
+    elif kind in ("I2", "I3"):
+        wires = slice_width + (2 if count_control else 0)
+    else:
+        raise ValueError(f"unknown link kind {kind!r}")
+
+    per_link_wiring = wire_area_um2(wires, link_length_um, tech)
+    per_link_circuit = link_area(tech, kind, n_buffers).total_um2
+    per_link_power = link_power_uw(tech, kind, n_buffers, freq_mhz, usage)
+
+    return MeshCost(
+        kind=kind,
+        n_links=n_links,
+        wires_per_link=wires,
+        total_wires=wires * n_links,
+        wiring_area_um2=per_link_wiring * n_links,
+        circuit_area_um2=per_link_circuit * n_links,
+        link_power_uw=per_link_power * n_links,
+    )
+
+
+def mesh_cost_comparison(
+    tech: Technology,
+    topology: Topology,
+    link_length_um: float = 1000.0,
+    n_buffers: int = 4,
+    freq_mhz: float = 300.0,
+    usage: float = 0.5,
+) -> Dict[str, MeshCost]:
+    """Cost sheets for all three implementations on the same mesh."""
+    return {
+        kind: mesh_cost(
+            tech, topology, kind, link_length_um, n_buffers, freq_mhz, usage
+        )
+        for kind in ("I1", "I2", "I3")
+    }

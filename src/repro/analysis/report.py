@@ -1,0 +1,73 @@
+"""Plain-text table/series rendering for benches and examples.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place (fixed-width ASCII
+tables and simple aligned series dumps — nothing graphical, the repo is
+headless).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[object, object]]],
+    x_label: str,
+    y_label: str,
+    title: Optional[str] = None,
+) -> str:
+    """Aligned multi-series dump: one block per curve."""
+    lines = []
+    if title:
+        lines.append(title)
+    for label, points in series.items():
+        lines.append(f"[{label}]")
+        for x, y in points:
+            lines.append(f"  {x_label}={_fmt(x):>10}  {y_label}={_fmt(y)}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}" if abs(value) < 10 else f"{value:.1f}"
+    return str(value)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """Signed relative error (measured - reference) / reference."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return (measured - reference) / reference
+
+
+def within(measured: float, reference: float, tolerance: float) -> bool:
+    """True if ``measured`` is within ``tolerance`` (fraction) of reference."""
+    return abs(relative_error(measured, reference)) <= tolerance

@@ -1,0 +1,58 @@
+"""Asynchronous circuit element library.
+
+Primitive cells used by the paper's link circuits: combinational gates,
+the Muller C-element and David cell (Fig 3), latches/flip-flops and the
+two-FF flag synchronizer (Fig 4), slice/pulse shift registers (Fig 8b),
+the ring oscillator (Fig 8a) and the Furber/Day four-phase latch
+controller (the wire buffer of I2).
+"""
+
+from .gates import (
+    And2,
+    Gate,
+    Inverter,
+    Mux2,
+    Nand2,
+    Nor2,
+    OneHotMux,
+    Or2,
+    Xor2,
+)
+from .celement import CElement, c2
+from .davidcell import DavidCell, OneHotSequencer
+from .latches import (
+    DFlipFlop,
+    DLatch,
+    FlagSynchronizer,
+    LatchBus,
+    RegisterBus,
+)
+from .shiftreg import PulseShiftRegister, SliceShiftRegister
+from .ringosc import RingOscillator
+from .fourphase import SimpleLatchController, WireBufferStage
+
+__all__ = [
+    "And2",
+    "Gate",
+    "Inverter",
+    "Mux2",
+    "Nand2",
+    "Nor2",
+    "OneHotMux",
+    "Or2",
+    "Xor2",
+    "CElement",
+    "c2",
+    "DavidCell",
+    "OneHotSequencer",
+    "DFlipFlop",
+    "DLatch",
+    "FlagSynchronizer",
+    "LatchBus",
+    "RegisterBus",
+    "PulseShiftRegister",
+    "SliceShiftRegister",
+    "RingOscillator",
+    "SimpleLatchController",
+    "WireBufferStage",
+]

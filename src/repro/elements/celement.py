@@ -1,0 +1,117 @@
+"""Muller C-element (Fig 3 of the paper; Muller & Bartky 1959).
+
+The C-element is the workhorse of speed-independent handshake circuits:
+its output rises when *all* inputs are 1, falls when *all* inputs are 0,
+and holds its state otherwise.  The paper composes C-elements into the
+request/acknowledge control of every link module.
+
+Variants provided:
+
+* :class:`CElement` — n-input symmetric C-element with optional
+  per-input inversion bubbles (the figures use inverted inputs in a few
+  places) and an asynchronous reset.
+* :func:`c2` — convenience two-input constructor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Signal
+from ..tech.technology import GateDelays
+
+
+class CElement:
+    """n-input Muller C-element with optional input bubbles and reset.
+
+    ``invert`` is a per-input tuple; an inverted input contributes its
+    complement to the all-1s / all-0s decision.  ``reset`` (active high)
+    asynchronously forces the output to ``reset_value``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inputs: Sequence[Signal],
+        output: Optional[Signal] = None,
+        invert: Optional[Sequence[bool]] = None,
+        reset: Optional[Signal] = None,
+        reset_value: int = 0,
+        delays: Optional[GateDelays] = None,
+        delay_ps: Optional[int] = None,
+        name: str = "c",
+    ) -> None:
+        if not inputs:
+            raise ValueError(f"C-element {name!r} needs at least one input")
+        self.sim = sim
+        self.name = name
+        self.inputs = list(inputs)
+        self.invert = list(invert) if invert is not None else [False] * len(inputs)
+        if len(self.invert) != len(self.inputs):
+            raise ValueError(
+                f"C-element {name!r}: {len(self.invert)} invert flags for "
+                f"{len(self.inputs)} inputs"
+            )
+        self.output = output if output is not None else Signal(sim, f"{name}.z")
+        # ``delay_ps`` overrides the library delay — used where the
+        # C-element stands in for a longer control chain (wire buffers)
+        self.delay = (
+            delay_ps if delay_ps is not None else (delays or GateDelays()).celement
+        )
+        self.reset = reset
+        self.reset_value = 1 if reset_value else 0
+        for sig in self.inputs:
+            sig.on_change(self._on_input)
+        if reset is not None:
+            reset.on_change(self._on_reset)
+        sim.schedule(0, lambda: self._on_input(self.inputs[0]))
+
+    def _effective(self) -> list[int]:
+        return [
+            (0 if sig.value else 1) if inv else sig.value
+            for sig, inv in zip(self.inputs, self.invert)
+        ]
+
+    def _on_input(self, _sig: Signal) -> None:
+        if self.reset is not None and self.reset.value:
+            return
+        values = self._effective()
+        if all(values):
+            self.output.drive(1, self.delay, inertial=True)
+        elif not any(values):
+            self.output.drive(0, self.delay, inertial=True)
+        # else: hold state
+
+    def _on_reset(self, _sig: Signal) -> None:
+        if self.reset is not None and self.reset.value:
+            self.output.drive(self.reset_value, self.delay, inertial=True)
+        else:
+            self._on_input(self.inputs[0])
+
+
+def c2(
+    sim: Simulator,
+    a: Signal,
+    b: Signal,
+    output: Optional[Signal] = None,
+    invert_a: bool = False,
+    invert_b: bool = False,
+    reset: Optional[Signal] = None,
+    reset_value: int = 0,
+    delays: Optional[GateDelays] = None,
+    delay_ps: Optional[int] = None,
+    name: str = "c2",
+) -> CElement:
+    """Two-input C-element (the common case in the paper's figures)."""
+    return CElement(
+        sim,
+        [a, b],
+        output=output,
+        invert=[invert_a, invert_b],
+        reset=reset,
+        reset_value=reset_value,
+        delays=delays,
+        delay_ps=delay_ps,
+        name=name,
+    )

@@ -1,0 +1,174 @@
+"""Combinational gate primitives on the event kernel.
+
+Each gate subscribes to its input signals and, on any input change,
+schedules its freshly evaluated output after the gate delay using
+*inertial* semantics (a pulse shorter than the delay is filtered, as in
+a real standard cell).
+
+Gates take their delays from a :class:`~repro.tech.technology.GateDelays`
+table so the whole circuit retimes when the technology changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+
+
+class Gate:
+    """Base combinational gate: output = f(inputs) after ``delay`` ps."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inputs: Sequence[Signal],
+        output: Signal,
+        func: Callable[..., int],
+        delay: int,
+        name: str = "gate",
+    ) -> None:
+        if not inputs:
+            raise ValueError(f"gate {name!r} needs at least one input")
+        self.sim = sim
+        self.inputs = list(inputs)
+        self.output = output
+        self.func = func
+        self.delay = delay
+        self.name = name
+        for sig in self.inputs:
+            sig.on_change(self._on_input)
+        # settle the output to match the initial inputs
+        sim.schedule(0, self._on_input_initial)
+
+    def _evaluate(self) -> int:
+        return 1 if self.func(*(sig.value for sig in self.inputs)) else 0
+
+    def _on_input(self, _sig: Signal) -> None:
+        self.output.drive(self._evaluate(), self.delay, inertial=True)
+
+    def _on_input_initial(self) -> None:
+        value = self._evaluate()
+        if value != self.output.value:
+            self.output.drive(value, self.delay, inertial=True)
+
+
+def _new_output(sim: Simulator, name: str) -> Signal:
+    return Signal(sim, name)
+
+
+class Inverter(Gate):
+    def __init__(self, sim: Simulator, a: Signal, out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "inv") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a], out, lambda a: not a, delays.inv, name)
+
+
+class And2(Gate):
+    def __init__(self, sim: Simulator, a: Signal, b: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "and2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b], out, lambda a, b: a and b, delays.and2, name)
+
+
+class Or2(Gate):
+    def __init__(self, sim: Simulator, a: Signal, b: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "or2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b], out, lambda a, b: a or b, delays.or2, name)
+
+
+class Nand2(Gate):
+    def __init__(self, sim: Simulator, a: Signal, b: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "nand2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b], out, lambda a, b: not (a and b),
+                         delays.nand2, name)
+
+
+class Nor2(Gate):
+    def __init__(self, sim: Simulator, a: Signal, b: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "nor2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b], out, lambda a, b: not (a or b),
+                         delays.nor2, name)
+
+
+class Xor2(Gate):
+    def __init__(self, sim: Simulator, a: Signal, b: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "xor2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b], out, lambda a, b: bool(a) != bool(b),
+                         delays.xor2, name)
+
+
+class Mux2(Gate):
+    """2:1 multiplexer: out = b if sel else a."""
+
+    def __init__(self, sim: Simulator, a: Signal, b: Signal, sel: Signal,
+                 out: Signal | None = None,
+                 delays: GateDelays | None = None, name: str = "mux2") -> None:
+        delays = delays or GateDelays()
+        out = out or _new_output(sim, f"{name}.out")
+        super().__init__(sim, [a, b, sel], out,
+                         lambda a, b, sel: b if sel else a, delays.mux2, name)
+
+
+class OneHotMux:
+    """Word-wide one-hot multiplexer: ``out = inputs[i]`` where ``sel[i]``.
+
+    This is the slice selector of the paper's serializers (Fig 6a / 8a):
+    a one-hot SEL bus steers one 8-bit slice of the 32-bit flit onto the
+    output.  Modelled as a single ``mux2``-delay stage per bit, which is
+    what a transmission-gate mux tree costs.
+
+    If no select line is active the output holds its previous value
+    (matching a tri-state bus with a keeper).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        inputs: Sequence[Bus],
+        sel: Sequence[Signal],
+        out: Bus,
+        delays: GateDelays | None = None,
+        name: str = "ohmux",
+    ) -> None:
+        if len(inputs) != len(sel):
+            raise ValueError(
+                f"{name}: {len(inputs)} inputs but {len(sel)} select lines"
+            )
+        widths = {bus.width for bus in inputs}
+        if widths != {out.width}:
+            raise ValueError(f"{name}: input/output widths differ: {widths}")
+        self.sim = sim
+        self.inputs = list(inputs)
+        self.sel = list(sel)
+        self.out = out
+        self.delay = (delays or GateDelays()).mux2
+        self.name = name
+        for sig in self.sel:
+            sig.on_change(self._update)
+        for bus in self.inputs:
+            bus.on_change(self._update)
+
+    def _update(self, _sig: Signal) -> None:
+        for i, sel_sig in enumerate(self.sel):
+            if sel_sig.value:
+                self.out.drive(self.inputs[i].value, self.delay, inertial=True)
+                return
+        # no select active: hold last value (bus keeper)

@@ -1,0 +1,213 @@
+"""Storage elements: transparent latches, flip-flops, synchronizer flags.
+
+These model the clocked and level-sensitive storage of the paper's
+interfaces:
+
+* :class:`DLatch` / :class:`LatchBus` — transparent-high latches; the
+  serializer/de-serializer capture slices with these (``D Q / G`` symbols
+  in Fig 6).
+* :class:`DFlipFlop` / :class:`RegisterBus` — positive-edge flip-flops;
+  the synchronous FIFO registers of Figs 4–5.
+* :class:`FlagSynchronizer` — the two-flip-flop flag of Fig 4: set
+  synchronously (write side), cleared asynchronously (``CLEAR(x)`` gated
+  into the reset pin), with the documented two-FF metastability filter
+  [14] modelled as two clock cycles of latency before the synchronous
+  side observes the asynchronous edge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+
+
+class DLatch:
+    """Transparent-high D latch: Q follows D while G=1, holds while G=0."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        d: Signal,
+        g: Signal,
+        q: Optional[Signal] = None,
+        delays: Optional[GateDelays] = None,
+        name: str = "lat",
+    ) -> None:
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.d = d
+        self.g = g
+        self.q = q if q is not None else Signal(sim, f"{name}.q")
+        self._dq_delay = delays.latch_dq
+        self._en_delay = delays.latch_en
+        d.on_change(self._on_d)
+        g.on_change(self._on_g)
+
+    def _on_d(self, _sig: Signal) -> None:
+        if self.g.value:
+            self.q.drive(self.d.value, self._dq_delay, inertial=True)
+
+    def _on_g(self, sig: Signal) -> None:
+        if sig.value:
+            self.q.drive(self.d.value, self._en_delay, inertial=True)
+
+
+class LatchBus:
+    """A word of transparent-high latches sharing one enable."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        d: Bus,
+        g: Signal,
+        q: Optional[Bus] = None,
+        delays: Optional[GateDelays] = None,
+        name: str = "latbus",
+    ) -> None:
+        self.q = q if q is not None else Bus(sim, d.width, f"{name}.q")
+        if self.q.width != d.width:
+            raise ValueError(
+                f"{name}: D width {d.width} != Q width {self.q.width}"
+            )
+        self.latches = [
+            DLatch(sim, d[i], g, self.q[i], delays, f"{name}.b{i}")
+            for i in range(d.width)
+        ]
+
+
+class DFlipFlop:
+    """Positive-edge D flip-flop with optional asynchronous clear."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        d: Signal,
+        clk: Signal,
+        q: Optional[Signal] = None,
+        clear: Optional[Signal] = None,
+        delays: Optional[GateDelays] = None,
+        name: str = "dff",
+    ) -> None:
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.d = d
+        self.clk = clk
+        self.q = q if q is not None else Signal(sim, f"{name}.q")
+        self.clear = clear
+        self._clk_q = delays.dff_clk_q
+        clk.on_change(self._on_clk)
+        if clear is not None:
+            clear.on_change(self._on_clear)
+
+    def _on_clk(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        if self.clear is not None and self.clear.value:
+            return
+        self.q.drive(self.d.value, self._clk_q, inertial=True)
+
+    def _on_clear(self, sig: Signal) -> None:
+        if sig.value:
+            self.q.drive(0, self._clk_q, inertial=True)
+
+
+class RegisterBus:
+    """A word of positive-edge flip-flops with a shared write enable.
+
+    Models the FIFO registers of Fig 4: on the clock edge, if
+    ``enable`` is high, the register captures ``d``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        d: Bus,
+        clk: Signal,
+        enable: Signal,
+        q: Optional[Bus] = None,
+        delays: Optional[GateDelays] = None,
+        name: str = "reg",
+    ) -> None:
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.d = d
+        self.clk = clk
+        self.enable = enable
+        self.q = q if q is not None else Bus(sim, d.width, f"{name}.q")
+        if self.q.width != d.width:
+            raise ValueError(
+                f"{name}: D width {d.width} != Q width {self.q.width}"
+            )
+        self._clk_q = delays.dff_clk_q
+        clk.on_change(self._on_clk)
+
+    def _on_clk(self, sig: Signal) -> None:
+        if sig.value and self.enable.value:
+            self.q.drive(self.d.value, self._clk_q, inertial=True)
+
+
+class FlagSynchronizer:
+    """The per-register flag of Fig 4 (and its mirror in Fig 5).
+
+    The flag is *set* by the synchronous write (``wr_en`` sampled on the
+    clock edge) and *cleared* asynchronously by the handshake side
+    (``clear`` gated into the flip-flop reset).  Two flip-flops in series
+    synchronize the asynchronous clear back into the clock domain [14]:
+
+    * :attr:`flag_a` — the asynchronous-facing flag: set after one
+      clock-to-Q, cleared as soon as ``clear`` fires.  The David-cell
+      sequencer reads this to know data is available.
+    * :attr:`flag_s` — the synchronous-facing flag: follows ``flag_a``
+      with two clock edges of latency (the synchronizer).  VALID/STALL
+      logic reads this, so a cleared register becomes reusable only two
+      cycles later — exactly the pessimism a real 2-FF synchronizer buys.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clk: Signal,
+        wr_en: Signal,
+        clear: Signal,
+        delays: Optional[GateDelays] = None,
+        name: str = "flag",
+    ) -> None:
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.clk = clk
+        self.wr_en = wr_en
+        self.clear = clear
+        self.flag_a = Signal(sim, f"{name}.a")
+        self.flag_s = Signal(sim, f"{name}.s")
+        self._sync1 = Signal(sim, f"{name}.sync1")
+        self._clk_q = delays.dff_clk_q
+        clk.on_change(self._on_clk)
+        clear.on_change(self._on_clear)
+
+    def _on_clk(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        # async clear dominates the synchronous set
+        if self.clear.value:
+            return
+        if self.wr_en.value:
+            self.flag_a.drive(1, self._clk_q, inertial=True)
+            # a synchronous set is visible to the sync side immediately:
+            # the synchronizer only filters the asynchronous *clear* path
+            self._sync1.drive(1, self._clk_q, inertial=True)
+            self.flag_s.drive(1, self._clk_q, inertial=True)
+        else:
+            # synchronizer chain samples flag_a
+            self._sync1.drive(self.flag_a.value, self._clk_q, inertial=True)
+            self.flag_s.drive(self._sync1.value, self._clk_q, inertial=True)
+
+    def _on_clear(self, sig: Signal) -> None:
+        if sig.value:
+            self.flag_a.drive(0, self._clk_q, inertial=True)

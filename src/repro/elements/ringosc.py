@@ -1,0 +1,89 @@
+"""Ring oscillator: the local timing reference of the I3 serializer.
+
+The per-word serializer (Fig 8a) derives its VALID burst timing from a
+ring of five back-to-back inverters: no clock reaches the link, yet the
+transmitter can space the four slice transfers so the receiver's shift
+register meets timing.  The paper notes the frequency can be tuned by
+changing the number or size of the inverters, and the DATA-to-VALID
+timing by tapping different points of the ring.
+
+:class:`RingOscillator` here is a gated oscillator: while ``enable`` is
+high, :attr:`out` toggles with half-period = ``stages × t_inv`` (a ring
+of *n* inverters inverts the wavefront once per traversal, so the full
+period is ``2 × n × t_inv``).  The burst generator in
+:mod:`repro.link.word_level` counts its edges to produce the VALID
+pulses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Signal
+from ..tech.technology import GateDelays
+
+
+class RingOscillator:
+    """A gated inverter-ring oscillator.
+
+    Parameters
+    ----------
+    stages:
+        Number of inverters in the ring (must be odd for a real ring; the
+        paper uses 5).
+    t_inv_ps:
+        Per-stage inverter delay; defaults to the technology's ``inv``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        enable: Signal,
+        stages: int = 5,
+        t_inv_ps: Optional[int] = None,
+        half_period_ps: Optional[int] = None,
+        delays: Optional[GateDelays] = None,
+        name: str = "ringosc",
+    ) -> None:
+        if stages < 3 or stages % 2 == 0:
+            raise ValueError(
+                f"a ring oscillator needs an odd stage count >= 3, got {stages}"
+            )
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.enable = enable
+        self.stages = stages
+        self.t_inv = t_inv_ps if t_inv_ps is not None else delays.inv
+        self.out = Signal(sim, f"{name}.out")
+        # ``half_period_ps`` models sizing/loading the ring for a target
+        # frequency, which the paper explicitly allows ("different sizes
+        # can be used depending upon requirements")
+        self.half_period = (
+            half_period_ps if half_period_ps is not None
+            else stages * self.t_inv
+        )
+        if self.half_period < 1:
+            raise ValueError("ring oscillator half period must be >= 1 ps")
+        self._running = False
+        enable.on_change(self._on_enable)
+
+    @property
+    def period_ps(self) -> int:
+        """Full oscillation period (2 × stages × t_inv)."""
+        return 2 * self.half_period
+
+    def _on_enable(self, sig: Signal) -> None:
+        if sig.value and not self._running:
+            self._running = True
+            self.sim.schedule(self.half_period, self._toggle)
+        elif not sig.value:
+            self._running = False
+            self.out.drive(0, self.t_inv, inertial=True)
+
+    def _toggle(self) -> None:
+        if not self._running:
+            return
+        self.out.set(0 if self.out.value else 1)
+        self.sim.schedule(self.half_period, self._toggle)

@@ -1,0 +1,128 @@
+"""Shift registers for the word-level de-serializer (Fig 8b).
+
+The per-word de-serializer shifts each incoming slice into a word-wide
+shift register on every VALID pulse, and in parallel shifts a single '1'
+down a one-bit shift register of the same depth; when the bit falls out
+the whole word has arrived and REQOUT is raised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+
+
+class SliceShiftRegister:
+    """Shifts ``slice_in`` into a ``depth``-stage word register.
+
+    On each rising edge of ``shift`` every stage captures its
+    predecessor, and stage 0 captures the input slice.  After ``depth``
+    pulses :attr:`word` holds the slices with the *first* received slice
+    in the most significant position — the paper shifts the word towards
+    DOUT(31:24), i.e. first slice ends up at the top.  We instead place
+    the first slice at the *bottom* (LSB-first), which matches the
+    serializer emitting DIN(7:0) first; the pairing is exercised by the
+    round-trip tests.
+
+    All ``depth`` stage registers toggle on every pulse, which is exactly
+    why the paper measures higher de-serializer power for this design —
+    the activity counters here reproduce that effect.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        slice_in: Bus,
+        shift: Signal,
+        depth: int,
+        delays: Optional[GateDelays] = None,
+        name: str = "slicereg",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.slice_in = slice_in
+        self.shift = shift
+        self.depth = depth
+        self.slice_width = slice_in.width
+        self.stages = [
+            Bus(sim, self.slice_width, f"{name}.st{i}") for i in range(depth)
+        ]
+        self._clk_q = delays.dff_clk_q
+        self.pulses_seen = 0
+        shift.on_change(self._on_shift)
+
+    def _on_shift(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        self.pulses_seen += 1
+        # capture predecessor values *before* this edge (two-phase update)
+        values = [stage.value for stage in self.stages]
+        for i in range(self.depth - 1, 0, -1):
+            self.stages[i].drive(values[i - 1], self._clk_q, inertial=True)
+        self.stages[0].drive(self.slice_in.value, self._clk_q, inertial=True)
+
+    @property
+    def word(self) -> int:
+        """Assembled word; first-received slice in the low bits.
+
+        After ``depth`` shifts, the first slice has ridden to the last
+        stage.  Reading stages in reverse stage order therefore yields
+        slices in arrival order, LSB-first.
+        """
+        total = 0
+        for pos, stage in enumerate(reversed(self.stages)):
+            total |= stage.value << (pos * self.slice_width)
+        return total
+
+
+class PulseShiftRegister:
+    """The one-bit completion tracker of Fig 8b.
+
+    A single '1' is injected at the head when a word transfer starts; each
+    VALID pulse advances it.  :attr:`done` rises when the bit reaches the
+    end (word complete → REQOUT); ``clear`` (ACKIN) wipes the register and
+    drops :attr:`done`, completing the handshake.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shift: Signal,
+        clear: Signal,
+        depth: int,
+        delays: Optional[GateDelays] = None,
+        name: str = "pulsereg",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        delays = delays or GateDelays()
+        self.sim = sim
+        self.name = name
+        self.depth = depth
+        self.bits = [0] * depth
+        self.done = Signal(sim, f"{name}.done")
+        self._clk_q = delays.dff_clk_q
+        self._armed = True
+        shift.on_change(self._on_shift)
+        clear.on_change(self._on_clear)
+
+    def _on_shift(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        # shift right; inject a 1 at the head for the first pulse of a word
+        self.bits = [1 if self._armed else 0] + self.bits[:-1]
+        self._armed = False
+        if self.bits[-1]:
+            self.done.drive(1, self._clk_q, inertial=True)
+
+    def _on_clear(self, sig: Signal) -> None:
+        if sig.value:
+            self.bits = [0] * self.depth
+            self._armed = True
+            self.done.drive(0, self._clk_q, inertial=True)

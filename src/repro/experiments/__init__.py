@@ -1,0 +1,54 @@
+"""One module per paper table/figure, plus ablations.
+
+``run_all()`` executes every reproduction experiment and returns the
+results keyed by experiment id — the EXPERIMENTS.md generator and the
+benchmark harness both build on it.
+"""
+
+from typing import Dict, Optional
+
+from ..tech.technology import Technology
+from .common import Check, ExperimentResult, resolve_tech
+from . import ablation, fig10, fig11, fig12, fig13, fig14, table1, table2
+from . import throughput, wirelength
+
+__all__ = [
+    "Check",
+    "ExperimentResult",
+    "resolve_tech",
+    "ablation",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table1",
+    "table2",
+    "throughput",
+    "wirelength",
+    "run_all",
+]
+
+
+def run_all(
+    tech: Optional[Technology] = None,
+    simulate: bool = True,
+) -> Dict[str, ExperimentResult]:
+    """Run every paper experiment (figures, tables, Section V equations).
+
+    ``simulate=False`` skips the gate-level simulations (fast mode for
+    smoke testing); analytical results are unaffected.
+    """
+    tech = resolve_tech(tech)
+    results = {
+        "fig10": fig10.run(tech),
+        "fig11": fig11.run(tech),
+        "fig12": fig12.run(tech),
+        "fig13": fig13.run(tech),
+        "fig14": fig14.run(tech, with_activity=simulate),
+        "table1": table1.run(tech),
+        "table2": table2.run(tech),
+        "throughput": throughput.run(tech, simulate=simulate),
+        "wirelength": wirelength.run(tech, simulate=simulate),
+    }
+    return results

@@ -1,0 +1,131 @@
+"""Shared experiment scaffolding.
+
+Every experiment module exposes ``run(tech=None, **options)`` returning
+an :class:`ExperimentResult`; the benchmark harness prints
+``result.render()`` (the same rows/series the paper reports) and the
+tests assert ``result.checks`` — the paper-vs-measured comparisons with
+their tolerances.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..tech.technology import Technology
+from ..tech.st012 import st012
+from ..analysis.report import format_table, relative_error
+
+
+@dataclass
+class Check:
+    """One paper-vs-measured comparison.
+
+    ``mode`` selects the acceptance rule: ``"two_sided"`` (default)
+    requires |error| ≤ tolerance; ``"at_least"`` requires the measured
+    value to be no more than ``tolerance`` *below* the reference (used
+    for claims of the form "the extension is at least this much
+    faster" where overshooting is success, not failure).
+    """
+
+    name: str
+    measured: float
+    paper: float
+    tolerance: float  # relative
+    mode: str = "two_sided"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("two_sided", "at_least"):
+            raise ValueError(f"unknown check mode {self.mode!r}")
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.measured, self.paper)
+
+    @property
+    def ok(self) -> bool:
+        if self.mode == "at_least":
+            return self.error >= -self.tolerance
+        return abs(self.error) <= self.tolerance
+
+    def row(self) -> Sequence[object]:
+        return (
+            self.name,
+            f"{self.measured:.4g}",
+            f"{self.paper:.4g}",
+            f"{100 * self.error:+.1f}%",
+            "ok" if self.ok else "FAIL",
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    description: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    checks: List[Check] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [
+            format_table(
+                self.headers,
+                self.rows,
+                title=f"{self.experiment_id}: {self.description}",
+            )
+        ]
+        if self.checks:
+            parts.append("")
+            parts.append(
+                format_table(
+                    ("check", "measured", "paper", "error", "status"),
+                    [c.row() for c in self.checks],
+                    title="paper-vs-measured",
+                )
+            )
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(c.ok for c in self.checks)
+
+    def failures(self) -> List[Check]:
+        return [c for c in self.checks if not c.ok]
+
+    def to_csv(self, destination: Union[str, Path, None] = None) -> str:
+        """The result rows as CSV (for plotting outside this repo).
+
+        Writes to ``destination`` if given; always returns the CSV text.
+        """
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.headers)
+        for row in self.rows:
+            writer.writerow(["" if cell is None else cell for cell in row])
+        text = buf.getvalue()
+        if destination is not None:
+            Path(destination).write_text(text, encoding="utf-8")
+        return text
+
+    def checks_csv(self) -> str:
+        """The paper-vs-measured checks as CSV."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(("check", "measured", "paper", "error", "status"))
+        for check in self.checks:
+            writer.writerow(check.row())
+        return buf.getvalue()
+
+
+def resolve_tech(tech: Optional[Technology]) -> Technology:
+    """Default to the calibrated ST 0.12 µm technology."""
+    return tech if tech is not None else st012()

@@ -1,0 +1,71 @@
+"""Fig 10 — Bandwidth vs. number of wires.
+
+The synchronous link needs ``32·B/f`` wires for bandwidth B at clock f
+(96 wires for 300 MFlit/s at 100 MHz, 32 at 300 MHz); the proposed
+asynchronous serial link holds at 8 wires for every bandwidth up to its
+serial ceiling (~304 MFlit/s analytically; the paper quotes ~311).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tech.technology import Technology
+from ..analysis.wires import fig10_series, sync_wires_needed, async_wires_needed
+from .common import Check, ExperimentResult, resolve_tech
+
+#: anchor points the paper states in the running text
+PAPER_POINTS = {
+    ("I1", 300.0, 300.0): 32,   # 300 MFlit/s at 300 MHz → 32 wires
+    ("I1", 100.0, 300.0): 96,   # 300 MFlit/s at 100 MHz → 96 wires
+    ("I3", 300.0, 300.0): 8,    # proposed link: always 8 data wires
+}
+
+PAPER_WIRE_REDUCTION_PERCENT = 75.0
+
+
+def run(
+    tech: Optional[Technology] = None,
+    bandwidths: Sequence[float] = tuple(range(100, 351, 25)),
+) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    series = fig10_series(tech, bandwidths)
+
+    headers = ["bandwidth (MFlit/s)"] + list(series)
+    rows = []
+    for i, bandwidth in enumerate(bandwidths):
+        row: list[object] = [bandwidth]
+        for label in series:
+            row.append(series[label][i].wires)
+        rows.append(row)
+
+    checks = [
+        Check(
+            "I1 wires @300 MFlit/s, 300 MHz",
+            sync_wires_needed(300.0, 300.0), 32, 0.0,
+        ),
+        Check(
+            "I1 wires @300 MFlit/s, 100 MHz",
+            sync_wires_needed(300.0, 100.0), 96, 0.0,
+        ),
+        Check(
+            "I3 wires @300 MFlit/s",
+            float(async_wires_needed(300.0, tech) or -1), 8, 0.0,
+        ),
+        Check(
+            "wire reduction at 300/300 (%)",
+            100.0 * (32 - 8) / 32, PAPER_WIRE_REDUCTION_PERCENT, 0.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Fig 10",
+        description="Bandwidth vs. wires (I1 at 100/200/300 MHz vs I3)",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+        notes=(
+            "The async link needs no extra wires as bandwidth grows; "
+            "entries of '-' mean the bandwidth exceeds the link's serial "
+            "ceiling."
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Fig 11 — Wiring area vs. wire length.
+
+AREA = L × (N·MetW + (N+1)·MetG) with the METAL6 geometry; the paper
+reads ≈30 000 µm² for I1 and ≈7 500 µm² for the serial links at
+L = 1000 µm.  The exact equation gives 29 260 / 7 660 — we check against
+those with the paper's round-number quotes at a 5 % tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tech.technology import Technology
+from ..analysis.area import fig11_series, wire_area_um2
+from .common import Check, ExperimentResult, resolve_tech
+
+PAPER_I1_AREA_AT_1000UM = 30_000.0
+PAPER_I3_AREA_AT_1000UM = 7_500.0
+
+
+def run(
+    tech: Optional[Technology] = None,
+    lengths_um: Sequence[float] = tuple(range(0, 3001, 250)),
+) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    series = fig11_series(tech, lengths_um)
+
+    headers = ["wire length (um)"] + [f"{label} (um^2)" for label in series]
+    rows = []
+    for i, length in enumerate(lengths_um):
+        row: list[object] = [length]
+        for label in series:
+            row.append(round(series[label][i][1]))
+        rows.append(row)
+
+    checks = [
+        Check(
+            "I1 wiring area @1000 um",
+            wire_area_um2(32, 1000.0, tech),
+            PAPER_I1_AREA_AT_1000UM,
+            0.05,
+        ),
+        Check(
+            "I2/I3 wiring area @1000 um",
+            wire_area_um2(8, 1000.0, tech),
+            PAPER_I3_AREA_AT_1000UM,
+            0.05,
+        ),
+        Check(
+            "area ratio I1/I3",
+            wire_area_um2(32, 1000.0, tech) / wire_area_um2(8, 1000.0, tech),
+            PAPER_I1_AREA_AT_1000UM / PAPER_I3_AREA_AT_1000UM,
+            0.05,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Fig 11",
+        description="Wiring area vs. wire length (METAL6, ST 0.12 um)",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,82 @@
+"""Fig 12 — Power vs. number of buffers at a 100 MHz switch clock.
+
+Paper points (50 % link usage, worst-case data): I1 grows 372 → 1498 µW
+from 2 to 8 buffers (+300 %); I2 589 → 712 µW (+20 %); I3 623 → 637 µW
+(+2 %).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tech.technology import Technology
+from ..analysis.power import buffer_sweep, link_power_uw
+from .common import Check, ExperimentResult, resolve_tech
+
+FREQ_MHZ = 100.0
+PAPER_POINTS = {
+    ("I1", 2): 372.0,
+    ("I1", 8): 1498.0,
+    ("I2", 2): 589.0,
+    ("I2", 8): 712.0,
+    ("I3", 2): 623.0,
+    ("I3", 8): 637.0,
+}
+
+
+def run(
+    tech: Optional[Technology] = None,
+    buffer_counts: Sequence[int] = (2, 4, 6, 8),
+    freq_mhz: float = FREQ_MHZ,
+    usage: float = 0.5,
+) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    curves = buffer_sweep(tech, freq_mhz, buffer_counts, usage)
+
+    headers = ["buffers"] + [f"{label} (uW)" for label in curves]
+    rows = []
+    for i, n in enumerate(buffer_counts):
+        row: list[object] = [n]
+        for label in curves:
+            row.append(round(curves[label][i][1], 1))
+        rows.append(row)
+
+    checks = [
+        Check(
+            f"{kind} power @{n} buffers, {freq_mhz:.0f} MHz",
+            link_power_uw(tech, kind, n, freq_mhz, usage),
+            paper_uw,
+            0.02,
+        )
+        for (kind, n), paper_uw in PAPER_POINTS.items()
+    ]
+    # growth-shape checks from the running text
+    i1_growth = (
+        link_power_uw(tech, "I1", 8, freq_mhz, usage)
+        / link_power_uw(tech, "I1", 2, freq_mhz, usage)
+        - 1.0
+    )
+    i2_growth = (
+        link_power_uw(tech, "I2", 8, freq_mhz, usage)
+        / link_power_uw(tech, "I2", 2, freq_mhz, usage)
+        - 1.0
+    )
+    i3_growth = (
+        link_power_uw(tech, "I3", 8, freq_mhz, usage)
+        / link_power_uw(tech, "I3", 2, freq_mhz, usage)
+        - 1.0
+    )
+    checks.extend(
+        [
+            Check("I1 growth 2→8 buffers", 100 * i1_growth, 300.0, 0.05),
+            Check("I2 growth 2→8 buffers", 100 * i2_growth, 20.0, 0.10),
+            Check("I3 growth 2→8 buffers", 100 * i3_growth, 2.0, 0.15),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="Fig 12",
+        description=f"Power vs. buffers @ {freq_mhz:.0f} MHz, {usage:.0%} usage",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

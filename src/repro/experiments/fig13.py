@@ -1,0 +1,63 @@
+"""Fig 13 — Power vs. number of buffers at a 300 MHz switch clock.
+
+Paper points: I1 reaches 3229 µW at 8 buffers (up from 1498 µW at
+100 MHz); I3 reaches 1110 µW — the headline 65 % power reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tech.technology import Technology
+from ..analysis.power import buffer_sweep, link_power_uw, power_saving_percent
+from .common import Check, ExperimentResult, resolve_tech
+
+FREQ_MHZ = 300.0
+PAPER_POINTS = {
+    ("I1", 8): 3229.0,
+    ("I3", 8): 1110.0,
+}
+PAPER_SAVING_PERCENT = 65.0
+
+
+def run(
+    tech: Optional[Technology] = None,
+    buffer_counts: Sequence[int] = (2, 4, 6, 8),
+    freq_mhz: float = FREQ_MHZ,
+    usage: float = 0.5,
+) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    curves = buffer_sweep(tech, freq_mhz, buffer_counts, usage)
+
+    headers = ["buffers"] + [f"{label} (uW)" for label in curves]
+    rows = []
+    for i, n in enumerate(buffer_counts):
+        row: list[object] = [n]
+        for label in curves:
+            row.append(round(curves[label][i][1], 1))
+        rows.append(row)
+
+    checks = [
+        Check(
+            f"{kind} power @{n} buffers, {freq_mhz:.0f} MHz",
+            link_power_uw(tech, kind, n, freq_mhz, usage),
+            paper_uw,
+            0.02,
+        )
+        for (kind, n), paper_uw in PAPER_POINTS.items()
+    ]
+    checks.append(
+        Check(
+            "I3 saving over I1 @8 buffers (%)",
+            power_saving_percent(tech, 8, freq_mhz, usage),
+            PAPER_SAVING_PERCENT,
+            0.03,
+        )
+    )
+    return ExperimentResult(
+        experiment_id="Fig 13",
+        description=f"Power vs. buffers @ {freq_mhz:.0f} MHz, {usage:.0%} usage",
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,44 @@
+"""Table 1 — Circuit-area overhead of the three implementations.
+
+Paper: I1 15 864 µm², I2 19 193 µm², I3 18 396 µm² — roughly a 20 %
+overhead for the asynchronous links, traded against the 75 % wire
+reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tech.technology import Technology
+from ..analysis.area import table1
+from .common import Check, ExperimentResult, resolve_tech
+
+PAPER_AREAS = {
+    "Synchronous (I1)": 15_864.0,
+    "Asynchronous per-transfer ack. (I2)": 19_193.0,
+    "Asynchronous per-word ack. (I3)": 18_396.0,
+}
+
+
+def run(tech: Optional[Technology] = None, n_buffers: int = 4) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    areas = table1(tech, n_buffers)
+
+    rows = [[name, round(area)] for name, area in areas.items()]
+    checks = [
+        Check(f"area of {name}", areas[name], paper, 0.001)
+        for name, paper in PAPER_AREAS.items()
+    ]
+    overhead = (
+        areas["Asynchronous per-transfer ack. (I2)"]
+        / areas["Synchronous (I1)"]
+        - 1.0
+    )
+    checks.append(Check("I2 area overhead (%)", 100 * overhead, 20.0, 0.05))
+    return ExperimentResult(
+        experiment_id="Table 1",
+        description="Area overhead of the synchronous and proposed links",
+        headers=("Implementation", "Area (um^2)"),
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,45 @@
+"""Table 2 — Module-level area breakdown of implementation I2.
+
+Paper values (µm²): synch→asynch 9408, serializer 869, wire buffer
+294 ×4, de-serializer 1030, asynch→synch 6710, total 19 193.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tech.technology import Technology
+from ..analysis.area import table2
+from .common import Check, ExperimentResult, resolve_tech
+
+PAPER_MODULES = {
+    "Synch to Asynch interface": (9408.0, 1),
+    "Asynch 32 to 8 serializer": (869.0, 1),
+    "Asynch 8 wire buffer": (294.0, 4),
+    "Asynch 8 to 32 de-serializer": (1030.0, 1),
+    "Asynch to Synch interface": (6710.0, 1),
+}
+PAPER_TOTAL = 19_193.0
+
+
+def run(tech: Optional[Technology] = None, n_buffers: int = 4) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    breakdown = table2(tech, n_buffers)
+
+    rows = [
+        [name, round(area), qty] for name, area, qty in breakdown.rows()
+    ]
+    rows.append(["Total", round(breakdown.total_um2), ""])
+
+    checks = [
+        Check(f"area of {name}", breakdown.modules[name], paper_area, 0.001)
+        for name, (paper_area, _qty) in PAPER_MODULES.items()
+    ]
+    checks.append(Check("I2 total area", breakdown.total_um2, PAPER_TOTAL, 0.001))
+    return ExperimentResult(
+        experiment_id="Table 2",
+        description="Breakdown of implementation I2",
+        headers=("Module", "Area (um^2)", "Qty."),
+        rows=rows,
+        checks=checks,
+    )

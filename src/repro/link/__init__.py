@@ -1,0 +1,76 @@
+"""Serialized asynchronous link implementations (the paper's core).
+
+Builders :func:`build_i1` / :func:`build_i2` / :func:`build_i3` assemble
+the three links of Fig 9; :class:`LinkTestbench` drives and measures
+them.  Individual modules (interfaces, serializers, wire buffers) are
+importable for unit-level work, and :mod:`repro.link.behavioral`
+provides fast token-level equivalents for NoC-scale simulation.
+"""
+
+from .channel import (
+    Channel,
+    ValidChannel,
+    receive_token,
+    send_token,
+    sink_process,
+    source_process,
+)
+from .sync_async import SyncToAsyncInterface
+from .async_sync import AsyncToSyncInterface
+from .serializer import Deserializer, Serializer, check_slicing
+from .word_level import EarlyAckDeserializer, WordDeserializer, WordSerializer
+from .wiring import (
+    AsyncWireBufferChain,
+    RepeatedWire,
+    RepeatedWireBus,
+    wire,
+    wire_bus,
+)
+from .sync_link import SyncPipelineLink
+from .assemblies import (
+    LinkConfig,
+    LinkInstance,
+    build_i1,
+    build_i2,
+    build_i3,
+    build_link,
+)
+from .testbench import (
+    WORST_CASE_PATTERN,
+    LinkMeasurement,
+    LinkTestbench,
+    measure_throughput,
+)
+
+__all__ = [
+    "Channel",
+    "ValidChannel",
+    "receive_token",
+    "send_token",
+    "sink_process",
+    "source_process",
+    "SyncToAsyncInterface",
+    "AsyncToSyncInterface",
+    "Deserializer",
+    "Serializer",
+    "check_slicing",
+    "EarlyAckDeserializer",
+    "WordDeserializer",
+    "WordSerializer",
+    "AsyncWireBufferChain",
+    "RepeatedWire",
+    "RepeatedWireBus",
+    "wire",
+    "wire_bus",
+    "SyncPipelineLink",
+    "LinkConfig",
+    "LinkInstance",
+    "build_i1",
+    "build_i2",
+    "build_i3",
+    "build_link",
+    "WORST_CASE_PATTERN",
+    "LinkMeasurement",
+    "LinkTestbench",
+    "measure_throughput",
+]

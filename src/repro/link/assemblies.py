@@ -1,0 +1,373 @@
+"""Complete link assemblies: I1, I2 and I3 (Fig 9 of the paper).
+
+Each builder returns a :class:`LinkInstance` with a uniform switch-facing
+port set, an :class:`~repro.sim.trace.ActivityMonitor` with the signals
+grouped per component (the Fig 14 power-breakdown categories), and the
+physical wire count between the two switch boundaries (the Fig 10 /
+Fig 11 quantity).
+
+* :func:`build_i1` — synchronous pipeline, ``width`` wires.
+* :func:`build_i2` — synch/asynch interface → per-transfer serializer →
+  latching wire-buffer chain → de-serializer → asynch/synch interface;
+  ``slice_width + 2`` wires (data + req + ack).
+* :func:`build_i3` — as I2 but word-level: ring-oscillator burst
+  serializer, inverter-repeated wires, shift-register de-serializer,
+  single word acknowledge; ``slice_width + 2`` wires (data + valid + ack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Bus, Signal
+from ..sim.trace import ActivityMonitor
+from ..tech.technology import Technology
+from ..tech.st012 import st012
+from .async_sync import AsyncToSyncInterface
+from .serializer import Deserializer, Serializer
+from .sync_async import SyncToAsyncInterface
+from .sync_link import SyncPipelineLink
+from .word_level import EarlyAckDeserializer, WordDeserializer, WordSerializer
+from .wiring import AsyncWireBufferChain, RepeatedWireBus, RepeatedWire, wire, wire_bus
+
+
+@dataclass
+class LinkConfig:
+    """Parameters shared by all three implementations.
+
+    Defaults follow the paper's experimental setup: 32-bit flits,
+    8-bit serial slices, 4 buffers, 4-deep interface FIFOs.
+    """
+
+    width: int = 32
+    slice_width: int = 8
+    n_buffers: int = 4
+    fifo_depth: int = 4
+    #: inverters per I3 repeater station (even; the paper uses pairs)
+    inverters_per_station: int = 2
+    #: early-ack extension: 0 = paper behaviour, >0 = ack that many
+    #: slices before the end of the burst (future-work feature)
+    early_ack_by: int = 0
+
+    def __post_init__(self) -> None:
+        if self.width % self.slice_width:
+            raise ValueError(
+                f"slice width {self.slice_width} must divide width {self.width}"
+            )
+        if self.n_buffers < 1:
+            raise ValueError("n_buffers must be >= 1")
+
+
+class LinkInstance:
+    """A built link with the uniform switch-facing port set."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        kind: str,
+        config: LinkConfig,
+        monitor: ActivityMonitor,
+        wire_count: int,
+    ) -> None:
+        self.sim = sim
+        self.kind = kind
+        self.config = config
+        self.monitor = monitor
+        self.wire_count = wire_count
+        # transmit-side ports (bound by the builders)
+        self.flit_in: Bus
+        self.valid_in: Signal
+        self.stall_out: Signal
+        # receive-side ports
+        self.flit_out: Bus
+        self.valid_out: Signal
+        self.stall_in: Signal
+
+    def flits_accepted(self) -> int:
+        """Flits taken from the transmitting switch so far."""
+        raise NotImplementedError
+
+    def flits_delivered(self) -> int:
+        """Flits handed to the receiving switch so far."""
+        raise NotImplementedError
+
+
+class _I1Link(LinkInstance):
+    def __init__(self, sim: Simulator, config: LinkConfig,
+                 pipeline: SyncPipelineLink, monitor: ActivityMonitor) -> None:
+        super().__init__(sim, "I1", config, monitor, pipeline.wire_count)
+        self.pipeline = pipeline
+        self.flit_in = pipeline.flit_in
+        self.valid_in = pipeline.valid_in
+        self.stall_out = pipeline.stall_out
+        self.flit_out = pipeline.flit_out
+        self.valid_out = pipeline.valid_out
+        self.stall_in = pipeline.stall_in
+
+    def flits_accepted(self) -> int:
+        return self.pipeline.flits_written
+
+    def flits_delivered(self) -> int:
+        return self.pipeline.flits_delivered
+
+
+class _AsyncLink(LinkInstance):
+    """Common wrapper for I2/I3: interface FIFOs at both ends."""
+
+    def __init__(self, sim: Simulator, kind: str, config: LinkConfig,
+                 s2a: SyncToAsyncInterface, a2s: AsyncToSyncInterface,
+                 monitor: ActivityMonitor, wire_count: int) -> None:
+        super().__init__(sim, kind, config, monitor, wire_count)
+        self.s2a = s2a
+        self.a2s = a2s
+        self.flit_in = s2a.flit_in
+        self.valid_in = s2a.valid
+        self.stall_out = s2a.stall
+        self.flit_out = a2s.flit_out
+        self.valid_out = a2s.valid
+        self.stall_in = a2s.stall
+
+    def flits_accepted(self) -> int:
+        return self.s2a.flits_written
+
+    def flits_delivered(self) -> int:
+        return self.a2s.flits_read
+
+
+def build_i1(
+    sim: Simulator,
+    clk: Signal,
+    config: Optional[LinkConfig] = None,
+    tech: Optional[Technology] = None,
+    name: str = "i1",
+) -> LinkInstance:
+    """The synchronous baseline link (Fig 9, top row)."""
+    config = config or LinkConfig()
+    tech = tech or st012()
+    pipeline = SyncPipelineLink(
+        sim, clk, config.width, config.n_buffers, tech.gates, name
+    )
+    monitor = ActivityMonitor()
+    for i, (data, valid) in enumerate(
+        zip(pipeline.stage_data, pipeline.stage_valid)
+    ):
+        monitor.add("buffers", data, valid)
+    monitor.add("buffers", pipeline.flit_out, pipeline.valid_out)
+    return _I1Link(sim, config, pipeline, monitor)
+
+
+def build_i2(
+    sim: Simulator,
+    clk: Signal,
+    config: Optional[LinkConfig] = None,
+    tech: Optional[Technology] = None,
+    name: str = "i2",
+    rx_clk: Optional[Signal] = None,
+) -> LinkInstance:
+    """The per-transfer-acknowledge asynchronous link (Fig 9, middle).
+
+    ``rx_clk`` lets the receiving switch run from a *different* clock
+    than the transmitting one (GALS operation) — nothing on the wire is
+    clocked, so the link tolerates arbitrary frequency/phase relations
+    between the two domains.  Defaults to the shared clock, the paper's
+    configuration.
+    """
+    config = config or LinkConfig()
+    tech = tech or st012()
+    gates = tech.gates
+    t_p = tech.handshake.t_p_per_segment
+    rx_clk = rx_clk if rx_clk is not None else clk
+
+    s2a = SyncToAsyncInterface(
+        sim, clk, config.width, config.fifo_depth, gates, f"{name}.s2a"
+    )
+    ser = Serializer(sim, s2a.out_ch, config.slice_width, gates, f"{name}.ser")
+    chain = AsyncWireBufferChain(
+        sim,
+        ser.out_ch.data,
+        ser.out_ch.req,
+        config.n_buffers,
+        t_p,
+        gates,
+        tech.handshake.t_wire_buffer_ctl,
+        f"{name}.chain",
+    )
+    wire(chain.ack_out, ser.out_ch.ack, t_p)
+
+    des_in = _channel_from(sim, chain.data_out, chain.req_out, chain.ack_in,
+                           f"{name}.desin")
+    des = Deserializer(sim, des_in, config.width, gates, f"{name}.des")
+
+    a2s = AsyncToSyncInterface(
+        sim, rx_clk, config.width, config.fifo_depth, gates, f"{name}.a2s"
+    )
+    _connect_channels(des.out_ch, a2s.in_ch)
+
+    monitor = ActivityMonitor()
+    monitor.add("sync_to_async", s2a.out_ch.data, s2a.out_ch.req,
+                s2a.out_ch.ack, *s2a.wr_en, *s2a.clear)
+    monitor.add("sync_to_async", *(f.flag_a for f in s2a.flags))
+    monitor.add("serializer", ser.out_ch.data, ser.out_ch.req)
+    if ser.sequencer is not None:
+        monitor.add("serializer", *ser.sequencer.sel)
+    for stage in chain.stages:
+        monitor.add("buffers", stage.data_out, stage.controller.ctl,
+                    stage.controller.latch_enable)
+    monitor.add("deserializer", *des.stores)
+    if des.le_sequencer is not None:
+        monitor.add("deserializer", *des.le_sequencer.sel)
+    monitor.add("async_to_sync", a2s.in_ch.data, a2s.in_ch.req,
+                a2s.in_ch.ack, *a2s.registers, *a2s.flag_a)
+
+    link = _AsyncLink(
+        sim, "I2", config, s2a, a2s, monitor,
+        wire_count=config.slice_width + 2,
+    )
+    link.serializer = ser
+    link.chain = chain
+    link.deserializer = des
+    return link
+
+
+def build_i3(
+    sim: Simulator,
+    clk: Signal,
+    config: Optional[LinkConfig] = None,
+    tech: Optional[Technology] = None,
+    name: str = "i3",
+    rx_clk: Optional[Signal] = None,
+) -> LinkInstance:
+    """The per-word-acknowledge asynchronous link (Fig 9, bottom).
+
+    ``rx_clk`` enables GALS operation (independent receive-side clock);
+    see :func:`build_i2`.
+    """
+    config = config or LinkConfig()
+    tech = tech or st012()
+    gates = tech.gates
+    timings = tech.handshake
+    t_p = timings.t_p_per_segment
+    rx_clk = rx_clk if rx_clk is not None else clk
+
+    s2a = SyncToAsyncInterface(
+        sim, clk, config.width, config.fifo_depth, gates, f"{name}.s2a"
+    )
+    wser = WordSerializer(
+        sim, s2a.out_ch, config.slice_width, gates, timings,
+        name=f"{name}.wser",
+    )
+
+    # forward path: n_buffers repeater stations, n_buffers+1 Tp segments
+    data_src = wser.out_ch.data
+    valid_src = wser.out_ch.valid
+    stations_d: list[RepeatedWireBus] = []
+    stations_v: list[RepeatedWire] = []
+    for i in range(config.n_buffers):
+        seg_d = Bus(sim, config.slice_width, f"{name}.seg{i}.d")
+        seg_v = Signal(sim, f"{name}.seg{i}.v")
+        wire_bus(data_src, seg_d, t_p)
+        wire(valid_src, seg_v, t_p)
+        st_d = RepeatedWireBus(sim, seg_d, config.inverters_per_station,
+                               gates.inv, f"{name}.rep{i}.d")
+        st_v = RepeatedWire(sim, seg_v, config.inverters_per_station,
+                            gates.inv, f"{name}.rep{i}.v")
+        stations_d.append(st_d)
+        stations_v.append(st_v)
+        data_src, valid_src = st_d.out, st_v.out
+    rx_data = Bus(sim, config.slice_width, f"{name}.rx.d")
+    rx_valid = Signal(sim, f"{name}.rx.v")
+    wire_bus(data_src, rx_data, t_p)
+    wire(valid_src, rx_valid, t_p)
+
+    des_in = _valid_channel_from(sim, rx_data, rx_valid, f"{name}.desin")
+    if config.early_ack_by:
+        wdes: WordDeserializer = EarlyAckDeserializer(
+            sim, des_in, config.width, gates, timings,
+            name=f"{name}.wdes", early_by=config.early_ack_by,
+        )
+    else:
+        wdes = WordDeserializer(
+            sim, des_in, config.width, gates, timings, f"{name}.wdes"
+        )
+
+    # word-level acknowledge return path: n_buffers+1 plain Tp segments
+    ack_src: Signal = wdes.ack_to_tx
+    for i in range(config.n_buffers):
+        seg = Signal(sim, f"{name}.ackseg{i}")
+        wire(ack_src, seg, t_p)
+        ack_src = seg
+    wire(ack_src, wser.out_ch.ack, t_p)
+
+    a2s = AsyncToSyncInterface(
+        sim, rx_clk, config.width, config.fifo_depth, gates, f"{name}.a2s"
+    )
+    _connect_channels(wdes.out_ch, a2s.in_ch)
+
+    monitor = ActivityMonitor()
+    monitor.add("sync_to_async", s2a.out_ch.data, s2a.out_ch.req,
+                s2a.out_ch.ack, *s2a.wr_en, *s2a.clear)
+    monitor.add("sync_to_async", *(f.flag_a for f in s2a.flags))
+    monitor.add("serializer", wser.out_ch.data, wser.out_ch.valid,
+                wser.osc.out)
+    for st_d, st_v in zip(stations_d, stations_v):
+        monitor.add("buffers", st_d.out, st_v.out)
+    monitor.add("deserializer", *wdes.slices.stages, wdes.pulses.done,
+                wdes.ack_to_tx)
+    monitor.add("async_to_sync", a2s.in_ch.data, a2s.in_ch.req,
+                a2s.in_ch.ack, *a2s.registers, *a2s.flag_a)
+
+    link = _AsyncLink(
+        sim, "I3", config, s2a, a2s, monitor,
+        wire_count=config.slice_width + 2,
+    )
+    link.serializer = wser
+    link.deserializer = wdes
+    return link
+
+
+# ----------------------------------------------------------------------
+# wiring helpers
+# ----------------------------------------------------------------------
+def _channel_from(sim: Simulator, data: Bus, req: Signal, ack: Signal,
+                  name: str):
+    """Wrap existing nets as a Channel-like object (zero-delay aliasing)."""
+    from .channel import Channel
+
+    ch = Channel(sim, data.width, name)
+    wire_bus(data, ch.data, 0)
+    wire(req, ch.req, 0)
+    wire(ch.ack, ack, 0)
+    return ch
+
+
+def _valid_channel_from(sim: Simulator, data: Bus, valid: Signal, name: str):
+    from .channel import ValidChannel
+
+    ch = ValidChannel(sim, data.width, name)
+    wire_bus(data, ch.data, 0)
+    wire(valid, ch.valid, 0)
+    return ch
+
+
+def _connect_channels(src, dst) -> None:
+    """Connect an output Channel to an input Channel (req/data →, ack ←)."""
+    wire_bus(src.data, dst.data, 0)
+    wire(src.req, dst.req, 0)
+    wire(dst.ack, src.ack, 0)
+
+
+def build_link(
+    sim: Simulator,
+    clk: Signal,
+    kind: str,
+    config: Optional[LinkConfig] = None,
+    tech: Optional[Technology] = None,
+) -> LinkInstance:
+    """Build a link by implementation id ('I1', 'I2' or 'I3')."""
+    builders = {"I1": build_i1, "I2": build_i2, "I3": build_i3}
+    key = kind.upper()
+    if key not in builders:
+        raise ValueError(f"unknown link kind {kind!r}; expected I1/I2/I3")
+    return builders[key](sim, clk, config, tech, name=key.lower())

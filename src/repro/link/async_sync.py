@@ -1,0 +1,127 @@
+"""Asynchronous → synchronous interface (Fig 5 of the paper).
+
+The mirror of Fig 4: an asynchronous latch *writer* and a synchronous
+latch *reader*.
+
+* the four-phase input channel latches each arriving word into the
+  register selected by the LE David-cell chain, then sets that
+  register's flag *asynchronously*;
+* the flag crosses into the clock domain through a two-flip-flop
+  synchronizer, so the synchronous reader sees a freshly written
+  register two rising edges later;
+* on a rising edge with the selected flag visible and the switch not
+  stalling, the register is steered to FLIT_OUT, VALID is asserted for
+  that cycle, and the flag is cleared (a synchronous clear is safe —
+  the asynchronous writer never reuses a register whose flag is set).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.process import Delay, WaitValue, spawn
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+from .channel import Channel
+
+
+class AsyncToSyncInterface:
+    """The FIFO of Fig 5: asynchronous writer, synchronous reader."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clk: Signal,
+        width: int = 32,
+        depth: int = 4,
+        delays: Optional[GateDelays] = None,
+        name: str = "a2s",
+    ) -> None:
+        if depth < 2:
+            raise ValueError(f"FIFO depth must be >= 2, got {depth}")
+        self.sim = sim
+        self.name = name
+        self.delays = delays or GateDelays()
+        self.clk = clk
+        self.width = width
+        self.depth = depth
+
+        # link-facing port
+        self.in_ch = Channel(sim, width, f"{name}.in")
+
+        # switch-facing ports
+        self.flit_out = Bus(sim, width, f"{name}.flitout")
+        self.valid = Signal(sim, f"{name}.valid")
+        self.stall = Signal(sim, f"{name}.stall")
+
+        # storage: asynchronous latch registers with per-register flags
+        self.registers = [
+            Bus(sim, width, f"{name}.lt{i}") for i in range(depth)
+        ]
+        self.flag_a = [Signal(sim, f"{name}.flaga{i}") for i in range(depth)]
+        self._sync1 = [Signal(sim, f"{name}.sync1_{i}") for i in range(depth)]
+        self.flag_s = [Signal(sim, f"{name}.flags{i}") for i in range(depth)]
+
+        self._rp = 0
+        self.flits_written = 0
+        self.flits_read = 0
+        clk.on_change(self._on_clk)
+        spawn(sim, self._async_writer(), f"{name}.writer")
+
+    # ------------------------------------------------------------------
+    # asynchronous write side (LE chain + C-element handshake)
+    # ------------------------------------------------------------------
+    def _async_writer(self) -> Generator:
+        d = self.delays
+        wp = 0
+        while True:
+            yield WaitValue(self.in_ch.req, 1)
+            # wait until the target register has been drained
+            yield WaitValue(self.flag_a[wp], 0)
+            # LE(wp) opens: latch the word
+            self.registers[wp].drive(
+                self.in_ch.data.value, d.latch_en, inertial=True
+            )
+            yield Delay(d.latch_en + d.celement)
+            self.flag_a[wp].set(1)
+            self.flits_written += 1
+            self.in_ch.ack.set(1)
+            yield WaitValue(self.in_ch.req, 0)
+            self.in_ch.ack.set(0)
+            wp = (wp + 1) % self.depth
+
+    # ------------------------------------------------------------------
+    # synchronous read side
+    # ------------------------------------------------------------------
+    def _on_clk(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        d = self.delays
+        # two-FF synchronizer sampling of every flag (set path crosses
+        # domains here; the synchronous clear below resets all stages)
+        for i in range(self.depth):
+            self.flag_s[i].drive(self._sync1[i].value, d.dff_clk_q,
+                                 inertial=True)
+            self._sync1[i].drive(self.flag_a[i].value, d.dff_clk_q,
+                                 inertial=True)
+
+        rp = self._rp
+        if self.flag_s[rp].value and not self.stall.value:
+            self.flit_out.drive(self.registers[rp].value, d.dff_clk_q,
+                                inertial=True)
+            self.valid.drive(1, d.dff_clk_q, inertial=True)
+            # synchronous clear: flag and both synchronizer stages
+            self.flag_a[rp].drive(0, d.dff_clk_q, inertial=True)
+            self._sync1[rp].drive(0, d.dff_clk_q, inertial=True)
+            self.flag_s[rp].drive(0, d.dff_clk_q, inertial=True)
+            self.flits_read += 1
+            self._rp = (rp + 1) % self.depth
+        else:
+            self.valid.drive(0, d.dff_clk_q, inertial=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of registers currently holding an unconsumed flit."""
+        return sum(flag.value for flag in self.flag_a)

@@ -1,0 +1,188 @@
+"""Per-transfer serializer and de-serializer (Fig 6 of the paper).
+
+The serializer accepts an m-bit word on a four-phase bundled-data
+channel and emits it as ``m / n`` slices of *n* bits each on a narrower
+four-phase channel, every slice individually request/acknowledged.  A
+David-cell one-hot sequencer steps through the slices (``SEL(0:3)`` in
+Fig 6a) and a one-hot mux steers the selected slice to the output latch.
+
+The de-serializer mirrors this: each incoming slice is latched into the
+register selected by its own David-cell chain (``LE(0:3)`` in Fig 6b);
+after the last slice the reassembled word is offered on the wide output
+channel with a single handshake.
+
+Both circuits generalize to any ``slice_width`` that divides the word
+width — the paper notes the chains "can easily be modified" for other
+slicing factors, and the ablation benchmarks sweep exactly that.
+
+Slice order is LSB-first: ``DIN(7:0)`` travels first, as drawn in
+Fig 6a, and the round-trip property tests pin the pairing.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.process import Delay, WaitValue
+from ..sim.signal import Bus, Signal
+from ..sim.process import spawn
+from ..tech.technology import GateDelays
+from ..elements.davidcell import OneHotSequencer
+from ..elements.gates import OneHotMux
+from .channel import Channel
+
+
+def check_slicing(word_width: int, slice_width: int) -> int:
+    """Validate the word/slice widths; returns the number of slices."""
+    if slice_width <= 0 or word_width <= 0:
+        raise ValueError(
+            f"widths must be positive: word={word_width} slice={slice_width}"
+        )
+    if word_width % slice_width:
+        raise ValueError(
+            f"slice width {slice_width} does not divide word width {word_width}"
+        )
+    return word_width // slice_width
+
+
+class Serializer:
+    """Fig 6a: m-bit channel in, n-bit channel out, per-slice handshakes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        in_ch: Channel,
+        slice_width: int = 8,
+        delays: Optional[GateDelays] = None,
+        name: str = "ser",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.delays = delays or GateDelays()
+        self.in_ch = in_ch
+        self.slice_width = slice_width
+        self.n_slices = check_slicing(in_ch.width, slice_width)
+        self.out_ch = Channel(sim, slice_width, f"{name}.out")
+        self.words_serialized = 0
+
+        if self.n_slices > 1:
+            # SEL(0:n-1) David-cell chain and the slice mux it steers
+            self.sequencer = OneHotSequencer(
+                sim, self.n_slices, self.delays, f"{name}.seq"
+            )
+            slices = [
+                Bus.from_signals(
+                    sim,
+                    in_ch.data.slice(
+                        i * slice_width, (i + 1) * slice_width - 1
+                    ),
+                    f"{name}.slice{i}",
+                )
+                for i in range(self.n_slices)
+            ]
+            self.mux = OneHotMux(
+                sim,
+                slices,
+                self.sequencer.sel,
+                self.out_ch.data,
+                self.delays,
+                f"{name}.mux",
+            )
+        else:
+            # degenerate 1:1 configuration — no sequencing, plain relay
+            self.sequencer = None
+            self.mux = None
+            from .wiring import wire_bus
+
+            wire_bus(in_ch.data, self.out_ch.data, self.delays.mux2)
+        spawn(sim, self._run(), f"{name}.proc")
+
+    def _run(self) -> Generator:
+        d = self.delays
+        # data must be stable on the narrow bundle before REQOUT rises:
+        # mux settling plus the control C-element
+        setup = d.mux2 + d.celement
+        while True:
+            yield WaitValue(self.in_ch.req, 1)
+            for _ in range(self.n_slices):
+                yield Delay(setup)
+                self.out_ch.req.set(1)
+                yield WaitValue(self.out_ch.ack, 1)
+                self.out_ch.req.set(0)
+                yield WaitValue(self.out_ch.ack, 0)
+                if self.sequencer is not None:
+                    # advance SEL to the next slice (token passes on)
+                    self.sequencer.advance.set(1)
+                    self.sequencer.advance.drive(
+                        0, d.davidcell, inertial=False
+                    )
+                    yield Delay(2 * d.davidcell)
+            self.words_serialized += 1
+            self.in_ch.ack.set(1)
+            yield WaitValue(self.in_ch.req, 0)
+            self.in_ch.ack.set(0)
+
+
+class Deserializer:
+    """Fig 6b: n-bit channel in, m-bit channel out, mux/latch based."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        in_ch: Channel,
+        word_width: int = 32,
+        delays: Optional[GateDelays] = None,
+        name: str = "des",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.delays = delays or GateDelays()
+        self.in_ch = in_ch
+        self.word_width = word_width
+        self.slice_width = in_ch.width
+        self.n_slices = check_slicing(word_width, in_ch.width)
+        self.out_ch = Channel(sim, word_width, f"{name}.out")
+        self.words_deserialized = 0
+
+        # LE(0:n-1) latch registers, one per slice position
+        self.stores = [
+            Bus(sim, self.slice_width, f"{name}.le{i}")
+            for i in range(self.n_slices)
+        ]
+        self.le_sequencer = (
+            OneHotSequencer(sim, self.n_slices, self.delays, f"{name}.seq")
+            if self.n_slices > 1
+            else None
+        )
+        spawn(sim, self._run(), f"{name}.proc")
+
+    def _run(self) -> Generator:
+        d = self.delays
+        while True:
+            for i in range(self.n_slices):
+                yield WaitValue(self.in_ch.req, 1)
+                # the LE(i) C-element opens the latch for this slice
+                self.stores[i].drive(
+                    self.in_ch.data.value, d.latch_en, inertial=True
+                )
+                yield Delay(d.celement + d.latch_en)
+                self.in_ch.ack.set(1)
+                yield WaitValue(self.in_ch.req, 0)
+                self.in_ch.ack.set(0)
+                if self.le_sequencer is not None:
+                    self.le_sequencer.advance.set(1)
+                    self.le_sequencer.advance.drive(
+                        0, d.davidcell, inertial=False
+                    )
+                    yield Delay(2 * d.davidcell)
+            word = 0
+            for i, store in enumerate(self.stores):
+                word |= store.value << (i * self.slice_width)
+            self.out_ch.data.set(word)
+            yield Delay(d.celement)
+            self.words_deserialized += 1
+            self.out_ch.req.set(1)
+            yield WaitValue(self.out_ch.ack, 1)
+            self.out_ch.req.set(0)
+            yield WaitValue(self.out_ch.ack, 0)

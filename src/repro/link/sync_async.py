@@ -1,0 +1,148 @@
+"""Synchronous → asynchronous interface (Fig 4 of the paper).
+
+A 32-bit, 4-deep FIFO whose write side lives in the switch clock domain
+and whose read side is a clockless four-phase channel:
+
+* the switch presents FLITIN + VALID; the interface asserts STALL when
+  the register at the write pointer is still occupied;
+* each register has a *flag*: set synchronously by the write enable,
+  cleared asynchronously once the handshake side has drained the
+  register.  Two flip-flops synchronize the asynchronous clear back into
+  the clock domain [14], so a freed register becomes visible to the
+  write side only two clock edges later — the FIFO decouples the
+  domains, at the price of that pessimism;
+* a David-cell one-hot chain sequences the asynchronous reads, and
+  C-elements run the REQOUT/ACKIN handshake.
+
+Write-enable decode happens on the falling clock edge (combinational
+logic settling ahead of the capturing edge); registers and flags sample
+on the rising edge — this mirrors hardware and makes the simulation
+race-free by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.kernel import Simulator
+from ..sim.process import Delay, WaitValue, spawn
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+from ..elements.latches import FlagSynchronizer, RegisterBus
+from .channel import Channel
+
+
+class SyncToAsyncInterface:
+    """The FIFO of Fig 4: synchronous writer, asynchronous reader."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clk: Signal,
+        width: int = 32,
+        depth: int = 4,
+        delays: Optional[GateDelays] = None,
+        name: str = "s2a",
+    ) -> None:
+        if depth < 2:
+            raise ValueError(f"FIFO depth must be >= 2, got {depth}")
+        self.sim = sim
+        self.name = name
+        self.delays = delays or GateDelays()
+        self.clk = clk
+        self.width = width
+        self.depth = depth
+
+        # switch-facing ports
+        self.flit_in = Bus(sim, width, f"{name}.flitin")
+        self.valid = Signal(sim, f"{name}.valid")
+        self.stall = Signal(sim, f"{name}.stall")
+
+        # link-facing port
+        self.out_ch = Channel(sim, width, f"{name}.out")
+
+        # FIFO storage, write enables and flags
+        self.wr_en = [Signal(sim, f"{name}.wren{i}") for i in range(depth)]
+        self.clear = [Signal(sim, f"{name}.clear{i}") for i in range(depth)]
+        self.registers = [
+            RegisterBus(
+                sim,
+                self.flit_in,
+                clk,
+                self.wr_en[i],
+                delays=self.delays,
+                name=f"{name}.reg{i}",
+            )
+            for i in range(depth)
+        ]
+        self.flags = [
+            FlagSynchronizer(
+                sim, clk, self.wr_en[i], self.clear[i], self.delays,
+                f"{name}.flag{i}",
+            )
+            for i in range(depth)
+        ]
+
+        self._wp = 0
+        self.flits_written = 0
+        self.flits_read = 0
+        clk.on_change(self._on_clk)
+        spawn(sim, self._async_reader(), f"{name}.reader")
+
+    # ------------------------------------------------------------------
+    # synchronous write side
+    # ------------------------------------------------------------------
+    def _on_clk(self, sig: Signal) -> None:
+        if sig.value:
+            self._on_rising()
+        else:
+            self._on_falling()
+
+    def _on_falling(self) -> None:
+        # write-enable decode: one-hot on the pointer, gated by VALID and
+        # the (synchronized) occupancy flag
+        can_write = (
+            self.valid.value == 1
+            and self.flags[self._wp].flag_s.value == 0
+        )
+        for i, en in enumerate(self.wr_en):
+            en.set(1 if (can_write and i == self._wp) else 0)
+
+    def _on_rising(self) -> None:
+        if self.wr_en[self._wp].value:
+            self.flits_written += 1
+            self._wp = (self._wp + 1) % self.depth
+        # STALL reflects the occupancy of the register now at the write
+        # pointer; it settles one clock-to-Q after the edge
+        self.sim.schedule(self.delays.dff_clk_q + 1, self._update_stall)
+
+    def _update_stall(self) -> None:
+        self.stall.set(1 if self.flags[self._wp].flag_s.value else 0)
+
+    # ------------------------------------------------------------------
+    # asynchronous read side (David-cell sequencer + C-element handshake)
+    # ------------------------------------------------------------------
+    def _async_reader(self) -> Generator:
+        d = self.delays
+        rp = 0
+        while True:
+            yield WaitValue(self.flags[rp].flag_a, 1)
+            # DC chain select + output mux settle before REQOUT
+            yield Delay(d.davidcell + d.mux2)
+            self.out_ch.data.set(self.registers[rp].q.value)
+            yield Delay(d.celement)
+            self.out_ch.req.set(1)
+            yield WaitValue(self.out_ch.ack, 1)
+            # drain complete: clear the flag (asynchronous CLEAR(x))
+            self.clear[rp].set(1)
+            self.clear[rp].drive(0, d.davidcell, inertial=False)
+            self.flits_read += 1
+            self.out_ch.req.set(0)
+            yield WaitValue(self.out_ch.ack, 0)
+            rp = (rp + 1) % self.depth
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of registers currently holding an unread flit."""
+        return sum(flag.flag_a.value for flag in self.flags)

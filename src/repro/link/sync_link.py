@@ -1,0 +1,112 @@
+"""Synchronous baseline link (implementation I1, Figs 1a / 9 top).
+
+Two switches connected by a full-width wire segmented by clocked
+pipeline buffers: every buffer is an m-bit register bank on the global
+switch clock.  Throughput is one flit per clock; latency is one cycle
+per buffer stage.  All stages freeze when the receiving switch stalls.
+
+This is the reference the paper measures against: its wire count is the
+full flit width (32), and its power grows linearly with both the buffer
+count and the clock frequency — the activity counters on the stage
+registers reproduce exactly that growth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.kernel import Simulator
+from ..sim.signal import Bus, Signal
+from ..tech.technology import GateDelays
+
+
+class SyncPipelineLink:
+    """Clocked pipeline of ``n_buffers`` full-width register stages.
+
+    Port convention (shared by all three link implementations):
+
+    * transmit side: ``flit_in`` + ``valid_in`` from the switch,
+      ``stall_out`` back to it (here: high only while frozen);
+    * receive side: ``flit_out`` + ``valid_out`` to the switch,
+      ``stall_in`` from it.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clk: Signal,
+        width: int = 32,
+        n_buffers: int = 4,
+        delays: Optional[GateDelays] = None,
+        name: str = "i1",
+    ) -> None:
+        if n_buffers < 1:
+            raise ValueError(f"need at least one buffer, got {n_buffers}")
+        self.sim = sim
+        self.name = name
+        self.delays = delays or GateDelays()
+        self.clk = clk
+        self.width = width
+        self.n_buffers = n_buffers
+
+        self.flit_in = Bus(sim, width, f"{name}.flitin")
+        self.valid_in = Signal(sim, f"{name}.validin")
+        self.stall_out = Signal(sim, f"{name}.stallout")
+
+        self.flit_out = Bus(sim, width, f"{name}.flitout")
+        self.valid_out = Signal(sim, f"{name}.validout")
+        self.stall_in = Signal(sim, f"{name}.stallin")
+
+        # pipeline stages: data register + valid flop per buffer
+        self.stage_data = [
+            Bus(sim, width, f"{name}.st{i}.data") for i in range(n_buffers)
+        ]
+        self.stage_valid = [
+            Signal(sim, f"{name}.st{i}.valid") for i in range(n_buffers)
+        ]
+
+        self.flits_written = 0
+        self.flits_delivered = 0
+        clk.on_change(self._on_clk)
+
+    @property
+    def wire_count(self) -> int:
+        """Data wires between the switches (the paper counts these)."""
+        return self.width
+
+    def _on_clk(self, sig: Signal) -> None:
+        if not sig.value:
+            return
+        d = self.delays
+        if self.stall_in.value:
+            # whole pipeline freezes; upstream must hold its flit
+            self.stall_out.drive(1, d.dff_clk_q, inertial=True)
+            return
+        self.stall_out.drive(0, d.dff_clk_q, inertial=True)
+
+        # capture pre-edge values, then shift (two-phase update)
+        data_vals = [bus.value for bus in self.stage_data]
+        valid_vals = [s.value for s in self.stage_valid]
+
+        # output stage → receiving switch
+        last = self.n_buffers - 1
+        self.flit_out.drive(data_vals[last], d.dff_clk_q, inertial=True)
+        self.valid_out.drive(valid_vals[last], d.dff_clk_q, inertial=True)
+        if valid_vals[last]:
+            self.flits_delivered += 1
+
+        # internal shift
+        for i in range(last, 0, -1):
+            self.stage_data[i].drive(data_vals[i - 1], d.dff_clk_q,
+                                     inertial=True)
+            self.stage_valid[i].drive(valid_vals[i - 1], d.dff_clk_q,
+                                      inertial=True)
+
+        # input stage ← transmitting switch
+        if self.valid_in.value:
+            self.stage_data[0].drive(self.flit_in.value, d.dff_clk_q,
+                                     inertial=True)
+            self.stage_valid[0].drive(1, d.dff_clk_q, inertial=True)
+            self.flits_written += 1
+        else:
+            self.stage_valid[0].drive(0, d.dff_clk_q, inertial=True)

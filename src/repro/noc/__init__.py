@@ -1,0 +1,35 @@
+"""Synchronous NoC substrate: flits, switches, topologies, traffic.
+
+The paper's links live between the switches of a synchronous NoC; this
+package provides that context so the links can be evaluated inside full
+networks (mesh latency/throughput under synthetic traffic), not just on
+an isolated point-to-point testbench.
+"""
+
+from .flit import Coord, Flit, FlitKind, Packet, reset_packet_ids
+from .topology import Port, Topology, next_hop, west_first_permitted, xy_route
+from .switch import InputQueue, Switch
+from .traffic import TrafficConfig, TrafficGenerator, message_sequence
+from .network import Network, latency_vs_load
+from .stats import NetworkStats
+
+__all__ = [
+    "Coord",
+    "Flit",
+    "FlitKind",
+    "Packet",
+    "reset_packet_ids",
+    "Port",
+    "Topology",
+    "next_hop",
+    "west_first_permitted",
+    "xy_route",
+    "InputQueue",
+    "Switch",
+    "TrafficConfig",
+    "TrafficGenerator",
+    "message_sequence",
+    "Network",
+    "latency_vs_load",
+    "NetworkStats",
+]

@@ -1,0 +1,106 @@
+"""Flits and packets — the data units of the NoC substrate.
+
+The paper's links carry 32-bit flits between switches; packets are
+sequences of flits (head / body / tail) routed by wormhole switching.
+Timestamps ride on each flit so the statistics module can compute
+injection-to-ejection latency without global bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Optional, Tuple
+
+Coord = Tuple[int, int]
+
+_packet_ids = itertools.count()
+
+
+class FlitKind(Enum):
+    """Position of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: single-flit packet: simultaneously head and tail
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def opens_route(self) -> bool:
+        return self in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
+
+    @property
+    def closes_route(self) -> bool:
+        return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+
+
+@dataclass
+class Flit:
+    """One 32-bit unit travelling the network."""
+
+    packet_id: int
+    kind: FlitKind
+    src: Coord
+    dest: Coord
+    seq: int = 0
+    payload: int = 0
+    #: virtual channel, assigned at injection and kept end to end
+    vc: int = 0
+    injected_cycle: int = -1
+    ejected_cycle: int = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Flit(p{self.packet_id}.{self.seq} {self.kind.value} "
+            f"{self.src}->{self.dest})"
+        )
+
+
+@dataclass
+class Packet:
+    """A multi-flit message."""
+
+    src: Coord
+    dest: Coord
+    length_flits: int
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_cycle: int = 0
+    payload_base: int = 0
+    #: virtual channel all of this packet's flits travel on
+    vc: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length_flits < 1:
+            raise ValueError(
+                f"packet needs at least one flit, got {self.length_flits}"
+            )
+
+    def flits(self) -> Iterator[Flit]:
+        """Generate the packet's flits in wire order."""
+        n = self.length_flits
+        for seq in range(n):
+            if n == 1:
+                kind = FlitKind.HEAD_TAIL
+            elif seq == 0:
+                kind = FlitKind.HEAD
+            elif seq == n - 1:
+                kind = FlitKind.TAIL
+            else:
+                kind = FlitKind.BODY
+            yield Flit(
+                packet_id=self.packet_id,
+                kind=kind,
+                src=self.src,
+                dest=self.dest,
+                seq=seq,
+                payload=(self.payload_base + seq) & 0xFFFFFFFF,
+                vc=self.vc,
+            )
+
+
+def reset_packet_ids(start: int = 0) -> None:
+    """Reset the global packet-id counter (test isolation)."""
+    global _packet_ids
+    _packet_ids = itertools.count(start)

@@ -1,0 +1,262 @@
+"""The network simulator: switches + links + traffic, cycle by cycle.
+
+A :class:`Network` instantiates one :class:`~repro.noc.switch.Switch`
+per mesh node and one :class:`~repro.link.behavioral.TokenLink` per
+directed inter-switch connection, all sharing the behavioural parameters
+of the link implementation under study (I1 / I2 / I3).  This is the
+system-level payoff of the paper: a mesh wired with 8-wire serialized
+asynchronous links instead of 32-wire synchronous ones, at matching
+network performance.
+
+Each cycle:
+
+1. links accrue rate credit and deliver matured flits into downstream
+   input FIFOs (respecting FIFO space — backpressure);
+2. the traffic generator injects new packets into per-node source
+   queues; one flit per node per cycle may enter the LOCAL input;
+3. every switch arbitrates and forwards at most one flit per output.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
+
+from ..link.behavioral import BehavioralLinkParams, TokenLink
+from .flit import Flit, Packet
+from .stats import NetworkStats
+from .switch import Switch
+from .topology import Coord, Port, Topology, next_hop, west_first_permitted
+from .traffic import TrafficConfig, TrafficGenerator
+
+
+class Network:
+    """A mesh NoC with uniform or per-link parameters.
+
+    ``link_params`` sets the default for every directed link;
+    ``link_params_for(src, port, dst)`` (if given) may return a
+    different :class:`BehavioralLinkParams` for specific links — e.g.
+    serialized asynchronous links only on the long cross-die rows, or a
+    GALS mesh mixing clock domains.  Returning None keeps the default.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_params: BehavioralLinkParams,
+        fifo_depth: int = 4,
+        link_params_for: Optional[
+            Callable[[Coord, Port, Coord], Optional[BehavioralLinkParams]]
+        ] = None,
+        n_vcs: int = 1,
+        routing: str = "xy",
+    ) -> None:
+        if routing not in ("xy", "west_first"):
+            raise ValueError(
+                f"unknown routing {routing!r}; expected 'xy' or 'west_first'"
+            )
+        self.topology = topology
+        self.link_params = link_params
+        self.n_vcs = n_vcs
+        self.routing = routing
+        self.stats = NetworkStats()
+        self.cycle = 0
+
+        if routing == "xy":
+
+            def route(current: Coord, dest: Coord) -> Port:
+                return next_hop(current, dest, topology)
+
+        else:
+            # west-first adaptive: among the permitted productive ports,
+            # steer towards the least-occupied outgoing link
+            def route(current: Coord, dest: Coord) -> Port:
+                ports = west_first_permitted(current, dest, topology)
+                if len(ports) == 1:
+                    return ports[0]
+                return min(
+                    ports,
+                    key=lambda p: (
+                        self.links[(current, p)].occupancy,
+                        p.value,  # deterministic tie-break
+                    ),
+                )
+
+        self.switches: Dict[Coord, Switch] = {
+            node: Switch(node, route, fifo_depth, n_vcs)
+            for node in topology.nodes()
+        }
+        #: directed links keyed by (src_node, src_port)
+        self.links: Dict[Tuple[Coord, Port], TokenLink] = {}
+        self._link_dst: Dict[Tuple[Coord, Port], Tuple[Coord, Port]] = {}
+        for src, port, dst in topology.links():
+            key = (src, port)
+            params = link_params
+            if link_params_for is not None:
+                override = link_params_for(src, port, dst)
+                if override is not None:
+                    params = override
+            link = TokenLink(params, name=f"link{src}{port.value}")
+            self.links[key] = link
+            self._link_dst[key] = (dst, port.opposite)
+            self.switches[src].out_links[port] = link
+
+        #: per-node source queues of flits waiting to enter the network
+        self.source_queues: Dict[Coord, Deque[Flit]] = {
+            node: deque() for node in topology.nodes()
+        }
+        self._packet_meta: Dict[int, Tuple[int, int]] = {}
+        #: when True, every head flit records the switches it visits in
+        #: ``self.routes[packet_id]`` (debug/observability aid)
+        self.trace_routes: bool = False
+        self.routes: Dict[int, list[Coord]] = {}
+
+    # ------------------------------------------------------------------
+    def offer_packet(self, packet: Packet) -> None:
+        """Queue a packet for injection at its source node."""
+        if packet.src not in self.source_queues:
+            raise ValueError(f"unknown source node {packet.src}")
+        self._packet_meta[packet.packet_id] = (
+            packet.length_flits,
+            packet.created_cycle,
+        )
+        self.source_queues[packet.src].extend(packet.flits())
+
+    # ------------------------------------------------------------------
+    def step(self, traffic: Optional[TrafficGenerator] = None) -> None:
+        """Advance the network by one clock cycle."""
+        now = self.cycle
+
+        # 1. link transport
+        for key, link in self.links.items():
+            link.begin_cycle()
+        for key, link in self.links.items():
+            if not link.deliverable(now):
+                continue
+            dst_node, dst_port = self._link_dst[key]
+            switch = self.switches[dst_node]
+            flit = link.peek()
+            if switch.can_accept(dst_port, getattr(flit, "vc", 0)):
+                switch.accept(dst_port, link.pop(now))
+
+        # 2. traffic injection
+        if traffic is not None:
+            for packet in traffic.packets_for_cycle(now):
+                self.offer_packet(packet)
+        for node, queue in self.source_queues.items():
+            if not queue:
+                continue
+            switch = self.switches[node]
+            if switch.can_accept(Port.LOCAL, getattr(queue[0], "vc", 0)):
+                flit = queue.popleft()
+                length, created = self._packet_meta[flit.packet_id]
+                self.stats.record_injection(flit, now, length, created)
+                switch.accept(Port.LOCAL, flit)
+
+        # 3. switching
+        for node in sorted(self.switches):
+            switch = self.switches[node]
+            if self.trace_routes:
+                self._record_heads(node, switch)
+            switch.arbitrate_and_send(now, self._eject)
+
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def _eject(self, flit: Flit) -> None:
+        self.stats.record_ejection(flit, self.cycle)
+
+    def _record_heads(self, node: Coord, switch: Switch) -> None:
+        """Append ``node`` to the route of every head flit waiting here."""
+        for queues in switch.inputs.values():
+            for queue in queues:
+                if queue.empty:
+                    continue
+                flit = queue.head()
+                if not flit.kind.opens_route:
+                    continue
+                route = self.routes.setdefault(flit.packet_id, [])
+                if not route or route[-1] != node:
+                    route.append(node)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        cycles: int,
+        traffic: Optional[TrafficGenerator] = None,
+    ) -> NetworkStats:
+        """Run ``cycles`` cycles of simulation."""
+        for _ in range(cycles):
+            self.step(traffic)
+        return self.stats
+
+    def drain(self, max_cycles: int = 100_000) -> NetworkStats:
+        """Run without new traffic until every in-flight flit ejects."""
+        waited = 0
+        while self.stats.in_flight_flits > 0 or any(
+            q for q in self.source_queues.values()
+        ):
+            self.step(None)
+            waited += 1
+            if waited > max_cycles:
+                raise TimeoutError(
+                    f"network failed to drain within {max_cycles} cycles "
+                    f"({self.stats.in_flight_flits} flits stuck)"
+                )
+        return self.stats
+
+    # ------------------------------------------------------------------
+    @property
+    def total_wires(self) -> int:
+        """Physical wires across all inter-switch links (cost metric)."""
+        return sum(link.params.wire_count for link in self.links.values())
+
+    def link_utilization(self) -> Dict[Tuple[Coord, Port], float]:
+        """Flits carried per cycle for every directed link (load map)."""
+        if self.cycle == 0:
+            return {key: 0.0 for key in self.links}
+        return {
+            key: link.flits_delivered / self.cycle
+            for key, link in self.links.items()
+        }
+
+
+def latency_vs_load(
+    topology: Topology,
+    link_params: BehavioralLinkParams,
+    injection_rates: Iterable[float],
+    pattern: str = "uniform",
+    packet_length: int = 4,
+    warmup_cycles: int = 500,
+    measure_cycles: int = 2000,
+    seed: int = 2008,
+) -> list[dict[str, float]]:
+    """Mean packet latency and accepted throughput per offered load.
+
+    The standard NoC load-latency sweep; the mesh example and the
+    design-space benches build on it.
+    """
+    results = []
+    for rate in injection_rates:
+        network = Network(topology, link_params)
+        config = TrafficConfig(
+            pattern=pattern,
+            injection_rate=rate,
+            packet_length=packet_length,
+            seed=seed,
+        )
+        traffic = TrafficGenerator(topology, config)
+        network.run(warmup_cycles + measure_cycles, traffic)
+        stats = network.stats
+        results.append(
+            {
+                "offered_rate": rate,
+                "throughput": stats.throughput_flits_per_node_cycle(
+                    topology.n_nodes
+                ),
+                "mean_latency": stats.mean_packet_latency,
+                "p99_latency": stats.p99_packet_latency,
+                "packets": float(stats.packets_ejected),
+            }
+        )
+    return results

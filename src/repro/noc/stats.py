@@ -1,0 +1,85 @@
+"""Latency/throughput statistics for NoC runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import math
+
+from .flit import Flit
+
+
+@dataclass
+class NetworkStats:
+    """Accumulated over one simulation run."""
+
+    cycles: int = 0
+    flits_injected: int = 0
+    flits_ejected: int = 0
+    packets_ejected: int = 0
+    packet_latencies: List[int] = field(default_factory=list)
+    #: per-packet bookkeeping: flits seen so far
+    _packet_progress: Dict[int, int] = field(default_factory=dict)
+    _packet_lengths: Dict[int, int] = field(default_factory=dict)
+    _packet_created: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def record_injection(self, flit: Flit, cycle: int,
+                         packet_length: int, created_cycle: int) -> None:
+        flit.injected_cycle = cycle
+        self.flits_injected += 1
+        self._packet_lengths.setdefault(flit.packet_id, packet_length)
+        self._packet_created.setdefault(flit.packet_id, created_cycle)
+
+    def record_ejection(self, flit: Flit, cycle: int) -> None:
+        flit.ejected_cycle = cycle
+        self.flits_ejected += 1
+        pid = flit.packet_id
+        seen = self._packet_progress.get(pid, 0) + 1
+        self._packet_progress[pid] = seen
+        if seen == self._packet_lengths.get(pid, -1):
+            self.packets_ejected += 1
+            created = self._packet_created.get(pid, flit.injected_cycle)
+            self.packet_latencies.append(cycle - created)
+            # free the bookkeeping
+            del self._packet_progress[pid]
+            del self._packet_lengths[pid]
+            del self._packet_created[pid]
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_packet_latency(self) -> float:
+        """Mean creation-to-ejection latency, cycles."""
+        if not self.packet_latencies:
+            return math.nan
+        return sum(self.packet_latencies) / len(self.packet_latencies)
+
+    @property
+    def p99_packet_latency(self) -> float:
+        if not self.packet_latencies:
+            return math.nan
+        ordered = sorted(self.packet_latencies)
+        idx = min(len(ordered) - 1, int(0.99 * len(ordered)))
+        return float(ordered[idx])
+
+    def throughput_flits_per_node_cycle(self, n_nodes: int) -> float:
+        """Accepted traffic: ejected flits per node per cycle."""
+        if self.cycles == 0 or n_nodes == 0:
+            return 0.0
+        return self.flits_ejected / (self.cycles * n_nodes)
+
+    @property
+    def in_flight_flits(self) -> int:
+        """Flits injected but not yet ejected."""
+        return self.flits_injected - self.flits_ejected
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "cycles": float(self.cycles),
+            "flits_injected": float(self.flits_injected),
+            "flits_ejected": float(self.flits_ejected),
+            "packets_ejected": float(self.packets_ejected),
+            "mean_packet_latency": self.mean_packet_latency,
+            "p99_packet_latency": self.p99_packet_latency,
+        }

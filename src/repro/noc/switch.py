@@ -1,0 +1,225 @@
+"""Synchronous wormhole switch (the paper's NoC context).
+
+The paper's links connect "switches of synchronous NoC"; this module
+provides that substrate: a 5-port input-buffered wormhole switch with
+
+* XY (dimension-ordered) routing — deadlock-free on a mesh,
+* per-output round-robin arbitration,
+* wormhole route locking: a head flit claims an output lane; body flits
+  follow; the tail flit releases it,
+* optional **virtual channels**: with ``n_vcs > 1`` each input port has
+  one FIFO per VC and each output port one wormhole lock per VC, so
+  packets on different VCs interleave flit-by-flit over the same
+  physical link — the classic cure for head-of-line blocking.  VCs are
+  assigned statically at injection (``flit.vc``) and kept end to end,
+* credit-style backpressure: a flit advances only if the downstream
+  link accepts it (the links are
+  :class:`~repro.link.behavioral.TokenLink` instances whose rate and
+  capacity come from the link implementation under study).
+
+The switch is cycle-driven: the network calls :meth:`arbitrate_and_send`
+once per clock after link deliveries have been drained into the input
+FIFOs.  At most one flit crosses each physical output per cycle —
+virtual channels share the wire, they do not widen it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .flit import Flit
+from .topology import Coord, Port
+
+#: signature of the routing function: (current, dest) -> output port
+RouteFn = Callable[[Coord, Coord], Port]
+
+#: an input lane: (input port, virtual channel)
+Lane = Tuple[Port, int]
+
+
+class InputQueue:
+    """One input lane's FIFO with its wormhole route state."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"FIFO depth must be >= 1, got {depth}")
+        self.depth = depth
+        self.fifo: Deque[Flit] = deque()
+        #: output port currently locked by an in-progress packet
+        self.locked_output: Optional[Port] = None
+
+    @property
+    def full(self) -> bool:
+        return len(self.fifo) >= self.depth
+
+    @property
+    def empty(self) -> bool:
+        return not self.fifo
+
+    def push(self, flit: Flit) -> None:
+        if self.full:
+            raise RuntimeError("push into full input queue")
+        self.fifo.append(flit)
+
+    def head(self) -> Flit:
+        return self.fifo[0]
+
+    def pop(self) -> Flit:
+        return self.fifo.popleft()
+
+
+class Switch:
+    """A 5-port synchronous wormhole switch with optional VCs."""
+
+    def __init__(
+        self,
+        position: Coord,
+        route_fn: RouteFn,
+        fifo_depth: int = 4,
+        n_vcs: int = 1,
+        name: Optional[str] = None,
+    ) -> None:
+        if n_vcs < 1:
+            raise ValueError(f"need at least one virtual channel, got {n_vcs}")
+        self.position = position
+        self.route_fn = route_fn
+        self.name = name or f"sw{position}"
+        self.n_vcs = n_vcs
+        #: input FIFOs indexed by port, then VC
+        self.inputs: Dict[Port, List[InputQueue]] = {
+            port: [InputQueue(fifo_depth) for _ in range(n_vcs)]
+            for port in Port
+        }
+        #: which input lane owns each (output port, VC) wormhole lane
+        self.output_owner: Dict[Tuple[Port, int], Optional[Lane]] = {
+            (port, vc): None for port in Port for vc in range(n_vcs)
+        }
+        #: round-robin pointer per output port (over lanes)
+        self._rr: Dict[Port, int] = {port: 0 for port in Port}
+        #: outgoing links, attached by the network
+        self.out_links: Dict[Port, object] = {}
+        # statistics
+        self.flits_routed = 0
+        self.arbitration_conflicts = 0
+
+    # ------------------------------------------------------------------
+    def queue(self, port: Port, vc: int = 0) -> InputQueue:
+        """The input FIFO of one lane."""
+        return self.inputs[port][vc]
+
+    def can_accept(self, port: Port, vc: int = 0) -> bool:
+        """Space available on the given input lane?"""
+        return not self.inputs[port][vc].full
+
+    def accept(self, port: Port, flit: Flit) -> None:
+        """Push an arriving flit into its lane's FIFO (lane = flit.vc)."""
+        vc = getattr(flit, "vc", 0)
+        if not (0 <= vc < self.n_vcs):
+            raise ValueError(
+                f"{self.name}: flit carries VC {vc} but switch has "
+                f"{self.n_vcs} VC(s)"
+            )
+        self.inputs[port][vc].push(flit)
+
+    # ------------------------------------------------------------------
+    def _lanes(self) -> List[Lane]:
+        return [(port, vc) for port in Port for vc in range(self.n_vcs)]
+
+    def _desired_output(self, lane: Lane) -> Optional[Port]:
+        """Output the head flit of ``lane`` wants, honouring locks."""
+        queue = self.inputs[lane[0]][lane[1]]
+        if queue.empty:
+            return None
+        flit = queue.head()
+        if flit.kind.opens_route:
+            return self.route_fn(self.position, flit.dest)
+        # body/tail follow the locked route
+        return queue.locked_output
+
+    def arbitrate_and_send(
+        self,
+        now_cycle: int,
+        eject: Callable[[Flit], None],
+    ) -> int:
+        """One cycle of switching: returns the number of flits moved.
+
+        ``eject`` consumes flits whose output is LOCAL.  At most one
+        flit advances per *physical* output port per cycle; round-robin
+        over the input lanes resolves conflicts; the wormhole lock is
+        per (output, VC) so different VCs interleave.
+        """
+        moved = 0
+        lanes = self._lanes()
+        for out_port in Port:
+            candidates: List[Lane] = []
+            for lane in lanes:
+                desired = self._desired_output(lane)
+                if desired != out_port:
+                    continue
+                queue = self.inputs[lane[0]][lane[1]]
+                flit = queue.head()
+                vc = getattr(flit, "vc", 0)
+                if flit.kind.opens_route:
+                    owner = self.output_owner[(out_port, vc)]
+                    if owner is not None and owner != lane:
+                        continue  # VC lane locked by another packet
+                elif queue.locked_output != out_port:
+                    continue
+                candidates.append(lane)
+
+            if not candidates:
+                continue
+            if len(candidates) > 1:
+                self.arbitration_conflicts += 1
+
+            # round-robin pick over the lane list
+            start = self._rr[out_port]
+            pick: Optional[Lane] = None
+            for offset in range(len(lanes)):
+                lane = lanes[(start + offset) % len(lanes)]
+                if lane in candidates:
+                    pick = lane
+                    break
+            assert pick is not None
+            queue = self.inputs[pick[0]][pick[1]]
+            flit = queue.head()
+
+            if out_port == Port.LOCAL:
+                queue.pop()
+                self._finish_flit(queue, pick, out_port, flit)
+                eject(flit)
+                moved += 1
+                self._rr[out_port] = (lanes.index(pick) + 1) % len(lanes)
+                continue
+
+            link = self.out_links.get(out_port)
+            if link is None:
+                raise RuntimeError(
+                    f"{self.name}: no link attached on {out_port}"
+                )
+            if link.try_send(flit, now_cycle):
+                queue.pop()
+                self._finish_flit(queue, pick, out_port, flit)
+                moved += 1
+                self._rr[out_port] = (lanes.index(pick) + 1) % len(lanes)
+        self.flits_routed += moved
+        return moved
+
+    def _finish_flit(self, queue: InputQueue, lane: Lane,
+                     out_port: Port, flit: Flit) -> None:
+        """Update wormhole locks after a flit advances."""
+        vc = getattr(flit, "vc", 0)
+        if flit.kind.opens_route:
+            self.output_owner[(out_port, vc)] = lane
+            queue.locked_output = out_port
+        if flit.kind.closes_route:
+            self.output_owner[(out_port, vc)] = None
+            queue.locked_output = None
+
+    # ------------------------------------------------------------------
+    @property
+    def buffered_flits(self) -> int:
+        return sum(
+            len(q.fifo) for queues in self.inputs.values() for q in queues
+        )

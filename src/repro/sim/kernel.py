@@ -1,0 +1,203 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a classic event-wheel simulator: callbacks are scheduled at
+integer *picosecond* timestamps and executed in time order.  Integer time
+avoids the float-comparison nondeterminism that plagues gate-level
+simulation (two gates with delay ``0.1 + 0.2`` vs ``0.3`` ns must fire in
+a well-defined order).
+
+Events scheduled for the same timestamp execute in scheduling order
+(FIFO), which gives the simulator deterministic delta-cycle semantics:
+a zero-delay chain of gate evaluations settles within one timestamp in
+the order the updates were produced.
+
+Time unit helpers (`NS`, `PS`, `US`, `MHZ_PERIOD_PS`) are provided so that
+user code can speak nanoseconds while the kernel stays integral.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+#: picoseconds per nanosecond — the kernel's base unit is 1 ps.
+PS = 1
+NS = 1000
+US = 1_000_000
+MS = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert a duration in nanoseconds to integer picoseconds.
+
+    Rounds to the nearest picosecond; raises if the duration is negative.
+    """
+    if value < 0:
+        raise ValueError(f"durations must be non-negative, got {value} ns")
+    return round(value * NS)
+
+
+def to_ns(ps_value: int) -> float:
+    """Convert integer picoseconds back to (float) nanoseconds."""
+    return ps_value / NS
+
+
+def mhz_period_ps(freq_mhz: float) -> int:
+    """Clock period in picoseconds for a frequency given in MHz.
+
+    >>> mhz_period_ps(100)
+    10000
+    >>> mhz_period_ps(300)
+    3333
+    """
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz} MHz")
+    return round(1e6 / freq_mhz)
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (scheduling in the past, etc.)."""
+
+
+class Simulator:
+    """Event-driven simulator with integer-picosecond resolution.
+
+    A simulator owns a priority queue of ``(time, sequence, callback)``
+    entries.  ``run`` pops and executes them in order until the queue is
+    empty, an optional time horizon is reached, or an event budget is
+    exhausted.
+
+    Components built on the kernel (signals, gates, processes) hold a
+    reference to the simulator and use :meth:`schedule` / :meth:`call_at`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def now_ns(self) -> float:
+        """Current simulation time in nanoseconds."""
+        return self._now / NS
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far (for budget checks)."""
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` to run ``delay`` picoseconds from now.
+
+        Returns a sequence token identifying the event (used by
+        :class:`repro.sim.signal.Signal` for inertial cancellation).
+        """
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} ps into the past at t={self._now}"
+            )
+        return self.call_at(self._now + delay, callback)
+
+    def call_at(self, when: int, callback: Callable[[], None]) -> int:
+        """Schedule ``callback`` at absolute time ``when`` (picoseconds)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} ps, current time is {self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Absolute stop time in picoseconds.  Events scheduled at
+            exactly ``until`` are *not* executed; time is left at
+            ``until`` so a subsequent ``run`` continues seamlessly.
+        max_events:
+            Safety budget; raises :class:`SimulationError` when exceeded
+            (a handshake livelock otherwise spins forever).
+
+        Returns the number of events executed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when >= until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                executed += 1
+                self._events_executed += 1
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at "
+                        f"t={self._now} ps — possible livelock"
+                    )
+            else:
+                # queue drained; advance to the horizon if one was given
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_ns(self, until_ns: float, max_events: Optional[int] = None) -> int:
+        """Like :meth:`run` with the horizon given in nanoseconds."""
+        return self.run(until=ns(until_ns), max_events=max_events)
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute exactly one event.  Returns False if the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self._now = when
+        callback()
+        self._events_executed += 1
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued."""
+        return len(self._queue)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        """Run until the event queue is empty (bounded by ``max_events``)."""
+        return self.run(until=None, max_events=max_events)

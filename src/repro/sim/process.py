@@ -1,0 +1,147 @@
+"""Generator-based processes on top of the event kernel.
+
+Testbenches and synchronous blocks (the clocked halves of the paper's
+synch/asynch interfaces, the NoC switches, flit sources and sinks) are
+most naturally written as sequential code.  A :class:`Process` wraps a
+generator that yields *wait conditions*:
+
+``yield Delay(250)``
+    resume 250 ps later.
+
+``yield Edge(sig)`` / ``yield RisingEdge(sig)`` / ``yield FallingEdge(sig)``
+    resume on the next (matching) transition of ``sig``.
+
+``yield WaitValue(sig, 1)``
+    resume immediately if ``sig`` already has the value, otherwise on the
+    transition that produces it — the idiom for four-phase handshakes
+    ("wait until ack is high").
+
+Processes are started with :func:`spawn` and run until their generator
+returns.  Exceptions raised inside a process propagate out of
+``Simulator.run`` so test failures are loud, never silently swallowed.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from .kernel import Simulator
+from .signal import Signal
+
+
+class Delay:
+    """Wait condition: resume after ``duration`` picoseconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: int) -> None:
+        if duration < 0:
+            raise ValueError(f"delay must be non-negative, got {duration}")
+        self.duration = duration
+
+
+class Edge:
+    """Wait condition: resume on a transition of ``signal``.
+
+    ``kind`` selects 'any', 'rise' or 'fall'.
+    """
+
+    __slots__ = ("signal", "kind")
+
+    def __init__(self, signal: Signal, kind: str = "any") -> None:
+        if kind not in ("any", "rise", "fall"):
+            raise ValueError(f"unknown edge kind {kind!r}")
+        self.signal = signal
+        self.kind = kind
+
+
+def RisingEdge(signal: Signal) -> Edge:
+    """Wait for a 0→1 transition of ``signal``."""
+    return Edge(signal, "rise")
+
+
+def FallingEdge(signal: Signal) -> Edge:
+    """Wait for a 1→0 transition of ``signal``."""
+    return Edge(signal, "fall")
+
+
+class WaitValue:
+    """Wait condition: resume when ``signal`` has ``value``.
+
+    Resumes immediately (same timestamp, next delta) if the signal already
+    carries the value — this makes handshake loops race-free.
+    """
+
+    __slots__ = ("signal", "value")
+
+    def __init__(self, signal: Signal, value: int) -> None:
+        self.signal = signal
+        self.value = 1 if value else 0
+
+
+Condition = Union[Delay, Edge, WaitValue]
+ProcessGen = Generator[Condition, None, None]
+
+
+class Process:
+    """A running coroutine on the simulator."""
+
+    def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "proc") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self._waiting_on: Optional[Signal] = None
+        self._listener = None
+
+    # ------------------------------------------------------------------
+    def _resume(self) -> None:
+        if self.finished:
+            return
+        try:
+            condition = next(self.gen)
+        except StopIteration:
+            self.finished = True
+            return
+        self._arm(condition)
+
+    def _arm(self, condition: Condition) -> None:
+        if isinstance(condition, Delay):
+            self.sim.schedule(condition.duration, self._resume)
+        elif isinstance(condition, Edge):
+            self._wait_edge(condition.signal, condition.kind)
+        elif isinstance(condition, WaitValue):
+            if condition.signal.value == condition.value:
+                # resume in a fresh delta so ordering stays deterministic
+                self.sim.schedule(0, self._resume)
+            else:
+                kind = "rise" if condition.value else "fall"
+                self._wait_edge(condition.signal, kind)
+        else:  # pragma: no cover - defensive
+            raise TypeError(
+                f"process {self.name!r} yielded {condition!r}; expected "
+                "Delay, Edge or WaitValue"
+            )
+
+    def _wait_edge(self, signal: Signal, kind: str) -> None:
+        def listener(sig: Signal) -> None:
+            if kind == "rise" and sig.value != 1:
+                return
+            if kind == "fall" and sig.value != 0:
+                return
+            sig.remove_listener(listener)
+            self._resume()
+
+        signal.on_change(listener)
+
+    def kill(self) -> None:
+        """Stop the process; it will never resume."""
+        self.finished = True
+        self.gen.close()
+
+
+def spawn(sim: Simulator, gen: ProcessGen, name: str = "proc") -> Process:
+    """Start ``gen`` as a process; it first runs at the current time."""
+    proc = Process(sim, gen, name)
+    sim.schedule(0, proc._resume)
+    return proc

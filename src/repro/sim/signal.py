@@ -1,0 +1,275 @@
+"""Signals and buses: the wires of the simulated circuit.
+
+A :class:`Signal` is a single-bit net with a current value, a set of
+listeners (gates, processes, probes) and transition counters used by the
+activity-based power model.  Values are plain ints 0/1; circuits are
+brought into a defined state by explicit reset sequences, mirroring how
+the paper's netlists use NRESET.
+
+Drives can be *inertial* (a newer drive cancels a pending one — the
+behaviour of a real gate output, which filters pulses shorter than its
+delay) or *transport* (pure delay line — the behaviour of a wire).
+
+A :class:`Bus` bundles ``width`` signals little-endian (index 0 = LSB) and
+provides integer read/write helpers, which keeps the serializer slicing
+code close to the paper's ``DIN(15:8)`` notation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from .kernel import Simulator
+
+Listener = Callable[["Signal"], None]
+
+
+class Signal:
+    """A single-bit net with listeners and activity counters."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_value",
+        "_listeners",
+        "rising",
+        "falling",
+        "cap_ff",
+        "_drive_token",
+        "trace",
+        "_forced",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "sig",
+        init: int = 0,
+        cap_ff: float = 1.0,
+    ) -> None:
+        if init not in (0, 1):
+            raise ValueError(f"signal init must be 0 or 1, got {init!r}")
+        self.sim = sim
+        self.name = name
+        self._value: int = init
+        self._listeners: list[Listener] = []
+        #: number of 0→1 transitions observed (power model input)
+        self.rising: int = 0
+        #: number of 1→0 transitions observed
+        self.falling: int = 0
+        #: effective switched capacitance in femtofarads (power weight)
+        self.cap_ff: float = cap_ff
+        self._drive_token: int = 0
+        #: optional list of (time_ps, value) appended on every change
+        self.trace: Optional[list[tuple[int, int]]] = None
+        self._forced: bool = False
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Signal({self.name}={self._value} @t={self.sim.now})"
+
+    @property
+    def value(self) -> int:
+        """Current logic value (0 or 1)."""
+        return self._value
+
+    @property
+    def transitions(self) -> int:
+        """Total number of transitions (rising + falling)."""
+        return self.rising + self.falling
+
+    def reset_activity(self) -> None:
+        """Zero the transition counters (start of a measurement window)."""
+        self.rising = 0
+        self.falling = 0
+
+    def enable_trace(self) -> None:
+        """Record (time, value) on every change into ``self.trace``."""
+        if self.trace is None:
+            self.trace = [(self.sim.now, self._value)]
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+    def on_change(self, listener: Listener) -> None:
+        """Register ``listener(signal)`` to run whenever the value flips."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def force(self, value: int) -> None:
+        """Force the net to ``value`` and ignore all drivers until
+        :meth:`release` — a stuck-at fault / testbench override, like a
+        simulator's ``force`` command."""
+        self._forced = False
+        self.set(value)
+        self._forced = True
+
+    def release(self) -> None:
+        """Remove a :meth:`force`; subsequent drives apply normally."""
+        self._forced = False
+
+    @property
+    def is_forced(self) -> bool:
+        return self._forced
+
+    def set(self, value: int) -> None:
+        """Apply ``value`` immediately (no delay, still notifies listeners)."""
+        if self._forced:
+            return
+        value = 1 if value else 0
+        if value == self._value:
+            return
+        self._value = value
+        if value:
+            self.rising += 1
+        else:
+            self.falling += 1
+        if self.trace is not None:
+            self.trace.append((self.sim.now, value))
+        # iterate over a snapshot: listeners may add listeners
+        for listener in tuple(self._listeners):
+            listener(self)
+
+    def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
+        """Schedule ``value`` onto the net after ``delay`` picoseconds.
+
+        With ``inertial=True`` (gate-output semantics) any previously
+        scheduled drive that has not yet matured is cancelled, so a pulse
+        shorter than the gate delay never appears on the output.  With
+        ``inertial=False`` (transport / wire semantics) every scheduled
+        drive matures independently.
+        """
+        if delay == 0 and inertial:
+            self._drive_token += 1
+            self.set(value)
+            return
+        if inertial:
+            self._drive_token += 1
+            token = self._drive_token
+
+            def apply_inertial() -> None:
+                if token == self._drive_token:
+                    self.set(value)
+
+            self.sim.schedule(delay, apply_inertial)
+        else:
+            self.sim.schedule(delay, lambda: self.set(value))
+
+    # convenience aliases ------------------------------------------------
+    def pulse(self, width: int, delay: int = 0) -> None:
+        """Drive a 0→1→0 pulse of ``width`` ps starting ``delay`` ps from now."""
+        self.drive(1, delay, inertial=False)
+        self.drive(0, delay + width, inertial=False)
+
+
+class Bus:
+    """A little-endian bundle of :class:`Signal` (index 0 = LSB)."""
+
+    __slots__ = ("sim", "name", "signals", "width")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        width: int,
+        name: str = "bus",
+        init: int = 0,
+        cap_ff: float = 1.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"bus width must be positive, got {width}")
+        if init < 0 or init >= (1 << width):
+            raise ValueError(f"init {init} does not fit in {width} bits")
+        self.sim = sim
+        self.name = name
+        self.width = width
+        self.signals = [
+            Signal(sim, f"{name}[{i}]", init=(init >> i) & 1, cap_ff=cap_ff)
+            for i in range(width)
+        ]
+
+    @classmethod
+    def from_signals(
+        cls, sim: Simulator, signals: list["Signal"], name: str = "view"
+    ) -> "Bus":
+        """A bus *view* over existing signals (no new nets created).
+
+        Used to treat a byte slice of a wide bus as a bus in its own
+        right — the paper's ``DIN(15:8)`` feeding a serializer mux.
+        """
+        if not signals:
+            raise ValueError("a bus view needs at least one signal")
+        view = cls.__new__(cls)
+        view.sim = sim
+        view.name = name
+        view.width = len(signals)
+        view.signals = list(signals)
+        return view
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __getitem__(self, index: int) -> Signal:
+        return self.signals[index]
+
+    def __iter__(self) -> Iterable[Signal]:
+        return iter(self.signals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bus({self.name}=0x{self.value:0{(self.width + 3) // 4}x})"
+
+    @property
+    def value(self) -> int:
+        """Current integer value of the bus."""
+        total = 0
+        for i, sig in enumerate(self.signals):
+            total |= sig.value << i
+        return total
+
+    def set(self, value: int) -> None:
+        """Apply an integer value immediately to every bit."""
+        self._check(value)
+        for i, sig in enumerate(self.signals):
+            sig.set((value >> i) & 1)
+
+    def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
+        """Schedule an integer value onto every bit after ``delay`` ps."""
+        self._check(value)
+        for i, sig in enumerate(self.signals):
+            sig.drive((value >> i) & 1, delay, inertial=inertial)
+
+    def _check(self, value: int) -> None:
+        if value < 0 or value >= (1 << self.width):
+            raise ValueError(
+                f"value {value:#x} does not fit in {self.width}-bit bus "
+                f"{self.name!r}"
+            )
+
+    def slice(self, low: int, high: int) -> list[Signal]:
+        """Signals for bit range ``[low, high]`` inclusive (paper notation
+
+        ``DIN(15:8)`` is ``bus.slice(8, 15)``).
+        """
+        if not (0 <= low <= high < self.width):
+            raise ValueError(
+                f"slice [{low}:{high}] out of range for width {self.width}"
+            )
+        return self.signals[low : high + 1]
+
+    def on_change(self, listener: Listener) -> None:
+        """Register ``listener`` on every bit of the bus."""
+        for sig in self.signals:
+            sig.on_change(listener)
+
+    @property
+    def transitions(self) -> int:
+        """Total transitions across all bits (power model input)."""
+        return sum(sig.transitions for sig in self.signals)
+
+    def reset_activity(self) -> None:
+        for sig in self.signals:
+            sig.reset_activity()

@@ -1,0 +1,27 @@
+"""Technology models (delays, energies, geometry, areas).
+
+``st012()`` returns the calibrated ST 0.12 µm instance used by the paper;
+``scale_technology`` projects it to other nodes for design-space studies.
+"""
+
+from .technology import (
+    GateDelays,
+    HandshakeTimings,
+    MetalGeometry,
+    ModuleAreas,
+    PowerCoefficients,
+    Technology,
+)
+from .st012 import st012
+from .scaling import scale_technology
+
+__all__ = [
+    "GateDelays",
+    "HandshakeTimings",
+    "MetalGeometry",
+    "ModuleAreas",
+    "PowerCoefficients",
+    "Technology",
+    "st012",
+    "scale_technology",
+]

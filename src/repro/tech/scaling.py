@@ -1,0 +1,107 @@
+"""First-order technology scaling (an extension beyond the paper).
+
+The paper's introduction argues that with further scaling the number of
+point-to-point links grows, making wire reduction more valuable.  This
+helper projects a calibrated :class:`Technology` to another feature size
+using classical constant-field scaling rules:
+
+* gate delays scale ∝ feature size,
+* metal width/gap scale ∝ feature size (global layers scale slower in
+  practice, so a separate ``metal_factor`` can be supplied),
+* cell areas scale ∝ feature size²,
+* dynamic power coefficients scale ∝ feature size (C·V² with V reduced
+  alongside the feature size is closer to cubic; we expose the exponent).
+
+This is a projection tool for the design-space examples, not a claim of
+sign-off accuracy — provenance strings mark every derived instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .technology import MetalGeometry, ModuleAreas, PowerCoefficients, Technology
+
+
+def scale_technology(
+    tech: Technology,
+    target_nm: int,
+    metal_factor: float | None = None,
+    power_exponent: float = 1.0,
+) -> Technology:
+    """Project ``tech`` to ``target_nm``.
+
+    Parameters
+    ----------
+    tech:
+        Source technology (e.g. the calibrated 0.12 µm instance).
+    target_nm:
+        Target feature size in nanometres.
+    metal_factor:
+        Scale factor for global-metal width/gap; defaults to the feature
+        scale factor (global layers often scale slower — pass a larger
+        value to model that).
+    power_exponent:
+        Dynamic-power coefficients are multiplied by
+        ``factor ** power_exponent``; 1.0 is the conservative linear rule.
+    """
+    if target_nm <= 0:
+        raise ValueError(f"target feature size must be positive: {target_nm}")
+    factor = target_nm / tech.feature_nm
+    if metal_factor is None:
+        metal_factor = factor
+
+    gates = tech.gates.scaled(factor)
+
+    metal = MetalGeometry(
+        met_w_um=tech.metal.met_w_um * metal_factor,
+        met_g_um=tech.metal.met_g_um * metal_factor,
+    )
+
+    area_factor = factor * factor
+    areas = ModuleAreas(
+        **{
+            name: getattr(tech.areas, name) * area_factor
+            for name in tech.areas.__dataclass_fields__
+        }
+    )
+
+    power_factor = factor**power_exponent
+    power = PowerCoefficients(
+        **{
+            name: getattr(tech.power, name) * power_factor
+            for name in tech.power.__dataclass_fields__
+        }
+    )
+
+    handshake = replace(
+        tech.handshake,
+        t_inv=max(1, round(tech.handshake.t_inv * factor)),
+        t_reqreq=max(1, round(tech.handshake.t_reqreq * factor)),
+        t_reqack=max(1, round(tech.handshake.t_reqack * factor)),
+        t_ackack=max(1, round(tech.handshake.t_ackack * factor)),
+        t_ackout_i2=max(1, round(tech.handshake.t_ackout_i2 * factor)),
+        t_validwordack=max(1, round(tech.handshake.t_validwordack * factor)),
+        t_ackout_i3=max(1, round(tech.handshake.t_ackout_i3 * factor)),
+        t_burst=max(1, round(tech.handshake.t_burst * factor)),
+        t_nextflit=max(1, round(tech.handshake.t_nextflit * factor)),
+    )
+
+    provenance = dict(tech.provenance)
+    provenance["scaling"] = (
+        f"[derived] scaled from {tech.name} by factor {factor:.3f} "
+        f"(metal {metal_factor:.3f}, power exponent {power_exponent})"
+    )
+
+    return replace(
+        tech,
+        name=f"{tech.name} scaled to {target_nm} nm",
+        feature_nm=target_nm,
+        gates=gates,
+        metal=metal,
+        areas=areas,
+        power=power,
+        handshake=handshake,
+        wire_delay_ps_per_mm=tech.wire_delay_ps_per_mm,
+        provenance=provenance,
+    )

@@ -1,0 +1,116 @@
+"""Unit tests for the wiring/circuit area models (Fig 11, Tables 1–2)."""
+
+import pytest
+
+from repro.analysis import (
+    fig11_series,
+    link_area,
+    table1,
+    table2,
+    wire_area_um2,
+)
+from repro.tech import st012
+
+
+class TestWireArea:
+    def test_paper_32_wire_point(self):
+        # L=1000: 32·0.44 + 33·0.46 = 29.26 µm pitch → 29 260 µm²
+        assert wire_area_um2(32, 1000, st012()) == pytest.approx(29_260.0)
+
+    def test_paper_8_wire_point(self):
+        assert wire_area_um2(8, 1000, st012()) == pytest.approx(7_660.0)
+
+    def test_linear_in_length(self):
+        tech = st012()
+        a1 = wire_area_um2(8, 1000, tech)
+        a3 = wire_area_um2(8, 3000, tech)
+        assert a3 == pytest.approx(3 * a1)
+
+    def test_zero_length_zero_area(self):
+        assert wire_area_um2(32, 0, st012()) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wire_area_um2(0, 100, st012())
+        with pytest.raises(ValueError):
+            wire_area_um2(8, -1, st012())
+
+    def test_n_plus_one_gaps(self):
+        """One wire still needs two gaps to its neighbours."""
+        tech = st012()
+        assert wire_area_um2(1, 1000, tech) == pytest.approx(
+            1000 * (0.44 + 2 * 0.46)
+        )
+
+
+class TestFig11Series:
+    def test_two_curves(self):
+        series = fig11_series(st012())
+        assert set(series) == {"I1-Synch", "I2 & I3-Asynch (proposed)"}
+
+    def test_sync_grows_faster(self):
+        series = fig11_series(st012(), lengths_um=(1000, 2000))
+        sync_growth = series["I1-Synch"][1][1] - series["I1-Synch"][0][1]
+        async_growth = (
+            series["I2 & I3-Asynch (proposed)"][1][1]
+            - series["I2 & I3-Asynch (proposed)"][0][1]
+        )
+        assert sync_growth > 3 * async_growth
+
+    def test_ratio_near_four(self):
+        """32 vs 8 wires → area ratio slightly under 4 (shared gap)."""
+        series = fig11_series(st012(), lengths_um=(1000,))
+        ratio = (
+            series["I1-Synch"][0][1]
+            / series["I2 & I3-Asynch (proposed)"][0][1]
+        )
+        assert 3.5 < ratio < 4.0
+
+
+class TestLinkArea:
+    def test_table1_totals(self):
+        areas = table1(st012())
+        assert areas["Synchronous (I1)"] == pytest.approx(15_864.0)
+        assert areas["Asynchronous per-transfer ack. (I2)"] == pytest.approx(
+            19_193.0
+        )
+        assert areas["Asynchronous per-word ack. (I3)"] == pytest.approx(
+            18_396.0
+        )
+
+    def test_table2_breakdown_matches_paper(self):
+        breakdown = table2(st012())
+        assert breakdown.modules["Synch to Asynch interface"] == 9408.0
+        assert breakdown.modules["Asynch 32 to 8 serializer"] == 869.0
+        assert breakdown.modules["Asynch 8 wire buffer"] == 294.0
+        assert breakdown.quantities["Asynch 8 wire buffer"] == 4
+        assert breakdown.total_um2 == pytest.approx(19_193.0)
+
+    def test_area_overhead_about_20_percent(self):
+        areas = table1(st012())
+        overhead = (
+            areas["Asynchronous per-transfer ack. (I2)"]
+            / areas["Synchronous (I1)"]
+        )
+        assert overhead == pytest.approx(1.21, abs=0.02)
+
+    def test_area_scales_with_buffers(self):
+        tech = st012()
+        a4 = link_area(tech, "I1", 4).total_um2
+        a8 = link_area(tech, "I1", 8).total_um2
+        assert a8 == pytest.approx(2 * a4)
+
+    def test_i2_buffers_scale(self):
+        tech = st012()
+        a2 = link_area(tech, "I2", 2).total_um2
+        a8 = link_area(tech, "I2", 8).total_um2
+        assert a8 - a2 == pytest.approx(6 * 294.0)
+
+    def test_rows_format(self):
+        rows = table2(st012()).rows()
+        assert len(rows) == 5
+        assert rows[0][0] == "Synch to Asynch interface"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            link_area(st012(), "I5")

@@ -1,0 +1,80 @@
+"""Unit tests for the Fig 10 wires-vs-bandwidth model."""
+
+import pytest
+
+from repro.analysis import (
+    async_wires_needed,
+    fig10_series,
+    sync_wires_needed,
+)
+from repro.tech import st012
+
+
+class TestSyncWires:
+    def test_paper_anchor_points(self):
+        assert sync_wires_needed(300, 300) == 32
+        assert sync_wires_needed(300, 100) == 96
+        assert sync_wires_needed(100, 100) == 32
+
+    def test_rounds_up_to_whole_wires(self):
+        assert sync_wires_needed(150, 100) == 48
+        assert sync_wires_needed(101, 100) == 33
+
+    def test_control_wires_optional(self):
+        assert sync_wires_needed(300, 300, count_control=True) == 34
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sync_wires_needed(0, 100)
+        with pytest.raises(ValueError):
+            sync_wires_needed(100, 0)
+
+
+class TestAsyncWires:
+    def test_constant_below_ceiling(self):
+        tech = st012()
+        for bandwidth in (100, 200, 300):
+            assert async_wires_needed(bandwidth, tech) == 8
+
+    def test_none_beyond_ceiling(self):
+        assert async_wires_needed(350, st012()) is None
+
+    def test_control_wires_optional(self):
+        assert async_wires_needed(100, st012(), count_control=True) == 10
+
+    def test_wider_slices_raise_ceiling(self):
+        tech = st012()
+        assert async_wires_needed(350, tech, slice_width=16) == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            async_wires_needed(-1, st012())
+
+
+class TestFig10Series:
+    def test_series_labels(self):
+        series = fig10_series(st012())
+        assert set(series) == {
+            "I1-Synch@100", "I1-Synch@200", "I1-Synch@300",
+            "I3-Async (proposed)",
+        }
+
+    def test_sync_curves_grow_async_flat(self):
+        series = fig10_series(st012())
+        sync_wires = [p.wires for p in series["I1-Synch@100"]]
+        async_wires = [
+            p.wires for p in series["I3-Async (proposed)"]
+            if p.wires is not None
+        ]
+        assert sync_wires == sorted(sync_wires)
+        assert sync_wires[-1] > sync_wires[0]
+        assert len(set(async_wires)) == 1
+
+    def test_slower_clock_needs_more_wires(self):
+        series = fig10_series(st012())
+        for p100, p300 in zip(series["I1-Synch@100"], series["I1-Synch@300"]):
+            assert p100.wires > p300.wires
+
+    def test_bandwidth_axis_matches_input(self):
+        series = fig10_series(st012(), bandwidths_mflits=(100, 200))
+        assert [p.bandwidth_mflits for p in series["I1-Synch@100"]] == [100, 200]

@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENT_IDS, main
+
+
+class TestCli:
+    def test_fast_run_all_succeeds(self, capsys):
+        assert main(["--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 10" in out
+        assert "Table 2" in out
+        assert "all paper-vs-measured checks passed" in out
+
+    def test_subset_selection(self, capsys):
+        assert main(["fig12", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 12" in out
+        assert "Fig 10" not in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99", "--fast"])
+
+    def test_experiment_ids_cover_every_artifact(self):
+        assert set(EXPERIMENT_IDS) == {
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table1", "table2", "throughput", "wirelength",
+        }
+
+    def test_ablations_flag(self, capsys):
+        assert main(["table1", "--fast", "--ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation A" in out
+        assert "Ablation C" in out

@@ -1,0 +1,136 @@
+"""Unit tests for the Muller C-element (Fig 3)."""
+
+import pytest
+
+from repro.elements import CElement, c2
+from repro.sim import Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim):
+    sim.run(max_events=10_000)
+
+
+class TestCElement:
+    def test_rises_when_all_inputs_high(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        c = c2(sim, a, b)
+        a.set(1)
+        settle(sim)
+        assert c.output.value == 0  # only one input high: hold
+        b.set(1)
+        settle(sim)
+        assert c.output.value == 1
+
+    def test_falls_only_when_all_inputs_low(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        c = c2(sim, a, b)
+        a.set(1)
+        b.set(1)
+        settle(sim)
+        a.set(0)
+        settle(sim)
+        assert c.output.value == 1  # hold state
+        b.set(0)
+        settle(sim)
+        assert c.output.value == 0
+
+    def test_hysteresis_full_cycle(self, sim):
+        """The C-element implements the four-phase handshake memory."""
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        c = c2(sim, a, b)
+        sequence = [
+            (1, 0, 0), (1, 1, 1), (0, 1, 1), (0, 0, 0), (1, 0, 0),
+        ]
+        for va, vb, expected in sequence:
+            a.set(va)
+            b.set(vb)
+            settle(sim)
+            assert c.output.value == expected, (va, vb)
+
+    def test_three_input(self, sim):
+        sigs = [Signal(sim, f"i{i}") for i in range(3)]
+        c = CElement(sim, sigs)
+        for s in sigs[:2]:
+            s.set(1)
+        settle(sim)
+        assert c.output.value == 0
+        sigs[2].set(1)
+        settle(sim)
+        assert c.output.value == 1
+
+    def test_inverted_input(self, sim):
+        """invert_b: output rises when a=1 and b=0 (the latch controller)."""
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        c = c2(sim, a, b, invert_b=True)
+        a.set(1)
+        settle(sim)
+        assert c.output.value == 1  # b=0 counts as asserted
+        b.set(1)
+        settle(sim)
+        assert c.output.value == 1  # hold
+        a.set(0)
+        settle(sim)
+        assert c.output.value == 0  # a=0, ~b=0 → all low
+
+    def test_reset_forces_output(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        rst = Signal(sim, "rst")
+        c = c2(sim, a, b, reset=rst)
+        a.set(1)
+        b.set(1)
+        settle(sim)
+        assert c.output.value == 1
+        rst.set(1)
+        settle(sim)
+        assert c.output.value == 0
+
+    def test_inputs_ignored_during_reset(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        rst = Signal(sim, "rst", init=1)
+        c = c2(sim, a, b, reset=rst)
+        a.set(1)
+        b.set(1)
+        settle(sim)
+        assert c.output.value == 0
+        rst.set(0)
+        a.set(0)
+        a.set(1)
+        settle(sim)
+        assert c.output.value == 1
+
+    def test_requires_inputs(self, sim):
+        with pytest.raises(ValueError):
+            CElement(sim, [])
+
+    def test_invert_flag_count_checked(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        with pytest.raises(ValueError):
+            CElement(sim, [a, b], invert=[True])
+
+    def test_delay_override(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        c = c2(sim, a, b, delay_ps=212)
+        times = []
+        c.output.on_change(lambda s: times.append(sim.now))
+        a.set(1)
+        b.set(1)
+        sim.run()
+        assert times == [212]
+
+    def test_brief_all_high_excursion_still_sets(self, sim):
+        """The C-element is a *state* element: once all inputs have been
+        simultaneously high — however briefly — the internal feedback
+        commits and the output rises after the element delay.  (Unlike a
+        combinational gate, the subsequent hold condition does not cancel
+        the pending transition.)"""
+        a, b = Signal(sim, "a"), Signal(sim, "b", init=1)
+        c = c2(sim, a, b, delay_ps=100)
+        a.pulse(width=20)  # a returns low; the set was still captured
+        sim.run()
+        assert c.output.value == 1
+        assert c.output.transitions == 1

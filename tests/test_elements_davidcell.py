@@ -1,0 +1,118 @@
+"""Unit tests for the David cell and one-hot sequencer (Fig 3/6)."""
+
+import pytest
+
+from repro.elements import DavidCell, OneHotSequencer
+from repro.sim import Signal, Simulator
+from repro.tech import GateDelays
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim):
+    sim.run(max_events=100_000)
+
+
+class TestDavidCell:
+    def test_initial_state(self, sim):
+        s, c = Signal(sim, "s"), Signal(sim, "c")
+        dc = DavidCell(sim, s, c)
+        assert dc.q.value == 0
+        dc2 = DavidCell(sim, Signal(sim, "s2"), Signal(sim, "c2"),
+                        init_active=True)
+        assert dc2.q.value == 1
+
+    def test_set_activates(self, sim):
+        s, c = Signal(sim, "s"), Signal(sim, "c")
+        dc = DavidCell(sim, s, c)
+        s.set(1)
+        settle(sim)
+        assert dc.q.value == 1
+        assert dc.q_to_prev.value == 1
+
+    def test_clear_deactivates(self, sim):
+        s, c = Signal(sim, "s"), Signal(sim, "c")
+        dc = DavidCell(sim, s, c, init_active=True)
+        c.set(1)
+        settle(sim)
+        assert dc.q.value == 0
+
+    def test_clear_dominates_simultaneous_set(self, sim):
+        s, c = Signal(sim, "s"), Signal(sim, "c", init=1)
+        dc = DavidCell(sim, s, c)
+        s.set(1)  # set while clear held high: ignored
+        settle(sim)
+        assert dc.q.value == 0
+
+    def test_output_delay_is_davidcell_delay(self, sim):
+        s, c = Signal(sim, "s"), Signal(sim, "c")
+        dc = DavidCell(sim, s, c, delays=GateDelays(davidcell=50))
+        times = []
+        dc.q.on_change(lambda sig: times.append(sim.now))
+        s.set(1)
+        settle(sim)
+        assert times == [50]
+
+
+class TestOneHotSequencer:
+    def test_token_starts_at_zero(self, sim):
+        seq = OneHotSequencer(sim, 4)
+        assert seq.index == 0
+        assert [s.value for s in seq.sel] == [1, 0, 0, 0]
+
+    def test_advance_moves_token(self, sim):
+        seq = OneHotSequencer(sim, 4)
+        seq.advance.set(1)
+        seq.advance.set(0)
+        settle(sim)
+        assert seq.index == 1
+        assert [s.value for s in seq.sel] == [0, 1, 0, 0]
+
+    def test_full_rotation_wraps(self, sim):
+        seq = OneHotSequencer(sim, 4)
+        for _ in range(4):
+            seq.advance.set(1)
+            seq.advance.set(0)
+            settle(sim)
+        assert seq.index == 0
+
+    def test_exactly_one_hot_after_settling(self, sim):
+        seq = OneHotSequencer(sim, 5)
+        for _ in range(7):
+            seq.advance.set(1)
+            seq.advance.set(0)
+            settle(sim)
+            assert sum(s.value for s in seq.sel) == 1
+
+    def test_on_wrap_callback(self, sim):
+        wraps = []
+        seq = OneHotSequencer(sim, 3, on_wrap=lambda: wraps.append(sim.now))
+        for _ in range(6):
+            seq.advance.set(1)
+            seq.advance.set(0)
+            settle(sim)
+        assert len(wraps) == 2  # two complete rotations
+
+    def test_needs_two_cells(self, sim):
+        with pytest.raises(ValueError):
+            OneHotSequencer(sim, 1)
+
+    def test_reset_returns_token_to_zero(self, sim):
+        seq = OneHotSequencer(sim, 4)
+        seq.advance.set(1)
+        seq.advance.set(0)
+        settle(sim)
+        assert seq.index == 1
+        seq.reset()
+        assert seq.index == 0
+
+    def test_index_minus_one_while_token_moving(self, sim):
+        seq = OneHotSequencer(sim, 4)
+        seq.advance.set(1)
+        # before settling, both cells may be transiently active or none;
+        # after settling exactly one
+        settle(sim)
+        assert seq.index in (0, 1)

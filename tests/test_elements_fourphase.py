@@ -1,0 +1,119 @@
+"""Unit tests for the four-phase latch controller / wire buffer stage."""
+
+import pytest
+
+from repro.elements import SimpleLatchController, WireBufferStage
+from repro.sim import Bus, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim):
+    sim.run(max_events=100_000)
+
+
+class TestSimpleLatchController:
+    def test_idle_state(self, sim):
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        lc = SimpleLatchController(sim, req, ack)
+        settle(sim)
+        assert lc.ctl.value == 0
+        assert lc.latch_enable.value == 1  # transparent while idle
+
+    def test_req_raises_ctl(self, sim):
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        lc = SimpleLatchController(sim, req, ack)
+        req.set(1)
+        settle(sim)
+        assert lc.ctl.value == 1
+        assert lc.latch_enable.value == 0  # latch closed while busy
+
+    def test_full_four_phase_cycle(self, sim):
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        lc = SimpleLatchController(sim, req, ack)
+        # sender raises request → controller acks upstream & requests down
+        req.set(1)
+        settle(sim)
+        assert lc.ack_out.value == 1
+        assert lc.req_out.value == 1
+        # downstream acknowledges → controller completes return-to-zero
+        req.set(0)
+        ack.set(1)
+        settle(sim)
+        assert lc.ctl.value == 0
+        ack.set(0)
+        settle(sim)
+        assert lc.ctl.value == 0
+        assert lc.latch_enable.value == 1
+
+    def test_not_decoupled(self, sim):
+        """ctl cannot rise again while the downstream ack is still high
+        — the undecoupled property the paper calls out."""
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        lc = SimpleLatchController(sim, req, ack)
+        req.set(1)
+        settle(sim)
+        req.set(0)
+        ack.set(1)
+        settle(sim)
+        assert lc.ctl.value == 0
+        # second request while ack still high: blocked
+        req.set(1)
+        settle(sim)
+        assert lc.ctl.value == 0
+        ack.set(0)
+        settle(sim)
+        assert lc.ctl.value == 1  # now it can proceed
+
+
+class TestWireBufferStage:
+    def test_latches_data_on_request(self, sim):
+        data = Bus(sim, 8, "d")
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        stage = WireBufferStage(sim, data, req, ack)
+        data.set(0x5A)
+        settle(sim)
+        assert stage.data_out.value == 0x5A  # transparent while idle
+        req.set(1)
+        settle(sim)
+        # latch closed: upstream data change no longer propagates
+        data.set(0xFF)
+        settle(sim)
+        assert stage.data_out.value == 0x5A
+
+    def test_data_held_until_downstream_ack(self, sim):
+        """The latch stays closed from REQ↑ until the downstream ack
+        arrives (at which point the next stage has captured the slice),
+        then reopens for the following transfer."""
+        data = Bus(sim, 8, "d")
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        stage = WireBufferStage(sim, data, req, ack)
+        data.set(0xC3)
+        settle(sim)
+        req.set(1)
+        settle(sim)
+        req.set(0)
+        data.set(0x00)
+        settle(sim)
+        # downstream has not acknowledged yet: slice still held
+        assert stage.data_out.value == 0xC3
+        ack.set(1)
+        settle(sim)
+        # downstream captured the slice; the latch is transparent again
+        assert stage.data_out.value == 0x00
+        ack.set(0)
+        settle(sim)
+        assert stage.data_out.value == 0x00
+
+    def test_ctl_delay_override_slows_handshake(self, sim):
+        data = Bus(sim, 8, "d")
+        req, ack = Signal(sim, "req"), Signal(sim, "ack")
+        stage = WireBufferStage(sim, data, req, ack, ctl_delay_ps=212)
+        times = []
+        stage.req_out.on_change(lambda s: times.append(sim.now))
+        req.set(1)
+        settle(sim)
+        assert times == [212]

@@ -1,0 +1,153 @@
+"""Unit tests for combinational gate primitives."""
+
+import pytest
+
+from repro.elements import And2, Inverter, Mux2, Nand2, Nor2, OneHotMux, Or2, Xor2
+from repro.sim import Bus, Signal, Simulator
+from repro.tech import GateDelays
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim):
+    sim.run(max_events=10_000)
+
+
+class TestInverter:
+    def test_truth_table(self, sim):
+        a = Signal(sim, "a")
+        inv = Inverter(sim, a)
+        settle(sim)
+        assert inv.output.value == 1
+        a.set(1)
+        settle(sim)
+        assert inv.output.value == 0
+
+    def test_delay_from_technology(self, sim):
+        a = Signal(sim, "a")
+        inv = Inverter(sim, a, delays=GateDelays(inv=11))
+        settle(sim)
+        changes = []
+        inv.output.on_change(lambda s: changes.append(sim.now))
+        a.set(1)
+        sim.run()
+        assert changes == [sim.now]
+        assert sim.now % 11 == 0
+
+    def test_filters_short_pulse(self, sim):
+        """Inertial delay: a pulse shorter than the gate delay vanishes."""
+        a = Signal(sim, "a")
+        inv = Inverter(sim, a, delays=GateDelays(inv=50))
+        settle(sim)
+        out_transitions_before = inv.output.transitions
+        a.pulse(width=10)  # 10 ps pulse through a 50 ps gate
+        sim.run()
+        assert inv.output.transitions == out_transitions_before
+
+
+class TestTwoInputGates:
+    @pytest.mark.parametrize(
+        "cls,table",
+        [
+            (And2, {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            (Or2, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            (Nand2, {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            (Nor2, {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            (Xor2, {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+        ],
+    )
+    def test_truth_tables(self, sim, cls, table):
+        a = Signal(sim, "a")
+        b = Signal(sim, "b")
+        gate = cls(sim, a, b)
+        for (va, vb), expected in table.items():
+            a.set(va)
+            b.set(vb)
+            settle(sim)
+            assert gate.output.value == expected, f"{cls.__name__}({va},{vb})"
+
+    def test_output_signal_can_be_supplied(self, sim):
+        a = Signal(sim, "a")
+        b = Signal(sim, "b")
+        out = Signal(sim, "myout")
+        gate = And2(sim, a, b, out=out)
+        assert gate.output is out
+
+    def test_gate_requires_inputs(self, sim):
+        from repro.elements.gates import Gate
+
+        with pytest.raises(ValueError):
+            Gate(sim, [], Signal(sim, "o"), lambda: 0, 10)
+
+
+class TestMux2:
+    def test_select(self, sim):
+        a = Signal(sim, "a", init=1)
+        b = Signal(sim, "b", init=0)
+        sel = Signal(sim, "sel")
+        mux = Mux2(sim, a, b, sel)
+        settle(sim)
+        assert mux.output.value == 1  # sel=0 → a
+        sel.set(1)
+        settle(sim)
+        assert mux.output.value == 0  # sel=1 → b
+
+
+class TestOneHotMux:
+    def _build(self, sim, n=4, width=8):
+        inputs = [Bus(sim, width, f"in{i}", init=i + 1) for i in range(n)]
+        sel = [Signal(sim, f"sel{i}", init=1 if i == 0 else 0) for i in range(n)]
+        out = Bus(sim, width, "out")
+        mux = OneHotMux(sim, inputs, sel, out)
+        return inputs, sel, out, mux
+
+    def test_initial_selection(self, sim):
+        inputs, sel, out, _ = self._build(sim)
+        # kick the mux by touching the select
+        sel[0].set(0)
+        sel[0].set(1)
+        settle(sim)
+        assert out.value == 1
+
+    def test_steering(self, sim):
+        inputs, sel, out, _ = self._build(sim)
+        sel[0].set(0)
+        sel[2].set(1)
+        settle(sim)
+        assert out.value == 3
+
+    def test_follows_input_changes(self, sim):
+        inputs, sel, out, _ = self._build(sim)
+        sel[0].set(0)
+        sel[1].set(1)
+        settle(sim)
+        inputs[1].set(0xAB)
+        settle(sim)
+        assert out.value == 0xAB
+
+    def test_holds_with_no_select(self, sim):
+        inputs, sel, out, _ = self._build(sim)
+        sel[0].set(0)
+        sel[1].set(1)
+        settle(sim)
+        held = out.value
+        sel[1].set(0)  # nothing selected
+        settle(sim)
+        assert out.value == held
+
+    def test_width_mismatch_rejected(self, sim):
+        inputs = [Bus(sim, 8, "a"), Bus(sim, 8, "b")]
+        sel = [Signal(sim, "s0"), Signal(sim, "s1")]
+        out = Bus(sim, 4, "out")
+        with pytest.raises(ValueError):
+            OneHotMux(sim, inputs, sel, out)
+
+    def test_count_mismatch_rejected(self, sim):
+        inputs = [Bus(sim, 8, "a")]
+        sel = [Signal(sim, "s0"), Signal(sim, "s1")]
+        out = Bus(sim, 8, "out")
+        with pytest.raises(ValueError):
+            OneHotMux(sim, inputs, sel, out)

@@ -1,0 +1,186 @@
+"""Unit tests for latches, flip-flops and the flag synchronizer (Fig 4)."""
+
+import pytest
+
+from repro.elements import (
+    DFlipFlop,
+    DLatch,
+    FlagSynchronizer,
+    LatchBus,
+    RegisterBus,
+)
+from repro.sim import Bus, Clock, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim, until=None):
+    if until is None:
+        sim.run(max_events=100_000)
+    else:
+        sim.run(until=until, max_events=1_000_000)
+
+
+class TestDLatch:
+    def test_transparent_when_open(self, sim):
+        d, g = Signal(sim, "d"), Signal(sim, "g", init=1)
+        latch = DLatch(sim, d, g)
+        d.set(1)
+        settle(sim)
+        assert latch.q.value == 1
+        d.set(0)
+        settle(sim)
+        assert latch.q.value == 0
+
+    def test_holds_when_closed(self, sim):
+        d, g = Signal(sim, "d"), Signal(sim, "g", init=1)
+        latch = DLatch(sim, d, g)
+        d.set(1)
+        settle(sim)
+        g.set(0)
+        d.set(0)
+        settle(sim)
+        assert latch.q.value == 1
+
+    def test_captures_on_open(self, sim):
+        d, g = Signal(sim, "d", init=1), Signal(sim, "g")
+        latch = DLatch(sim, d, g)
+        settle(sim)
+        assert latch.q.value == 0
+        g.set(1)
+        settle(sim)
+        assert latch.q.value == 1
+
+
+class TestLatchBus:
+    def test_word_capture(self, sim):
+        d = Bus(sim, 8, "d")
+        g = Signal(sim, "g")
+        lb = LatchBus(sim, d, g)
+        d.set(0xC3)
+        g.set(1)
+        settle(sim)
+        assert lb.q.value == 0xC3
+        g.set(0)
+        d.set(0x00)
+        settle(sim)
+        assert lb.q.value == 0xC3
+
+    def test_width_mismatch_rejected(self, sim):
+        d = Bus(sim, 8, "d")
+        q = Bus(sim, 4, "q")
+        with pytest.raises(ValueError):
+            LatchBus(sim, d, Signal(sim, "g"), q)
+
+
+class TestDFlipFlop:
+    def test_captures_on_rising_edge_only(self, sim):
+        d, clk = Signal(sim, "d"), Signal(sim, "clk")
+        ff = DFlipFlop(sim, d, clk)
+        d.set(1)
+        settle(sim)
+        assert ff.q.value == 0  # no edge yet
+        clk.set(1)
+        settle(sim)
+        assert ff.q.value == 1
+        d.set(0)
+        clk.set(0)  # falling edge: no capture
+        settle(sim)
+        assert ff.q.value == 1
+
+    def test_async_clear(self, sim):
+        d, clk, clr = Signal(sim, "d", init=1), Signal(sim, "clk"), Signal(sim, "clr")
+        ff = DFlipFlop(sim, d, clk, clear=clr)
+        clk.set(1)
+        settle(sim)
+        assert ff.q.value == 1
+        clr.set(1)
+        settle(sim)
+        assert ff.q.value == 0
+
+    def test_clear_blocks_capture(self, sim):
+        d, clk, clr = Signal(sim, "d", init=1), Signal(sim, "clk"), Signal(sim, "clr", init=1)
+        ff = DFlipFlop(sim, d, clk, clear=clr)
+        clk.set(1)
+        settle(sim)
+        assert ff.q.value == 0
+
+
+class TestRegisterBus:
+    def test_captures_with_enable(self, sim):
+        d = Bus(sim, 32, "d")
+        clk, en = Signal(sim, "clk"), Signal(sim, "en", init=1)
+        reg = RegisterBus(sim, d, clk, en)
+        d.set(0xA5A5A5A5)
+        clk.set(1)
+        settle(sim)
+        assert reg.q.value == 0xA5A5A5A5
+
+    def test_no_capture_without_enable(self, sim):
+        d = Bus(sim, 8, "d")
+        clk, en = Signal(sim, "clk"), Signal(sim, "en")
+        reg = RegisterBus(sim, d, clk, en)
+        d.set(0xFF)
+        clk.set(1)
+        settle(sim)
+        assert reg.q.value == 0
+
+    def test_width_mismatch_rejected(self, sim):
+        d = Bus(sim, 8, "d")
+        q = Bus(sim, 16, "q")
+        with pytest.raises(ValueError):
+            RegisterBus(sim, d, Signal(sim, "clk"), Signal(sim, "en"), q)
+
+
+class TestFlagSynchronizer:
+    """The two-FF flag of Fig 4: sync set, async clear."""
+
+    def _clocked(self, sim):
+        clock = Clock(sim, 1000, "clk")
+        wr_en = Signal(sim, "wren")
+        clear = Signal(sim, "clear")
+        flag = FlagSynchronizer(sim, clock.signal, wr_en, clear)
+        return clock, wr_en, clear, flag
+
+    def test_set_on_write(self, sim):
+        clock, wr_en, clear, flag = self._clocked(sim)
+        wr_en.set(1)
+        settle(sim, until=1500)
+        assert flag.flag_a.value == 1
+        assert flag.flag_s.value == 1
+
+    def test_async_clear_drops_flag_a_quickly(self, sim):
+        clock, wr_en, clear, flag = self._clocked(sim)
+        wr_en.set(1)
+        settle(sim, until=500)
+        wr_en.set(0)
+        clear.set(1)
+        clear.set(0)
+        settle(sim, until=700)
+        assert flag.flag_a.value == 0
+
+    def test_sync_side_sees_clear_two_edges_later(self, sim):
+        """The 2-FF synchronizer delays the clear by two clock cycles."""
+        clock, wr_en, clear, flag = self._clocked(sim)
+        wr_en.set(1)
+        settle(sim, until=400)
+        wr_en.set(0)
+        settle(sim, until=900)
+        assert flag.flag_s.value == 1
+        # clear asynchronously mid-cycle
+        clear.set(1)
+        clear.set(0)
+        settle(sim, until=1500)   # one edge (t=1000) passed
+        assert flag.flag_s.value == 1  # still pessimistically set
+        settle(sim, until=2500)   # second edge (t=2000) passed
+        assert flag.flag_s.value == 0
+
+    def test_clear_blocks_synchronous_set(self, sim):
+        clock, wr_en, clear, flag = self._clocked(sim)
+        clear.set(1)
+        wr_en.set(1)
+        settle(sim, until=1500)
+        assert flag.flag_a.value == 0

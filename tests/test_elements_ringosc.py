@@ -1,0 +1,85 @@
+"""Unit tests for the ring oscillator (Fig 8a timing reference)."""
+
+import pytest
+
+from repro.elements import RingOscillator
+from repro.sim import Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestRingOscillator:
+    def test_period_from_stages(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5, t_inv_ps=11)
+        assert osc.half_period == 55
+        assert osc.period_ps == 110
+
+    def test_silent_until_enabled(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5)
+        sim.run(until=1000)
+        assert osc.out.transitions == 0
+
+    def test_oscillates_when_enabled(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5, t_inv_ps=10)  # half=50
+        en.set(1)
+        sim.run(until=1000)
+        # ~20 half periods → ~20 transitions (±1 for boundary)
+        assert 18 <= osc.out.transitions <= 21
+
+    def test_stops_when_disabled(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5, t_inv_ps=10)
+        en.set(1)
+        sim.run(until=500)
+        en.set(0)
+        sim.run(until=520)
+        count = osc.out.transitions
+        sim.run(until=2000)
+        assert osc.out.transitions == count
+        assert osc.out.value == 0  # parks low
+
+    def test_edge_spacing_is_half_period(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=3, t_inv_ps=20)  # half=60
+        times = []
+        osc.out.on_change(lambda s: times.append(sim.now))
+        en.set(1)
+        sim.run(until=500)
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        assert all(d == 60 for d in deltas)
+
+    def test_even_stage_count_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RingOscillator(sim, Signal(sim, "en"), stages=4)
+
+    def test_too_few_stages_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RingOscillator(sim, Signal(sim, "en"), stages=1)
+
+    def test_half_period_override(self, sim):
+        """Sizing/loading the ring for a target frequency (paper allows)."""
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5, half_period_ps=137)
+        assert osc.half_period == 137
+
+    def test_half_period_override_must_be_positive(self, sim):
+        with pytest.raises(ValueError):
+            RingOscillator(sim, Signal(sim, "en"), stages=5, half_period_ps=0)
+
+    def test_reenable_restarts(self, sim):
+        en = Signal(sim, "en")
+        osc = RingOscillator(sim, en, stages=5, t_inv_ps=10)
+        en.set(1)
+        sim.run(until=300)
+        en.set(0)
+        sim.run(until=400)
+        before = osc.out.transitions
+        en.set(1)
+        sim.run(until=700)
+        assert osc.out.transitions > before

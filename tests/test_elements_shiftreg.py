@@ -1,0 +1,130 @@
+"""Unit tests for the word-level de-serializer shift registers (Fig 8b)."""
+
+import pytest
+
+from repro.elements import PulseShiftRegister, SliceShiftRegister
+from repro.sim import Bus, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def settle(sim):
+    sim.run(max_events=100_000)
+
+
+def pulse(sim, sig):
+    sig.set(1)
+    settle(sim)
+    sig.set(0)
+    settle(sim)
+
+
+class TestSliceShiftRegister:
+    def test_assembles_word_lsb_first(self, sim):
+        slice_in = Bus(sim, 8, "din")
+        shift = Signal(sim, "valid")
+        reg = SliceShiftRegister(sim, slice_in, shift, depth=4)
+        for byte in (0xEF, 0xBE, 0xAD, 0xDE):  # LSB slice first
+            slice_in.set(byte)
+            pulse(sim, shift)
+        assert reg.word == 0xDEADBEEF
+
+    def test_pulse_counting(self, sim):
+        slice_in = Bus(sim, 8, "din")
+        shift = Signal(sim, "valid")
+        reg = SliceShiftRegister(sim, slice_in, shift, depth=4)
+        for _ in range(3):
+            pulse(sim, shift)
+        assert reg.pulses_seen == 3
+
+    def test_every_stage_toggles_each_pulse(self, sim):
+        """The power-relevant property: all registers clock on every
+        VALID (the paper's explanation of the I3 de-serializer power)."""
+        slice_in = Bus(sim, 8, "din")
+        shift = Signal(sim, "valid")
+        reg = SliceShiftRegister(sim, slice_in, shift, depth=4)
+        slice_in.set(0xFF)
+        pulse(sim, shift)
+        slice_in.set(0x00)
+        pulse(sim, shift)
+        slice_in.set(0xFF)
+        pulse(sim, shift)
+        # stage 0 has toggled 8 bits three times; stage 1 twice; stage 2 once
+        assert reg.stages[0].transitions == 24
+        assert reg.stages[1].transitions == 16
+        assert reg.stages[2].transitions == 8
+
+    def test_depth_one(self, sim):
+        slice_in = Bus(sim, 8, "din")
+        shift = Signal(sim, "valid")
+        reg = SliceShiftRegister(sim, slice_in, shift, depth=1)
+        slice_in.set(0x7E)
+        pulse(sim, shift)
+        assert reg.word == 0x7E
+
+    def test_rejects_bad_depth(self, sim):
+        with pytest.raises(ValueError):
+            SliceShiftRegister(sim, Bus(sim, 8, "d"), Signal(sim, "s"), 0)
+
+    def test_two_word_back_to_back(self, sim):
+        slice_in = Bus(sim, 8, "din")
+        shift = Signal(sim, "valid")
+        reg = SliceShiftRegister(sim, slice_in, shift, depth=2)
+        for byte in (0x11, 0x22):
+            slice_in.set(byte)
+            pulse(sim, shift)
+        assert reg.word == 0x2211
+        for byte in (0x33, 0x44):
+            slice_in.set(byte)
+            pulse(sim, shift)
+        assert reg.word == 0x4433
+
+
+class TestPulseShiftRegister:
+    def test_done_after_depth_pulses(self, sim):
+        shift, clear = Signal(sim, "v"), Signal(sim, "c")
+        reg = PulseShiftRegister(sim, shift, clear, depth=4)
+        for i in range(3):
+            pulse(sim, shift)
+            assert reg.done.value == 0, f"done too early at pulse {i + 1}"
+        pulse(sim, shift)
+        assert reg.done.value == 1
+
+    def test_clear_resets(self, sim):
+        shift, clear = Signal(sim, "v"), Signal(sim, "c")
+        reg = PulseShiftRegister(sim, shift, clear, depth=2)
+        pulse(sim, shift)
+        pulse(sim, shift)
+        assert reg.done.value == 1
+        pulse(sim, clear)
+        assert reg.done.value == 0
+
+    def test_counts_again_after_clear(self, sim):
+        shift, clear = Signal(sim, "v"), Signal(sim, "c")
+        reg = PulseShiftRegister(sim, shift, clear, depth=3)
+        for _ in range(3):
+            pulse(sim, shift)
+        pulse(sim, clear)
+        for i in range(2):
+            pulse(sim, shift)
+            assert reg.done.value == 0
+        pulse(sim, shift)
+        assert reg.done.value == 1
+
+    def test_only_one_token_per_word(self, sim):
+        """Exactly one token circulates per word: after ``depth`` pulses
+        it sits in the last stage (driving ``done``), with no second
+        token injected behind it."""
+        shift, clear = Signal(sim, "v"), Signal(sim, "c")
+        reg = PulseShiftRegister(sim, shift, clear, depth=3)
+        for _ in range(3):
+            pulse(sim, shift)
+        assert reg.bits == [0, 0, 1]
+        assert reg.done.value == 1
+
+    def test_rejects_bad_depth(self, sim):
+        with pytest.raises(ValueError):
+            PulseShiftRegister(sim, Signal(sim, "v"), Signal(sim, "c"), 0)

@@ -1,0 +1,128 @@
+"""Failure-injection tests: broken wires, stuck handshakes, livelocks.
+
+A reproduction that only exercises happy paths proves little about the
+robustness of its protocol models.  These tests break the links in
+controlled ways and assert that the failure surfaces *loudly* (timeout
+or budget exception), never as silent data loss or corruption.
+"""
+
+import pytest
+
+from repro.link import (
+    Channel,
+    LinkConfig,
+    LinkTestbench,
+    Serializer,
+    build_i2,
+    build_i3,
+)
+from repro.link.channel import source_process
+from repro.sim import Clock, SimulationError, Signal, Simulator, spawn
+
+
+class TestBrokenHandshakes:
+    def test_unacknowledged_serializer_stalls_cleanly(self):
+        """No receiver on the slice channel: the serializer must block
+        on its first REQOUT forever — no spin, no spurious word acks."""
+        sim = Simulator()
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=8)
+        spawn(sim, source_process(in_ch, [0xDEADBEEF]))
+        sim.run(until=10_000_000, max_events=100_000)
+        assert ser.out_ch.req.value == 1  # waiting on ack
+        assert in_ch.ack.value == 0  # the word was never acknowledged
+        assert ser.words_serialized == 0
+
+    def test_stuck_ack_wire_times_out(self):
+        """Force the wire-buffer chain's ack permanently high (a stuck-at
+        fault): the link deadlocks and the testbench reports a timeout."""
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i2(sim, clock.signal, LinkConfig())
+        # stuck-at-1 fault on the deserializer-side ack
+        def stick(sig: Signal) -> None:
+            if sig.value == 0:
+                sig.set(1)
+
+        link.chain.ack_in.set(1)
+        link.chain.ack_in.on_change(stick)
+        bench = LinkTestbench(sim, clock, link)
+        with pytest.raises(TimeoutError):
+            bench.run([1, 2, 3], timeout_ns=50_000.0)
+
+    def test_severed_valid_wire_times_out(self):
+        """Force the I3 VALID wire low after two flits (severed wire):
+        the receiver never completes another word → timeout, and the
+        flits that did arrive are intact."""
+        from repro.sim import Delay, spawn as spawn_proc
+
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i3(sim, clock.signal, LinkConfig())
+        delivered_before_fault = 2
+
+        def fault_process():
+            while link.flits_delivered() < delivered_before_fault:
+                yield Delay(1000)
+            link.deserializer.in_ch.valid.force(0)
+
+        spawn_proc(sim, fault_process(), "fault")
+        bench = LinkTestbench(sim, clock, link)
+        with pytest.raises(TimeoutError):
+            bench.run([0xA5A5A5A5] * 6, timeout_ns=50_000.0)
+        # partial delivery is visible and uncorrupted
+        assert bench.measurement.flits_received >= delivered_before_fault
+        assert all(v == 0xA5A5A5A5
+                   for v in bench.measurement.received_values)
+
+
+class TestLivelockDetection:
+    def test_event_budget_catches_oscillator_runaway(self):
+        """A combinational loop (single-inverter ring) must trip the
+        event budget, not hang the process.  The loop has no stable
+        point: a = NOT a after one gate delay, forever."""
+        from repro.elements import Inverter
+
+        sim = Simulator()
+        a = Signal(sim, "a")
+        inv = Inverter(sim, a)
+        inv.output.on_change(lambda s: a.drive(s.value, 11, inertial=False))
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=10_000)
+
+    def test_timeout_reports_progress(self):
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i3(sim, clock.signal, LinkConfig())
+        link.stall_in.set(1)  # receiver never accepts
+        bench = LinkTestbench(sim, clock, link)
+        with pytest.raises(TimeoutError, match="0/4|[0-9]+/4"):
+            bench.run([1, 2, 3, 4], timeout_ns=20_000.0)
+
+
+class TestBackpressureSafety:
+    @pytest.mark.parametrize("builder", [build_i2, build_i3])
+    def test_fifo_never_overflows_under_permanent_stall(self, builder):
+        """With the receiving switch stalled, at most 2×depth flits are
+        absorbed (the paper's 8 'spaces'), and none are dropped once the
+        stall lifts."""
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = builder(sim, clock.signal, LinkConfig(fifo_depth=4))
+        link.stall_in.set(1)
+        flits = list(range(0x500, 0x510))
+        bench = LinkTestbench(sim, clock, link)
+        import threading  # noqa: F401  (documentation: single-threaded)
+
+        # run manually: source only, bounded time
+        spawn(sim, bench._source(flits))
+        sim.run(until=200_000, max_events=2_000_000)
+        absorbed = link.flits_accepted()
+        assert absorbed <= 2 * 4 + 1  # two FIFOs + at most one in flight
+        # release and finish normally
+        link.stall_in.set(0)
+        spawn(sim, bench._sink(len(flits), None))
+        horizon = sim.now + 1_000_000_000
+        while not bench._done and sim.now < horizon:
+            sim.run(until=sim.now + 1_000_000, max_events=5_000_000)
+        assert bench.measurement.received_values == flits

@@ -1,0 +1,95 @@
+"""Unit tests for bundled-data channels and handshake process fragments."""
+
+import pytest
+
+from repro.link import (
+    Channel,
+    ValidChannel,
+    sink_process,
+    source_process,
+)
+from repro.sim import Simulator, spawn
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestChannel:
+    def test_wire_count_includes_handshake(self, sim):
+        assert Channel(sim, 8).wire_count == 10
+        assert Channel(sim, 32).wire_count == 34
+
+    def test_valid_channel_wire_count(self, sim):
+        assert ValidChannel(sim, 8).wire_count == 10
+
+    def test_initial_state_idle(self, sim):
+        ch = Channel(sim, 8)
+        assert ch.req.value == 0
+        assert ch.ack.value == 0
+        assert ch.data.value == 0
+
+
+class TestFourPhaseProtocol:
+    def test_single_token(self, sim):
+        ch = Channel(sim, 8)
+        received = []
+        spawn(sim, source_process(ch, [0xA5]))
+        spawn(sim, sink_process(ch, received, count=1))
+        sim.run(max_events=100_000)
+        assert received == [0xA5]
+        # return-to-zero completed
+        assert ch.req.value == 0
+        assert ch.ack.value == 0
+
+    def test_token_stream_order_preserved(self, sim):
+        ch = Channel(sim, 8)
+        values = [0x11, 0x22, 0x33, 0x44, 0x55]
+        received = []
+        spawn(sim, source_process(ch, values))
+        spawn(sim, sink_process(ch, received, count=len(values)))
+        sim.run(max_events=100_000)
+        assert received == values
+
+    def test_slow_receiver_backpressures(self, sim):
+        ch = Channel(sim, 8)
+        received = []
+        spawn(sim, source_process(ch, [1, 2, 3]))
+        spawn(sim, sink_process(ch, received, count=3, ack_delay_ps=500))
+        sim.run(max_events=100_000)
+        assert received == [1, 2, 3]
+        assert sim.now >= 1500  # each token paid the receiver latency
+
+    def test_setup_time_separates_data_from_req(self, sim):
+        ch = Channel(sim, 8)
+        events = []
+        ch.req.on_change(lambda s: events.append(("req", sim.now, s.value)))
+        ch.data[0].on_change(lambda s: events.append(("data", sim.now, s.value)))
+        received = []
+        spawn(sim, source_process(ch, [0x01], setup_ps=100))
+        spawn(sim, sink_process(ch, received, count=1))
+        sim.run(max_events=100_000)
+        data_time = next(t for kind, t, v in events if kind == "data" and v == 1)
+        req_time = next(t for kind, t, v in events if kind == "req" and v == 1)
+        assert req_time - data_time >= 100
+
+    def test_source_gap_spaces_tokens(self, sim):
+        ch = Channel(sim, 8)
+        req_rises = []
+        ch.req.on_change(
+            lambda s: req_rises.append(sim.now) if s.value else None
+        )
+        received = []
+        spawn(sim, source_process(ch, [1, 2], gap_ps=1000))
+        spawn(sim, sink_process(ch, received, count=2))
+        sim.run(max_events=100_000)
+        assert req_rises[1] - req_rises[0] >= 1000
+
+    def test_sink_without_count_runs_forever(self, sim):
+        ch = Channel(sim, 8)
+        received = []
+        spawn(sim, source_process(ch, [7, 8, 9]))
+        spawn(sim, sink_process(ch, received))  # unbounded
+        sim.run(until=1_000_000, max_events=100_000)
+        assert received == [7, 8, 9]

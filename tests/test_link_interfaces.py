@@ -1,0 +1,187 @@
+"""Unit tests for the synch→asynch and asynch→synch interfaces (Figs 4–5)."""
+
+import pytest
+
+from repro.link import AsyncToSyncInterface, SyncToAsyncInterface
+from repro.link.channel import sink_process, source_process
+from repro.sim import Clock, Delay, RisingEdge, Simulator, spawn
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def make_clock(sim, mhz=100):
+    return Clock.from_mhz(sim, mhz)
+
+
+class TestSyncToAsync:
+    def _drive_flits(self, sim, clock, iface, flits):
+        """Switch-side source: hold data+valid until accepted."""
+
+        def source():
+            for value in flits:
+                iface.flit_in.set(value)
+                iface.valid.set(1)
+                before = iface.flits_written
+                while iface.flits_written == before:
+                    yield RisingEdge(clock.signal)
+                    yield Delay(1)
+            iface.valid.set(0)
+
+        return spawn(sim, source())
+
+    def test_single_flit_crosses_domain(self, sim):
+        clock = make_clock(sim)
+        iface = SyncToAsyncInterface(sim, clock.signal)
+        self._drive_flits(sim, clock, iface, [0xA5A5A5A5])
+        out = []
+        spawn(sim, sink_process(iface.out_ch, out, count=1))
+        sim.run(until=2_000_000, max_events=1_000_000)
+        assert out == [0xA5A5A5A5]
+
+    def test_stream_order_preserved(self, sim):
+        clock = make_clock(sim)
+        iface = SyncToAsyncInterface(sim, clock.signal)
+        flits = [0x11111111, 0x22222222, 0x33333333, 0x44444444,
+                 0x55555555, 0x66666666]
+        self._drive_flits(sim, clock, iface, flits)
+        out = []
+        spawn(sim, sink_process(iface.out_ch, out, count=len(flits)))
+        sim.run(until=5_000_000, max_events=2_000_000)
+        assert out == flits
+
+    def test_stall_asserted_when_reader_blocked(self, sim):
+        """With no asynchronous reader, 4 writes fill the FIFO and STALL
+        rises."""
+        clock = make_clock(sim)
+        iface = SyncToAsyncInterface(sim, clock.signal, depth=4)
+        self._drive_flits(sim, clock, iface,
+                          [1, 2, 3, 4, 5])  # the 5th cannot enter
+        sim.run(until=1_000_000, max_events=1_000_000)
+        assert iface.flits_written == 4
+        assert iface.stall.value == 1
+        assert iface.occupancy == 4
+
+    def test_drain_clears_stall(self, sim):
+        clock = make_clock(sim)
+        iface = SyncToAsyncInterface(sim, clock.signal, depth=4)
+        self._drive_flits(sim, clock, iface, [1, 2, 3, 4, 5, 6])
+        out = []
+        spawn(sim, sink_process(iface.out_ch, out, count=6))
+        sim.run(until=5_000_000, max_events=2_000_000)
+        assert out == [1, 2, 3, 4, 5, 6]
+        assert iface.stall.value == 0
+
+    def test_depth_validation(self, sim):
+        clock = make_clock(sim)
+        with pytest.raises(ValueError):
+            SyncToAsyncInterface(sim, clock.signal, depth=1)
+
+
+class TestAsyncToSync:
+    def _sync_sink(self, sim, clock, iface, out, count):
+        def sink():
+            sample_delay = 120
+            while len(out) < count:
+                yield RisingEdge(clock.signal)
+                yield Delay(sample_delay)
+                if iface.valid.value:
+                    out.append(iface.flit_out.value)
+
+        return spawn(sim, sink())
+
+    def test_single_flit(self, sim):
+        clock = make_clock(sim)
+        iface = AsyncToSyncInterface(sim, clock.signal)
+        spawn(sim, source_process(iface.in_ch, [0xDEADBEEF]))
+        out = []
+        self._sync_sink(sim, clock, iface, out, 1)
+        sim.run(until=2_000_000, max_events=1_000_000)
+        assert out == [0xDEADBEEF]
+
+    def test_stream_order(self, sim):
+        clock = make_clock(sim)
+        iface = AsyncToSyncInterface(sim, clock.signal)
+        flits = [0xA, 0xB, 0xC, 0xD, 0xE, 0xF]
+        spawn(sim, source_process(iface.in_ch, flits))
+        out = []
+        self._sync_sink(sim, clock, iface, out, len(flits))
+        sim.run(until=5_000_000, max_events=2_000_000)
+        assert out == flits
+
+    def test_backpressure_via_stall(self, sim):
+        """With the switch stalling, flits pile up in the FIFO and the
+        handshake side eventually blocks."""
+        clock = make_clock(sim)
+        iface = AsyncToSyncInterface(sim, clock.signal, depth=4)
+        iface.stall.set(1)
+        spawn(sim, source_process(iface.in_ch, [1, 2, 3, 4, 5, 6]))
+        # sink listens from the start (a real switch always samples)
+        out = []
+        self._sync_sink(sim, clock, iface, out, 6)
+        sim.run(until=2_000_500, max_events=1_000_000)
+        assert iface.flits_written == 4  # FIFO full, writer blocked
+        assert iface.valid.value == 0  # nothing offered while stalled
+        assert out == []
+        # release mid-cycle: the rest flows
+        iface.stall.set(0)
+        sim.run(until=6_000_000, max_events=2_000_000)
+        assert out == [1, 2, 3, 4, 5, 6]
+
+    def test_valid_deasserts_when_empty(self, sim):
+        clock = make_clock(sim)
+        iface = AsyncToSyncInterface(sim, clock.signal)
+        spawn(sim, source_process(iface.in_ch, [0x42]))
+        out = []
+        self._sync_sink(sim, clock, iface, out, 1)
+        sim.run(until=2_000_000, max_events=1_000_000)
+        # several cycles later VALID must be low again
+        sim.run(until=sim.now + 100_000, max_events=1_000_000)
+        assert iface.valid.value == 0
+
+    def test_depth_validation(self, sim):
+        clock = make_clock(sim)
+        with pytest.raises(ValueError):
+            AsyncToSyncInterface(sim, clock.signal, depth=0)
+
+
+class TestBackToBackInterfaces:
+    def test_full_domain_crossing_pipeline(self, sim):
+        """synch→asynch feeding asynch→synch directly (no serializer):
+        the 8-deep composite FIFO of the paper."""
+        from repro.link.wiring import wire, wire_bus
+
+        clock = make_clock(sim)
+        s2a = SyncToAsyncInterface(sim, clock.signal)
+        a2s = AsyncToSyncInterface(sim, clock.signal)
+        wire_bus(s2a.out_ch.data, a2s.in_ch.data, 0)
+        wire(s2a.out_ch.req, a2s.in_ch.req, 0)
+        wire(a2s.in_ch.ack, s2a.out_ch.ack, 0)
+
+        flits = list(range(1, 13))
+
+        def source():
+            for value in flits:
+                s2a.flit_in.set(value)
+                s2a.valid.set(1)
+                before = s2a.flits_written
+                while s2a.flits_written == before:
+                    yield RisingEdge(clock.signal)
+                    yield Delay(1)
+            s2a.valid.set(0)
+
+        out = []
+
+        def sink():
+            while len(out) < len(flits):
+                yield RisingEdge(clock.signal)
+                yield Delay(120)
+                if a2s.valid.value:
+                    out.append(a2s.flit_out.value)
+
+        spawn(sim, source())
+        spawn(sim, sink())
+        sim.run(until=10_000_000, max_events=5_000_000)
+        assert out == flits

@@ -1,0 +1,163 @@
+"""Unit tests for the per-transfer serializer/de-serializer (Fig 6)."""
+
+import pytest
+
+from repro.link import Channel, Deserializer, Serializer, check_slicing
+from repro.link.wiring import wire, wire_bus
+from repro.sim import Simulator, spawn
+from repro.link.channel import sink_process, source_process
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestCheckSlicing:
+    def test_valid(self):
+        assert check_slicing(32, 8) == 4
+        assert check_slicing(32, 16) == 2
+        assert check_slicing(32, 32) == 1
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            check_slicing(32, 5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            check_slicing(32, 0)
+        with pytest.raises(ValueError):
+            check_slicing(0, 8)
+
+
+class TestSerializer:
+    def test_emits_lsb_slice_first(self, sim):
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=8)
+        slices = []
+        spawn(sim, source_process(in_ch, [0xDEADBEEF]))
+        spawn(sim, sink_process(ser.out_ch, slices, count=4))
+        sim.run(max_events=1_000_000)
+        assert slices == [0xEF, 0xBE, 0xAD, 0xDE]
+
+    def test_word_acked_after_all_slices(self, sim):
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=8)
+        timeline = []
+        in_ch.ack.on_change(
+            lambda s: timeline.append(("word_ack", sim.now)) if s.value else None
+        )
+        ser.out_ch.req.on_change(
+            lambda s: timeline.append(("slice_req", sim.now)) if s.value else None
+        )
+        spawn(sim, source_process(in_ch, [0x12345678]))
+        slices = []
+        spawn(sim, sink_process(ser.out_ch, slices, count=4))
+        sim.run(max_events=1_000_000)
+        kinds = [k for k, _ in timeline]
+        assert kinds == ["slice_req"] * 4 + ["word_ack"]
+
+    def test_multiple_words(self, sim):
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=8)
+        slices = []
+        words = [0xA5A5A5A5, 0x5A5A5A5A]
+        spawn(sim, source_process(in_ch, words))
+        spawn(sim, sink_process(ser.out_ch, slices, count=8))
+        sim.run(max_events=1_000_000)
+        assert slices == [0xA5] * 4 + [0x5A] * 4
+        assert ser.words_serialized == 2
+
+    def test_sixteen_bit_slices(self, sim):
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=16)
+        slices = []
+        spawn(sim, source_process(in_ch, [0xCAFEBABE]))
+        spawn(sim, sink_process(ser.out_ch, slices, count=2))
+        sim.run(max_events=1_000_000)
+        assert slices == [0xBABE, 0xCAFE]
+
+    def test_sel_is_one_hot_through_transfer(self, sim):
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=8)
+        spawn(sim, source_process(in_ch, [0x01020304]))
+        slices = []
+        spawn(sim, sink_process(ser.out_ch, slices, count=4))
+        sim.run(max_events=1_000_000)
+        assert sum(s.value for s in ser.sequencer.sel) == 1
+
+
+class TestDeserializer:
+    def test_reassembles_word(self, sim):
+        in_ch = Channel(sim, 8, "in")
+        des = Deserializer(sim, in_ch, word_width=32)
+        words = []
+        spawn(sim, source_process(in_ch, [0xEF, 0xBE, 0xAD, 0xDE]))
+        spawn(sim, sink_process(des.out_ch, words, count=1))
+        sim.run(max_events=1_000_000)
+        assert words == [0xDEADBEEF]
+        assert des.words_deserialized == 1
+
+    def test_multiple_words(self, sim):
+        in_ch = Channel(sim, 8, "in")
+        des = Deserializer(sim, in_ch, word_width=16)
+        words = []
+        spawn(sim, source_process(in_ch, [0x22, 0x11, 0x44, 0x33]))
+        spawn(sim, sink_process(des.out_ch, words, count=2))
+        sim.run(max_events=1_000_000)
+        assert words == [0x1122, 0x3344]
+
+    def test_word_req_after_last_slice(self, sim):
+        in_ch = Channel(sim, 8, "in")
+        des = Deserializer(sim, in_ch, word_width=32)
+        timeline = []
+        des.out_ch.req.on_change(
+            lambda s: timeline.append(sim.now) if s.value else None
+        )
+        acks = []
+        in_ch.ack.on_change(
+            lambda s: acks.append(sim.now) if s.value else None
+        )
+        words = []
+        spawn(sim, source_process(in_ch, [1, 2, 3, 4]))
+        spawn(sim, sink_process(des.out_ch, words, count=1))
+        sim.run(max_events=1_000_000)
+        assert len(acks) == 4
+        assert len(timeline) == 1
+        assert timeline[0] > acks[-1]
+
+
+class TestSerializerDeserializerRoundTrip:
+    def _roundtrip(self, sim, words, slice_width=8, word_width=32):
+        in_ch = Channel(sim, word_width, "in")
+        ser = Serializer(sim, in_ch, slice_width=slice_width)
+        des = Deserializer(sim, Channel(sim, slice_width, "mid"),
+                           word_width=word_width)
+        # connect ser.out -> des.in
+        wire_bus(ser.out_ch.data, des.in_ch.data, 0)
+        wire(ser.out_ch.req, des.in_ch.req, 0)
+        wire(des.in_ch.ack, ser.out_ch.ack, 0)
+        received = []
+        spawn(sim, source_process(in_ch, words))
+        spawn(sim, sink_process(des.out_ch, received, count=len(words)))
+        sim.run(max_events=5_000_000)
+        return received
+
+    def test_single_word(self, sim):
+        assert self._roundtrip(sim, [0xDEADBEEF]) == [0xDEADBEEF]
+
+    def test_worst_case_pattern(self, sim):
+        words = [0xA5A5A5A5, 0x5A5A5A5A, 0xA5A5A5A5, 0x5A5A5A5A]
+        assert self._roundtrip(sim, words) == words
+
+    def test_all_zero_and_all_one(self, sim):
+        words = [0x00000000, 0xFFFFFFFF, 0x00000000]
+        assert self._roundtrip(sim, words) == words
+
+    def test_sixteen_bit_slicing(self, sim):
+        words = [0x12345678, 0x9ABCDEF0]
+        assert self._roundtrip(sim, words, slice_width=16) == words
+
+    def test_four_bit_slicing(self, sim):
+        words = [0xCAFEBABE]
+        assert self._roundtrip(sim, words, slice_width=4) == words

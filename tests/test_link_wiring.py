@@ -1,0 +1,169 @@
+"""Unit tests for wires, repeaters and the I2 wire-buffer chain."""
+
+import pytest
+
+from repro.link import AsyncWireBufferChain, RepeatedWire, RepeatedWireBus
+from repro.link.wiring import wire, wire_bus
+from repro.sim import Bus, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestWire:
+    def test_forwards_transitions(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wire(a, b, delay_ps=100)
+        a.set(1)
+        sim.run()
+        assert b.value == 1
+
+    def test_transport_delay(self, sim):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wire(a, b, delay_ps=100)
+        times = []
+        b.on_change(lambda s: times.append(sim.now))
+        a.set(1)
+        sim.run()
+        assert times == [100]
+
+    def test_wire_never_swallows_pulses(self, sim):
+        """Transport semantics: a narrow pulse survives a long wire."""
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        wire(a, b, delay_ps=500)
+        a.pulse(width=10)
+        sim.run()
+        assert b.rising == 1
+        assert b.falling == 1
+
+    def test_initial_value_mismatch_resolves(self, sim):
+        a = Signal(sim, "a", init=1)
+        b = Signal(sim, "b", init=0)
+        wire(a, b, delay_ps=10)
+        sim.run()
+        assert b.value == 1
+
+    def test_wire_bus_width_checked(self, sim):
+        with pytest.raises(ValueError):
+            wire_bus(Bus(sim, 8, "a"), Bus(sim, 4, "b"))
+
+    def test_wire_bus_forwards_words(self, sim):
+        a, b = Bus(sim, 8, "a"), Bus(sim, 8, "b")
+        wire_bus(a, b, delay_ps=30)
+        a.set(0xA5)
+        sim.run()
+        assert b.value == 0xA5
+
+
+class TestRepeatedWire:
+    def test_delay_is_inverter_count_times_tinv(self, sim):
+        src = Signal(sim, "src")
+        rep = RepeatedWire(sim, src, n_inverters=2, t_inv_ps=11)
+        times = []
+        rep.out.on_change(lambda s: times.append(sim.now))
+        src.set(1)
+        sim.run()
+        assert times == [22]
+
+    def test_odd_inverter_count_rejected(self, sim):
+        with pytest.raises(ValueError):
+            RepeatedWire(sim, Signal(sim, "s"), n_inverters=3)
+
+    def test_bus_variant(self, sim):
+        src = Bus(sim, 8, "src")
+        rep = RepeatedWireBus(sim, src, n_inverters=4, t_inv_ps=11)
+        src.set(0x3C)
+        sim.run()
+        assert rep.out.value == 0x3C
+        assert rep.delay_ps == 44
+
+    def test_cap_weight_reflects_repeater_nodes(self, sim):
+        """Repeater nodes add a small fraction of the wire capacitance
+        per inverter — far less than a latching stage's enables."""
+        src = Bus(sim, 8, "src")
+        rep = RepeatedWireBus(sim, src, n_inverters=2)
+        expected = 1.0 + 2 * RepeatedWireBus.INVERTER_NODE_CAP
+        assert all(s.cap_ff == pytest.approx(expected) for s in rep.out)
+        assert expected < 4.0  # below the latched stage's data weight
+
+    def test_zero_inverters_is_plain_wire(self, sim):
+        src = Signal(sim, "s")
+        rep = RepeatedWire(sim, src, n_inverters=0)
+        src.set(1)
+        sim.run()
+        assert rep.out.value == 1
+        assert rep.delay_ps == 0
+
+
+class TestAsyncWireBufferChain:
+    def _handshake_once(self, sim, chain, data_in, req_in, value):
+        """Push one token through the chain, acking at the far end.
+
+        The sender honours the bundled-data constraint: data settles a
+        setup margin before REQ rises (the latch D→Q path is slower than
+        the controller's C-element, so simultaneous data+req violates
+        bundling — exactly as in real hardware).
+        """
+        from repro.sim import Delay, WaitValue, spawn
+
+        received = []
+
+        def sender():
+            data_in.set(value)
+            yield Delay(100)  # bundling setup margin
+            yield WaitValue(chain.ack_out, 0)
+            req_in.set(1)
+            yield WaitValue(chain.ack_out, 1)
+            req_in.set(0)
+            yield WaitValue(chain.ack_out, 0)
+
+        def receiver():
+            yield WaitValue(chain.req_out, 1)
+            received.append(chain.data_out.value)
+            chain.ack_in.set(1)
+            yield WaitValue(chain.req_out, 0)
+            chain.ack_in.set(0)
+
+        spawn(sim, sender())
+        spawn(sim, receiver())
+        sim.run(max_events=1_000_000)
+        return received
+
+    def test_single_stage_transport(self, sim):
+        data_in = Bus(sim, 8, "d")
+        req_in = Signal(sim, "r")
+        chain = AsyncWireBufferChain(sim, data_in, req_in, n_buffers=1)
+        assert self._handshake_once(sim, chain, data_in, req_in, 0x7B) == [0x7B]
+
+    def test_four_stage_transport(self, sim):
+        data_in = Bus(sim, 8, "d")
+        req_in = Signal(sim, "r")
+        chain = AsyncWireBufferChain(sim, data_in, req_in, n_buffers=4)
+        assert self._handshake_once(sim, chain, data_in, req_in, 0xE1) == [0xE1]
+
+    def test_chain_length_checked(self, sim):
+        with pytest.raises(ValueError):
+            AsyncWireBufferChain(sim, Bus(sim, 8, "d"), Signal(sim, "r"), 0)
+
+    def test_stage_count(self, sim):
+        chain = AsyncWireBufferChain(
+            sim, Bus(sim, 8, "d"), Signal(sim, "r"), n_buffers=6
+        )
+        assert len(chain.stages) == 6
+
+    def test_wire_segments_add_delay(self, sim):
+        data_in = Bus(sim, 8, "d")
+        req_in = Signal(sim, "r")
+        fast = AsyncWireBufferChain(sim, data_in, req_in, 2, t_p_ps=0)
+        t0 = sim.now
+        self._handshake_once(sim, fast, data_in, req_in, 0x01)
+        fast_time = sim.now - t0
+
+        sim2 = Simulator()
+        data2 = Bus(sim2, 8, "d")
+        req2 = Signal(sim2, "r")
+        slow = AsyncWireBufferChain(sim2, data2, req2, 2, t_p_ps=200)
+        self._handshake_once(sim2, slow, data2, req2, 0x01)
+        assert sim2.now > fast_time

@@ -1,0 +1,77 @@
+"""Unit tests for flits and packets."""
+
+import pytest
+
+from repro.noc import Flit, FlitKind, Packet, reset_packet_ids
+
+
+@pytest.fixture(autouse=True)
+def fresh_ids():
+    reset_packet_ids()
+
+
+class TestFlitKind:
+    def test_head_opens_route(self):
+        assert FlitKind.HEAD.opens_route
+        assert FlitKind.HEAD_TAIL.opens_route
+        assert not FlitKind.BODY.opens_route
+
+    def test_tail_closes_route(self):
+        assert FlitKind.TAIL.closes_route
+        assert FlitKind.HEAD_TAIL.closes_route
+        assert not FlitKind.HEAD.closes_route
+
+
+class TestPacket:
+    def test_flit_sequence_kinds(self):
+        packet = Packet(src=(0, 0), dest=(1, 1), length_flits=4)
+        kinds = [f.kind for f in packet.flits()]
+        assert kinds == [
+            FlitKind.HEAD, FlitKind.BODY, FlitKind.BODY, FlitKind.TAIL,
+        ]
+
+    def test_single_flit_packet(self):
+        packet = Packet(src=(0, 0), dest=(1, 0), length_flits=1)
+        kinds = [f.kind for f in packet.flits()]
+        assert kinds == [FlitKind.HEAD_TAIL]
+
+    def test_two_flit_packet(self):
+        packet = Packet(src=(0, 0), dest=(1, 0), length_flits=2)
+        kinds = [f.kind for f in packet.flits()]
+        assert kinds == [FlitKind.HEAD, FlitKind.TAIL]
+
+    def test_flits_share_packet_id(self):
+        packet = Packet(src=(0, 0), dest=(2, 2), length_flits=3)
+        ids = {f.packet_id for f in packet.flits()}
+        assert ids == {packet.packet_id}
+
+    def test_sequence_numbers(self):
+        packet = Packet(src=(0, 0), dest=(2, 2), length_flits=3)
+        assert [f.seq for f in packet.flits()] == [0, 1, 2]
+
+    def test_ids_unique_across_packets(self):
+        a = Packet(src=(0, 0), dest=(1, 0), length_flits=1)
+        b = Packet(src=(0, 0), dest=(1, 0), length_flits=1)
+        assert a.packet_id != b.packet_id
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            Packet(src=(0, 0), dest=(1, 0), length_flits=0)
+
+    def test_flits_carry_endpoints(self):
+        packet = Packet(src=(1, 2), dest=(3, 0), length_flits=2)
+        for flit in packet.flits():
+            assert flit.src == (1, 2)
+            assert flit.dest == (3, 0)
+
+    def test_payload_wraps_32_bits(self):
+        packet = Packet(src=(0, 0), dest=(1, 0), length_flits=2,
+                        payload_base=0xFFFFFFFF)
+        payloads = [f.payload for f in packet.flits()]
+        assert payloads == [0xFFFFFFFF, 0x00000000]
+
+    def test_reset_packet_ids(self):
+        Packet(src=(0, 0), dest=(1, 0), length_flits=1)
+        reset_packet_ids(100)
+        p = Packet(src=(0, 0), dest=(1, 0), length_flits=1)
+        assert p.packet_id == 100

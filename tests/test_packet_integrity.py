@@ -1,0 +1,136 @@
+"""Packet-integrity tests: payloads, ordering, and cross-layer composition.
+
+The statistics module counts flits; these tests check the *contents*:
+every packet's flits arrive complete, in order, with untouched payloads
+— both through the behavioural NoC and through the gate-level link
+(composing the two layers of the reproduction).
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.link import LinkConfig, LinkTestbench, build_i3
+from repro.link.behavioral import derive_link_params
+from repro.noc import (
+    Flit,
+    Network,
+    Packet,
+    Topology,
+    TrafficConfig,
+    TrafficGenerator,
+    reset_packet_ids,
+)
+from repro.sim import Clock, Simulator
+from repro.tech import st012
+
+
+@pytest.fixture(autouse=True)
+def fresh_ids():
+    reset_packet_ids()
+
+
+def eject_spy(net):
+    """Capture every ejected flit grouped by packet."""
+    captured = defaultdict(list)
+    original = net._eject
+
+    def spy(flit: Flit) -> None:
+        captured[flit.packet_id].append(flit)
+        original(flit)
+
+    net._eject = spy
+    return captured
+
+
+class TestPayloadIntegrityInMesh:
+    def test_flits_arrive_in_sequence_order(self):
+        topo = Topology(4, 4)
+        net = Network(topo, derive_link_params(st012(), "I3", 300))
+        packets = [
+            Packet(src=(0, 0), dest=(3, 3), length_flits=5, payload_base=100),
+            Packet(src=(3, 3), dest=(0, 0), length_flits=5, payload_base=200),
+            Packet(src=(0, 3), dest=(3, 0), length_flits=5, payload_base=300),
+        ]
+        captured = eject_spy(net)
+        for p in packets:
+            net.offer_packet(p)
+        net.drain()
+        for p in packets:
+            flits = captured[p.packet_id]
+            assert [f.seq for f in flits] == [0, 1, 2, 3, 4]
+            assert [f.payload for f in flits] == [
+                p.payload_base + i for i in range(5)
+            ]
+
+    def test_no_cross_packet_mixing_under_contention(self):
+        """Heavy uniform traffic: per-packet flit order is preserved even
+        when many packets interleave in the switches."""
+        topo = Topology(4, 4)
+        net = Network(topo, derive_link_params(st012(), "I2", 300))
+        captured = eject_spy(net)
+        traffic = TrafficGenerator(
+            topo,
+            TrafficConfig(injection_rate=0.3, packet_length=6, seed=21),
+        )
+        net.run(600, traffic)
+        net.drain(max_cycles=200_000)
+        assert len(captured) > 20
+        for pid, flits in captured.items():
+            assert [f.seq for f in flits] == sorted(f.seq for f in flits)
+            assert len(flits) == 6
+
+    def test_destinations_correct(self):
+        topo = Topology(4, 4)
+        net = Network(topo, derive_link_params(st012(), "I1", 300))
+        dest_seen = {}
+        original = net._eject
+
+        def spy(flit):
+            dest_seen[flit.packet_id] = flit.dest
+            original(flit)
+
+        net._eject = spy
+        traffic = TrafficGenerator(
+            topo, TrafficConfig(injection_rate=0.1, seed=31)
+        )
+        net.run(400, traffic)
+        net.drain()
+        # every flit must have been ejected at its destination switch:
+        # since _eject is only called by the destination's LOCAL port,
+        # verify via the network's switches — any misroute would have
+        # left the flit circulating and drain() would hang instead.
+        assert dest_seen  # some traffic flowed
+
+
+class TestGateLevelPacketTransport:
+    def test_packet_flits_survive_gate_level_i3(self):
+        """Compose the layers: encode a 3-packet wormhole stream as raw
+        32-bit flit words, push them through the *gate-level* I3 link,
+        and rebuild the packets on the far side."""
+        packets = [
+            Packet(src=(0, 0), dest=(1, 0), length_flits=4,
+                   payload_base=0x1000 * (i + 1))
+            for i in range(3)
+        ]
+        words = []
+        for p in packets:
+            for f in p.flits():
+                # [pid:8 | seq:8 | payload:16] — a toy wire encoding
+                words.append(
+                    ((p.packet_id & 0xFF) << 24)
+                    | ((f.seq & 0xFF) << 16)
+                    | (f.payload & 0xFFFF)
+                )
+        sim = Simulator()
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i3(sim, clock.signal, LinkConfig())
+        bench = LinkTestbench(sim, clock, link)
+        m = bench.run(words, timeout_ns=1e6)
+        assert m.received_values == words
+        # decode and regroup
+        regrouped = defaultdict(list)
+        for word in m.received_values:
+            regrouped[word >> 24].append((word >> 16) & 0xFF)
+        for p in packets:
+            assert regrouped[p.packet_id & 0xFF] == [0, 1, 2, 3]

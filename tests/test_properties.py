@@ -1,0 +1,265 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    per_transfer_cycle_delay,
+    per_word_cycle_delay,
+    sync_wires_needed,
+    wire_area_um2,
+)
+from repro.noc import Port, Topology, next_hop, xy_route
+from repro.sim import Bus, Simulator
+from repro.tech import HandshakeTimings, st012
+
+slow = settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestBusProperties:
+    @given(width=st.integers(1, 64), value=st.integers(0))
+    @settings(deadline=None, max_examples=60)
+    def test_set_get_roundtrip(self, width, value):
+        value %= 1 << width
+        sim = Simulator()
+        bus = Bus(sim, width, "b")
+        bus.set(value)
+        assert bus.value == value
+
+    @given(width=st.integers(1, 32), a=st.integers(0), b=st.integers(0))
+    @settings(deadline=None, max_examples=60)
+    def test_transitions_equal_hamming_distance(self, width, a, b):
+        a %= 1 << width
+        b %= 1 << width
+        sim = Simulator()
+        bus = Bus(sim, width, "b", init=a)
+        bus.set(b)
+        assert bus.transitions == bin(a ^ b).count("1")
+
+    @given(width=st.integers(2, 32), lo=st.integers(0, 30), hi=st.integers(0, 31))
+    @settings(deadline=None, max_examples=60)
+    def test_slice_view_aliases(self, width, lo, hi):
+        lo %= width
+        hi %= width
+        if lo > hi:
+            lo, hi = hi, lo
+        sim = Simulator()
+        bus = Bus(sim, width, "b")
+        bus.set((1 << width) - 1)
+        view = Bus.from_signals(sim, bus.slice(lo, hi), "v")
+        assert view.value == (1 << (hi - lo + 1)) - 1
+
+
+class TestSerializerRoundTripProperty:
+    @given(
+        words=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=4),
+        slice_width=st.sampled_from([4, 8, 16, 32]),
+    )
+    @slow
+    def test_i2_serdes_roundtrip(self, words, slice_width):
+        """Any word stream survives serialize→deserialize at any ratio."""
+        from repro.link import Channel, Deserializer, Serializer
+        from repro.link.channel import sink_process, source_process
+        from repro.link.wiring import wire, wire_bus
+        from repro.sim import spawn
+
+        sim = Simulator()
+        in_ch = Channel(sim, 32, "in")
+        ser = Serializer(sim, in_ch, slice_width=slice_width)
+        des = Deserializer(sim, Channel(sim, slice_width, "mid"), 32)
+        wire_bus(ser.out_ch.data, des.in_ch.data, 0)
+        wire(ser.out_ch.req, des.in_ch.req, 0)
+        wire(des.in_ch.ack, ser.out_ch.ack, 0)
+        received = []
+        spawn(sim, source_process(in_ch, words))
+        spawn(sim, sink_process(des.out_ch, received, count=len(words)))
+        sim.run(max_events=5_000_000)
+        assert received == words
+
+    @given(words=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=3))
+    @slow
+    def test_i3_word_level_roundtrip(self, words):
+        from repro.link import WordDeserializer, WordSerializer, Channel
+        from repro.link.channel import ValidChannel, sink_process, source_process
+        from repro.link.wiring import wire, wire_bus
+        from repro.sim import spawn
+
+        sim = Simulator()
+        in_ch = Channel(sim, 32, "in")
+        wser = WordSerializer(sim, in_ch, slice_width=8)
+        rx = ValidChannel(sim, 8, "rx")
+        wdes = WordDeserializer(sim, rx, 32)
+        wire_bus(wser.out_ch.data, rx.data, 0)
+        wire(wser.out_ch.valid, rx.valid, 0)
+        wire(wdes.ack_to_tx, wser.out_ch.ack, 0)
+        received = []
+        spawn(sim, source_process(in_ch, words))
+        spawn(sim, sink_process(wdes.out_ch, received, count=len(words)))
+        sim.run(max_events=5_000_000)
+        assert received == words
+
+
+class TestRoutingProperties:
+    @given(
+        cols=st.integers(2, 6),
+        rows=st.integers(2, 6),
+        data=st.data(),
+    )
+    @settings(deadline=None, max_examples=80)
+    def test_xy_route_reaches_destination(self, cols, rows, data):
+        topo = Topology(cols, rows)
+        src = data.draw(st.tuples(st.integers(0, cols - 1),
+                                  st.integers(0, rows - 1)))
+        dest = data.draw(st.tuples(st.integers(0, cols - 1),
+                                   st.integers(0, rows - 1)))
+        pos = src
+        for port in xy_route(src, dest, topo):
+            nxt = topo.neighbor(pos, port)
+            assert nxt is not None, "route stepped off the mesh"
+            pos = nxt
+        assert pos == dest
+
+    @given(
+        cols=st.integers(2, 6),
+        rows=st.integers(2, 6),
+        data=st.data(),
+    )
+    @settings(deadline=None, max_examples=80)
+    def test_route_length_is_manhattan(self, cols, rows, data):
+        topo = Topology(cols, rows)
+        src = data.draw(st.tuples(st.integers(0, cols - 1),
+                                  st.integers(0, rows - 1)))
+        dest = data.draw(st.tuples(st.integers(0, cols - 1),
+                                   st.integers(0, rows - 1)))
+        route = xy_route(src, dest, topo)
+        manhattan = abs(src[0] - dest[0]) + abs(src[1] - dest[1])
+        assert len(route) == manhattan
+
+    @given(cols=st.integers(2, 6), rows=st.integers(2, 6), data=st.data())
+    @settings(deadline=None, max_examples=80)
+    def test_xy_never_turns_from_y_back_to_x(self, cols, rows, data):
+        """Dimension order: once a route goes N/S it never goes E/W —
+        the property that makes XY deadlock-free."""
+        topo = Topology(cols, rows)
+        src = data.draw(st.tuples(st.integers(0, cols - 1),
+                                  st.integers(0, rows - 1)))
+        dest = data.draw(st.tuples(st.integers(0, cols - 1),
+                                   st.integers(0, rows - 1)))
+        route = xy_route(src, dest, topo)
+        seen_y = False
+        for port in route:
+            if port in (Port.NORTH, Port.SOUTH):
+                seen_y = True
+            elif seen_y:
+                pytest.fail(f"X move after Y move in {route}")
+
+    @given(cols=st.integers(2, 5), rows=st.integers(2, 5), data=st.data())
+    @settings(deadline=None, max_examples=60)
+    def test_next_hop_consistent_with_route(self, cols, rows, data):
+        topo = Topology(cols, rows)
+        src = data.draw(st.tuples(st.integers(0, cols - 1),
+                                  st.integers(0, rows - 1)))
+        dest = data.draw(st.tuples(st.integers(0, cols - 1),
+                                   st.integers(0, rows - 1)))
+        if src == dest:
+            assert next_hop(src, dest, topo) == Port.LOCAL
+        else:
+            assert next_hop(src, dest, topo) == xy_route(src, dest, topo)[0]
+
+
+class TestAnalysisProperties:
+    @given(
+        n=st.integers(1, 256),
+        length=st.floats(0.0, 10_000.0, allow_nan=False),
+    )
+    @settings(deadline=None, max_examples=100)
+    def test_wire_area_monotone_in_wires_and_length(self, n, length):
+        tech = st012()
+        area = wire_area_um2(n, length, tech)
+        assert area >= 0
+        assert wire_area_um2(n + 1, length, tech) >= area
+        assert wire_area_um2(n, length + 1, tech) >= area
+
+    @given(
+        bandwidth=st.floats(1.0, 1000.0, allow_nan=False),
+        clock=st.floats(10.0, 1000.0, allow_nan=False),
+    )
+    @settings(deadline=None, max_examples=100)
+    def test_sync_wires_sufficient(self, bandwidth, clock):
+        """The returned wire count actually sustains the bandwidth."""
+        wires = sync_wires_needed(bandwidth, clock, flit_width=32)
+        achievable = wires * clock / 32
+        assert achievable >= bandwidth * (1 - 1e-9)
+
+    @given(
+        tp=st.integers(0, 1000),
+        slices=st.integers(1, 32),
+        buffers=st.integers(1, 16),
+    )
+    @settings(deadline=None, max_examples=100)
+    def test_delay_equations_positive_and_monotone(self, tp, slices, buffers):
+        timings = HandshakeTimings(t_p_per_segment=tp)
+        i2 = per_transfer_cycle_delay(timings, slices, buffers)
+        i3 = per_word_cycle_delay(timings, slices, buffers)
+        assert i2.cycle_delay_ps > 0 and i3.cycle_delay_ps > 0
+        # more slices never speed up the per-transfer link
+        i2_more = per_transfer_cycle_delay(timings, slices + 1, buffers)
+        assert i2_more.cycle_delay_ps >= i2.cycle_delay_ps
+
+    @given(usage=st.floats(0.0, 1.0, allow_nan=False),
+           freq=st.floats(10.0, 500.0, allow_nan=False),
+           buffers=st.integers(1, 16))
+    @settings(deadline=None, max_examples=100)
+    def test_power_monotone_in_usage_and_buffers(self, usage, freq, buffers):
+        from repro.analysis import link_power_uw
+
+        tech = st012()
+        for kind in ("I1", "I2", "I3"):
+            p = link_power_uw(tech, kind, buffers, freq, usage)
+            assert p > 0
+            assert link_power_uw(tech, kind, buffers + 1, freq, usage) >= p
+            assert link_power_uw(
+                tech, kind, buffers, freq, min(1.0, usage + 0.1)
+            ) >= p
+
+
+class TestSequencerProperty:
+    @given(n=st.integers(2, 8), advances=st.integers(0, 24))
+    @slow
+    def test_one_hot_invariant(self, n, advances):
+        """After any number of advances the sequencer is exactly 1-hot
+        and the token position equals advances mod n."""
+        from repro.elements import OneHotSequencer
+
+        sim = Simulator()
+        seq = OneHotSequencer(sim, n)
+        for _ in range(advances):
+            seq.advance.set(1)
+            seq.advance.set(0)
+            sim.run(max_events=100_000)
+        assert sum(s.value for s in seq.sel) == 1
+        assert seq.index == advances % n
+
+
+class TestTrafficProperties:
+    @given(seed=st.integers(0, 2**16), rate=st.floats(0.01, 0.5))
+    @settings(deadline=None, max_examples=30)
+    def test_generators_reproducible(self, seed, rate):
+        from repro.noc import TrafficConfig, TrafficGenerator
+
+        topo = Topology(3, 3)
+        seqs = []
+        for _ in range(2):
+            gen = TrafficGenerator(
+                topo, TrafficConfig(injection_rate=rate, seed=seed)
+            )
+            seqs.append(
+                [(p.src, p.dest) for c in range(30)
+                 for p in gen.packets_for_cycle(c)]
+            )
+        assert seqs[0] == seqs[1]

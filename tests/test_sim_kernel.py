@@ -1,0 +1,193 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator, mhz_period_ps, ns, to_ns
+
+
+class TestTimeHelpers:
+    def test_ns_converts_to_picoseconds(self):
+        assert ns(1.0) == 1000
+        assert ns(0.011) == 11
+        assert ns(3.333) == 3333
+
+    def test_ns_rounds_to_nearest(self):
+        assert ns(0.0114) == 11
+        assert ns(0.0116) == 12
+
+    def test_ns_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ns(-1.0)
+
+    def test_to_ns_roundtrip(self):
+        assert to_ns(ns(2.5)) == pytest.approx(2.5)
+
+    def test_mhz_period_100(self):
+        assert mhz_period_ps(100) == 10_000
+
+    def test_mhz_period_300(self):
+        assert mhz_period_ps(300) == 3333
+
+    def test_mhz_period_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mhz_period_ps(0)
+        with pytest.raises(ValueError):
+            mhz_period_ps(-5)
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, lambda: order.append("c"))
+        sim.schedule(10, lambda: order.append("a"))
+        sim.schedule(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(5, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_now_advances_with_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.schedule(250, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100, 250]
+
+    def test_schedule_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_call_at_past_raises(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(50, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(50, lambda: seen.append(sim.now))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert seen == [10, 60]
+
+    def test_zero_delay_event_runs_at_same_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(10, lambda: sim.schedule(0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [10]
+
+
+class TestRun:
+    def test_run_until_stops_before_horizon_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(100))
+        sim.schedule(200, lambda: seen.append(200))
+        sim.run(until=150)
+        assert seen == [100]
+        assert sim.now == 150
+
+    def test_run_until_excludes_boundary_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(150, lambda: seen.append(150))
+        sim.run(until=150)
+        assert seen == []
+        # the event is still pending and fires on the next run
+        sim.run()
+        assert seen == [150]
+
+    def test_run_advances_to_horizon_with_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run() == 5
+
+    def test_max_events_budget_raises_on_livelock(self):
+        sim = Simulator()
+
+        def spin():
+            sim.schedule(1, spin)
+
+        sim.schedule(1, spin)
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=100)
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+
+        def first_then_stop():
+            seen.append(1)
+            sim.stop()
+
+        sim.schedule(10, first_then_stop)
+        sim.schedule(20, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        # the second event remains queued
+        assert sim.pending_events == 1
+
+    def test_run_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, recurse)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, lambda: seen.append("a"))
+        sim.schedule(20, lambda: seen.append("b"))
+        assert sim.step() is True
+        assert seen == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_run_ns_horizon(self):
+        sim = Simulator()
+        sim.run_ns(2.5)
+        assert sim.now == 2500
+
+    def test_events_executed_accumulates(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+    def test_drain_empties_queue(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        sim.drain()
+        assert sim.pending_events == 0

@@ -1,0 +1,208 @@
+"""Unit tests for the generator-process framework."""
+
+import pytest
+
+from repro.sim import (
+    Delay,
+    Edge,
+    FallingEdge,
+    RisingEdge,
+    Signal,
+    Simulator,
+    WaitValue,
+    spawn,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestDelay:
+    def test_process_resumes_after_delay(self, sim):
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield Delay(100)
+            times.append(sim.now)
+            yield Delay(50)
+            times.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert times == [0, 100, 150]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+
+    def test_zero_delay_is_allowed(self, sim):
+        steps = []
+
+        def proc():
+            steps.append("a")
+            yield Delay(0)
+            steps.append("b")
+
+        spawn(sim, proc())
+        sim.run()
+        assert steps == ["a", "b"]
+
+
+class TestEdges:
+    def test_rising_edge(self, sim):
+        sig = Signal(sim, "s")
+        seen = []
+
+        def proc():
+            yield RisingEdge(sig)
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sig.drive(1, delay=70)
+        sim.run()
+        assert seen == [70]
+
+    def test_falling_edge_ignores_rise(self, sim):
+        sig = Signal(sim, "s")
+        seen = []
+
+        def proc():
+            yield FallingEdge(sig)
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sig.drive(1, delay=10, inertial=False)
+        sig.drive(0, delay=90, inertial=False)
+        sim.run()
+        assert seen == [90]
+
+    def test_any_edge(self, sim):
+        sig = Signal(sim, "s")
+        seen = []
+
+        def proc():
+            while True:
+                yield Edge(sig)
+                seen.append((sim.now, sig.value))
+
+        spawn(sim, proc())
+        sig.drive(1, delay=10, inertial=False)
+        sig.drive(0, delay=20, inertial=False)
+        sig.drive(1, delay=30, inertial=False)
+        sim.run(until=100)
+        assert seen == [(10, 1), (20, 0), (30, 1)]
+
+    def test_edge_kind_validation(self, sim):
+        sig = Signal(sim, "s")
+        with pytest.raises(ValueError):
+            Edge(sig, "sideways")
+
+
+class TestWaitValue:
+    def test_waits_for_future_value(self, sim):
+        sig = Signal(sim, "s")
+        seen = []
+
+        def proc():
+            yield WaitValue(sig, 1)
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sig.drive(1, delay=42)
+        sim.run()
+        assert seen == [42]
+
+    def test_immediate_if_already_at_value(self, sim):
+        sig = Signal(sim, "s", init=1)
+        seen = []
+
+        def proc():
+            yield WaitValue(sig, 1)
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert seen == [0]
+
+    def test_wait_for_zero(self, sim):
+        sig = Signal(sim, "s", init=1)
+        seen = []
+
+        def proc():
+            yield WaitValue(sig, 0)
+            seen.append(sim.now)
+
+        spawn(sim, proc())
+        sig.drive(0, delay=33)
+        sim.run()
+        assert seen == [33]
+
+
+class TestProcessLifecycle:
+    def test_process_finishes(self, sim):
+        def proc():
+            yield Delay(1)
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.finished
+
+    def test_kill_stops_process(self, sim):
+        seen = []
+
+        def proc():
+            yield Delay(10)
+            seen.append("should not happen")
+
+        p = spawn(sim, proc())
+        p.kill()
+        sim.run()
+        assert seen == []
+        assert p.finished
+
+    def test_exception_propagates_out_of_run(self, sim):
+        def proc():
+            yield Delay(5)
+            raise RuntimeError("boom")
+
+        spawn(sim, proc())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def ping(sig_a, sig_b):
+            for _ in range(3):
+                yield WaitValue(sig_a, 1)
+                sig_a.set(0)
+                log.append(("ping", sim.now))
+                sig_b.set(1)
+
+        def pong(sig_a, sig_b):
+            for _ in range(3):
+                yield WaitValue(sig_b, 1)
+                sig_b.set(0)
+                log.append(("pong", sim.now))
+                yield Delay(10)
+                sig_a.set(1)
+
+        a = Signal(sim, "a", init=1)
+        b = Signal(sim, "b")
+        spawn(sim, ping(a, b))
+        spawn(sim, pong(a, b))
+        sim.run()
+        assert [name for name, _ in log] == [
+            "ping", "pong", "ping", "pong", "ping", "pong",
+        ]
+
+    def test_invalid_yield_raises(self, sim):
+        def proc():
+            yield "not a condition"
+
+        spawn(sim, proc())
+        with pytest.raises(TypeError):
+            sim.run()

@@ -1,0 +1,121 @@
+"""Unit tests for the VCD waveform exporter."""
+
+import io
+
+import pytest
+
+from repro.sim import Signal, Simulator, Tracer
+from repro.sim.vcd import write_vcd
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def traced_handshake(sim):
+    req = Signal(sim, "req")
+    ack = Signal(sim, "ack")
+    tracer = Tracer()
+    tracer.watch(req, ack)
+    req.drive(1, delay=100, inertial=False)
+    ack.drive(1, delay=200, inertial=False)
+    req.drive(0, delay=300, inertial=False)
+    ack.drive(0, delay=400, inertial=False)
+    sim.run()
+    return tracer
+
+
+class TestWriteVcd:
+    def test_header_sections(self, sim):
+        tracer = traced_handshake(sim)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        text = buf.getvalue()
+        assert "$timescale 1 ps $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "$dumpvars" in text
+
+    def test_change_count(self, sim):
+        tracer = traced_handshake(sim)
+        buf = io.StringIO()
+        written = write_vcd(tracer, buf)
+        assert written == 4  # two rises, two falls
+
+    def test_timestamps_in_order(self, sim):
+        tracer = traced_handshake(sim)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        stamps = [
+            int(line[1:])
+            for line in buf.getvalue().splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == sorted(stamps)
+        assert stamps == [100, 200, 300, 400]
+
+    def test_timescale_rescales(self, sim):
+        tracer = traced_handshake(sim)
+        buf = io.StringIO()
+        write_vcd(tracer, buf, timescale_ps=100)
+        stamps = [
+            int(line[1:])
+            for line in buf.getvalue().splitlines()
+            if line.startswith("#")
+        ]
+        assert stamps == [1, 2, 3, 4]
+
+    def test_file_output(self, sim, tmp_path):
+        tracer = traced_handshake(sim)
+        path = tmp_path / "wave.vcd"
+        write_vcd(tracer, path)
+        assert path.read_text().startswith("$comment")
+
+    def test_signal_names_sanitized(self, sim):
+        sig = Signal(sim, "my sig")
+        tracer = Tracer()
+        tracer.watch(sig)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        assert "my_sig" in buf.getvalue()
+
+    def test_empty_tracer_rejected(self, sim):
+        with pytest.raises(ValueError):
+            write_vcd(Tracer(), io.StringIO())
+
+    def test_bad_timescale_rejected(self, sim):
+        tracer = traced_handshake(sim)
+        with pytest.raises(ValueError):
+            write_vcd(tracer, io.StringIO(), timescale_ps=0)
+
+    def test_identifiers_unique_for_many_signals(self, sim):
+        tracer = Tracer()
+        sigs = [Signal(sim, f"s{i}") for i in range(200)]
+        tracer.watch(*sigs)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        idents = [
+            line.split()[3]
+            for line in buf.getvalue().splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(set(idents)) == 200
+
+    def test_full_link_dump(self, sim):
+        """Dump a real I3 transfer and check the VCD is non-trivial."""
+        from repro.link import LinkConfig, build_i3, measure_throughput
+        from repro.sim import Clock
+
+        clock = Clock.from_mhz(sim, 300)
+        link = build_i3(sim, clock.signal, LinkConfig())
+        tracer = Tracer()
+        tracer.watch(
+            link.s2a.out_ch.req,
+            link.s2a.out_ch.ack,
+            link.serializer.out_ch.valid,
+        )
+        measure_throughput(sim, clock, link, n_flits=4)
+        buf = io.StringIO()
+        written = write_vcd(tracer, buf)
+        assert written > 20  # four flits' worth of handshaking

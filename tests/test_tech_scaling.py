@@ -1,0 +1,64 @@
+"""Unit tests for technology scaling (extension feature)."""
+
+import pytest
+
+from repro.tech import scale_technology, st012
+
+
+class TestScaleTechnology:
+    def test_identity_scale(self):
+        tech = st012()
+        same = scale_technology(tech, 120)
+        assert same.gates.inv == tech.gates.inv
+        assert same.metal.met_w_um == pytest.approx(tech.metal.met_w_um)
+
+    def test_downscale_to_65nm(self):
+        tech = st012()
+        scaled = scale_technology(tech, 65)
+        factor = 65 / 120
+        assert scaled.feature_nm == 65
+        assert scaled.gates.inv == max(1, round(11 * factor))
+        assert scaled.metal.met_w_um == pytest.approx(0.44 * factor)
+        assert scaled.areas.sync_buffer == pytest.approx(
+            3966.0 * factor * factor
+        )
+
+    def test_power_exponent(self):
+        tech = st012()
+        lin = scale_technology(tech, 60, power_exponent=1.0)
+        cub = scale_technology(tech, 60, power_exponent=3.0)
+        assert cub.power.conv_static < lin.power.conv_static
+
+    def test_metal_factor_override(self):
+        """Global metal layers often scale slower than the feature size."""
+        tech = st012()
+        scaled = scale_technology(tech, 65, metal_factor=0.8)
+        assert scaled.metal.met_w_um == pytest.approx(0.44 * 0.8)
+
+    def test_handshake_constants_scale(self):
+        tech = st012()
+        scaled = scale_technology(tech, 60)
+        assert scaled.handshake.t_burst == round(1100 * 0.5)
+        assert scaled.handshake.t_inv == round(11 * 0.5)
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            scale_technology(st012(), 0)
+
+    def test_provenance_notes_derivation(self):
+        scaled = scale_technology(st012(), 90)
+        assert "scaling" in scaled.provenance
+        assert "[derived]" in scaled.provenance["scaling"]
+
+    def test_upscale(self):
+        scaled = scale_technology(st012(), 240)
+        assert scaled.gates.inv == 22
+
+    def test_scaled_technology_still_runs_experiments(self):
+        """The wire model must keep working at other nodes."""
+        from repro.analysis import wire_area_um2
+
+        scaled = scale_technology(st012(), 65)
+        area_scaled = wire_area_um2(8, 1000.0, scaled)
+        area_orig = wire_area_um2(8, 1000.0, st012())
+        assert area_scaled < area_orig
