@@ -8,36 +8,33 @@ serialized asynchronous link.
 
 from repro.analysis import format_table
 from repro.link.behavioral import derive_link_params
-from repro.noc import Network, Topology, TrafficConfig, TrafficGenerator
+from repro.noc import Topology, run_mesh_point
 
 
 def run_mesh(tech, kind, rate=0.1, cycles=1200, mhz=300.0):
     topo = Topology(4, 4)
     params = derive_link_params(tech, kind, mhz)
-    net = Network(topo, params)
-    traffic = TrafficGenerator(
-        topo, TrafficConfig(injection_rate=rate, seed=2008)
+    return run_mesh_point(
+        topo, params, injection_rate=rate, cycles=cycles,
+        drain_max_cycles=200_000,
     )
-    net.run(cycles, traffic)
-    net.drain(max_cycles=200_000)
-    return net
 
 
 def test_bench_mesh_i1_vs_i3(benchmark, tech, report):
-    net_i3 = benchmark.pedantic(
+    point_i3 = benchmark.pedantic(
         run_mesh, args=(tech, "I3"), rounds=2, iterations=1
     )
-    net_i1 = run_mesh(tech, "I1")
+    point_i1 = run_mesh(tech, "I1")
     rows = []
-    for label, net in (("I1 (32-wire sync)", net_i1),
-                       ("I3 (10-wire async)", net_i3)):
+    for label, point in (("I1 (32-wire sync)", point_i1),
+                         ("I3 (10-wire async)", point_i3)):
         rows.append(
             [
                 label,
-                net.total_wires,
-                f"{net.stats.mean_packet_latency:.1f}",
-                f"{net.stats.throughput_flits_per_node_cycle(16):.3f}",
-                net.stats.packets_ejected,
+                point["total_wires"],
+                f"{point['mean_latency']:.1f}",
+                f"{point['throughput']:.3f}",
+                point["packets_ejected"],
             ]
         )
     report(
@@ -49,7 +46,5 @@ def test_bench_mesh_i1_vs_i3(benchmark, tech, report):
         )
     )
     # the system-level claim: same performance, one third the wires
-    assert net_i3.stats.mean_packet_latency <= (
-        net_i1.stats.mean_packet_latency * 1.25
-    )
-    assert net_i3.total_wires * 3 < net_i1.total_wires * 1.01
+    assert point_i3["mean_latency"] <= point_i1["mean_latency"] * 1.25
+    assert point_i3["total_wires"] * 3 < point_i1["total_wires"] * 1.01

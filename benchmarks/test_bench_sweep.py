@@ -1,0 +1,68 @@
+"""Benchmark: sweep-engine overhead vs calling experiments directly.
+
+The runner must stay a thin shell — registry lookup, parameter
+resolution, request bookkeeping and result collection should cost
+little next to the scenarios themselves.  Two probes:
+
+* serial engine execution of an analytical scenario vs the bare
+  function call (per-run overhead);
+* a small mesh design-space grid through the engine, the shape the
+  CLI's ``sweep`` subcommand runs all day.
+"""
+
+import time
+
+from repro.experiments import fig12
+from repro.runner import engine, registry, sweep
+
+
+def _engine_fig12(n):
+    requests = [engine.RunRequest.create("fig12") for _ in range(n)]
+    return engine.execute(requests, jobs=1)
+
+
+def test_bench_engine_vs_direct(benchmark, report):
+    registry.load_builtin()
+    n = 5
+    outcomes = benchmark.pedantic(
+        _engine_fig12, args=(n,), rounds=3, iterations=1
+    )
+    assert all(o.ok for o in outcomes)
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fig12.run()
+    direct = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    _engine_fig12(n)
+    engined = time.perf_counter() - t0
+
+    report(
+        f"sweep-engine overhead: {n} fig12 runs direct {direct * 1e3:.1f} ms, "
+        f"via engine {engined * 1e3:.1f} ms "
+        f"({engined / direct:.2f}x)"
+    )
+    # the engine may not multiply scenario cost; generous bound for CI noise
+    assert engined < direct * 5 + 0.05
+
+
+def _mesh_grid():
+    sc = registry.get("mesh-design-space")
+    requests = sweep.build_requests(
+        sc,
+        axes={"mesh_size": [2, 3], "injection_rate": [0.05, 0.15]},
+        fixed={"cycles": 200},
+    )
+    return engine.execute(requests, jobs=1)
+
+
+def test_bench_small_mesh_sweep(benchmark, report):
+    registry.load_builtin()
+    outcomes = benchmark.pedantic(_mesh_grid, rounds=2, iterations=1)
+    assert len(outcomes) == 4
+    assert all(o.ok for o in outcomes)
+    report(
+        "mesh design-space grid (2 sizes x 2 rates, 200 cycles) "
+        "through the sweep engine"
+    )

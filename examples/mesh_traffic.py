@@ -16,7 +16,7 @@ Run:  python examples/mesh_traffic.py
 
 from repro.analysis import format_table, link_power_uw
 from repro.link.behavioral import derive_link_params
-from repro.noc import Network, Topology, TrafficConfig, TrafficGenerator
+from repro.noc import Topology, run_mesh_point
 from repro.tech import st012
 
 MESH = Topology(4, 4)
@@ -26,19 +26,12 @@ RATES = (0.05, 0.15, 0.25)
 
 def run_point(kind, rate, tech):
     params = derive_link_params(tech, kind, CLOCK_MHZ)
-    network = Network(MESH, params)
-    traffic = TrafficGenerator(
-        MESH,
-        TrafficConfig(pattern="uniform", injection_rate=rate, seed=2008),
-    )
-    network.run(2000, traffic)
-    network.drain(max_cycles=300_000)
-    stats = network.stats
+    point = run_mesh_point(MESH, params, injection_rate=rate, cycles=2000)
     return {
-        "throughput": stats.throughput_flits_per_node_cycle(MESH.n_nodes),
-        "latency": stats.mean_packet_latency,
-        "p99": stats.p99_packet_latency,
-        "wires": network.total_wires,
+        "throughput": point["throughput"],
+        "latency": point["mean_latency"],
+        "p99": point["p99_latency"],
+        "wires": point["total_wires"],
     }
 
 

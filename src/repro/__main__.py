@@ -1,93 +1,290 @@
-"""Command-line entry point: regenerate the paper's evaluation.
+"""Command-line entry point: scenario runner over the registry.
 
 Usage::
 
-    python -m repro                 # every table/figure + checks
-    python -m repro fig12 table1    # a subset
-    python -m repro --fast          # skip gate-level simulations
-    python -m repro --ablations     # include the extension studies
+    python -m repro list                      # catalogue of scenarios
+    python -m repro list --tags paper         # filter by tag
+    python -m repro run                       # every paper table/figure
+    python -m repro run fig12 table1          # just these (nothing else runs)
+    python -m repro run --tags ablation       # the extension studies
+    python -m repro run --fast --jobs 4       # fast mode, 4 worker processes
+    python -m repro run fig12 --out out/      # also write CSV+JSON artifacts
+    python -m repro sweep mesh-design-space --jobs 4 --out out/
+    python -m repro sweep mesh-design-space --param mesh_size=4,8 --set kind=I2
 
-Exit status is non-zero if any paper-vs-measured check fails, so the
-module doubles as a reproduction smoke test in CI.
+``run`` exits non-zero if any paper-vs-measured check fails, so it
+doubles as a reproduction smoke test in CI.  ``sweep`` expands a
+cartesian parameter grid (the scenario's declared axes, or explicit
+``--param name=v1,v2,...``) and executes every point, optionally in
+parallel; results are deterministic and independent of ``--jobs``.
+Note that *paper* scenarios check against the paper's published
+numbers, so sweeping one away from its calibrated defaults reports
+failed checks (exit 1) by design.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import List, Optional
 
-from .experiments import ablation, run_all
-from .tech import st012
-
-EXPERIMENT_IDS = (
-    "fig10", "fig11", "fig12", "fig13", "fig14",
-    "table1", "table2", "throughput", "wirelength",
-)
+from .analysis.report import format_table
+from .runner import artifacts, engine, registry, sweep
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description=(
-            "Reproduce the evaluation of 'Serialized Asynchronous Links "
-            "for NoC' (Ogg et al., DATE 2008)."
-        ),
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        metavar="EXPERIMENT",
-        help=f"subset of experiments to run (default: all of "
-             f"{', '.join(EXPERIMENT_IDS)})",
-    )
-    parser.add_argument(
-        "--fast",
-        action="store_true",
-        help="skip gate-level simulations (analytical results only)",
-    )
-    parser.add_argument(
-        "--ablations",
-        action="store_true",
-        help="also run the extension/ablation studies",
-    )
-    args = parser.parse_args(argv)
+def _paper_ids() -> List[str]:
+    registry.load_builtin()
+    return [sc.id for sc in registry.find(tags=("paper",))]
 
-    unknown = [e for e in args.experiments if e not in EXPERIMENT_IDS]
+
+def _parse_tags(raw: Optional[str]) -> List[str]:
+    if not raw:
+        return []
+    return [t.strip() for t in raw.split(",") if t.strip()]
+
+
+def _select(
+    parser: argparse.ArgumentParser,
+    ids: List[str],
+    tags: List[str],
+) -> List[registry.Scenario]:
+    """Scenarios chosen by explicit ids and/or tag filter."""
+    registry.load_builtin()
+    known = set(registry.ids())
+    unknown = [i for i in ids if i not in known]
     if unknown:
         parser.error(
-            f"unknown experiment(s) {unknown}; choose from {EXPERIMENT_IDS}"
+            f"unknown scenario(s) {unknown}; choose from "
+            f"{', '.join(sorted(known))}"
         )
+    if ids:
+        selected = [registry.get(i) for i in ids]
+        if tags:
+            wanted = frozenset(tags)
+            selected = [sc for sc in selected if wanted <= sc.tags]
+        return selected
+    if tags:
+        return registry.find(tags=tags)
+    return [registry.get(i) for i in _paper_ids()]
 
-    tech = st012()
-    results = run_all(tech, simulate=not args.fast)
-    selected = args.experiments or list(EXPERIMENT_IDS)
 
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args, parser) -> int:
+    registry.load_builtin()
+    scenarios = registry.find(tags=_parse_tags(args.tags))
+    rows = []
+    for sc in scenarios:
+        swept = [p.name for p in sc.params if p.sweep]
+        rows.append([
+            sc.id,
+            ",".join(sorted(sc.tags)),
+            ",".join(p.name for p in sc.params) or "-",
+            ",".join(swept) or "-",
+            sc.description,
+        ])
+    print(format_table(
+        ("id", "tags", "params", "sweep axes", "description"),
+        rows,
+        title=f"{len(rows)} registered scenario(s)",
+    ))
+    return 0
+
+
+def _report_outcomes(outcomes, out_dir) -> int:
+    """Print rendered results, optionally write artifacts; count failures."""
     failures = 0
-    for key in selected:
-        result = results[key]
-        print(result.render())
+    for outcome in outcomes:
+        if outcome.error:
+            print(
+                f"scenario {outcome.request.scenario_id} raised:\n"
+                f"{outcome.error}",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        print(outcome.result.render())
         print()
-        if not result.all_ok:
-            failures += len(result.failures())
+        failures += len(outcome.result.failures())
+    if out_dir:
+        summary = artifacts.write_artifacts(outcomes, out_dir)
+        print(f"artifacts written to {summary.parent}")
+    return failures
 
-    if args.ablations:
-        studies = [
-            ablation.serialization_sweep(tech),
-            ablation.buffer_count_study(tech),
-        ]
-        if not args.fast:
-            studies.append(ablation.early_ack_study(tech, n_flits=12))
-        for result in studies:
-            print(result.render())
-            print()
-            if not result.all_ok:
-                failures += len(result.failures())
 
+def _cmd_run(args, parser) -> int:
+    scenarios = _select(parser, args.scenarios, _parse_tags(args.tags))
+    if not scenarios:
+        parser.error("selection matches no scenarios")
+    skipped = [sc.id for sc in scenarios if args.fast and sc.fast_skip]
+    requests = [
+        engine.RunRequest.create(sc.id, fast=args.fast)
+        for sc in scenarios
+        if not (args.fast and sc.fast_skip)
+    ]
+    if not requests:
+        # everything the user asked for was fast-skipped: exiting 0
+        # here would let a CI job go green having executed no checks
+        print(
+            f"no scenarios executed: {', '.join(skipped)} need(s) "
+            f"gate-level simulation, incompatible with --fast",
+            file=sys.stderr,
+        )
+        return 1
+    outcomes = engine.execute(requests, jobs=args.jobs)
+    failures = _report_outcomes(outcomes, args.out)
+    for sid in skipped:
+        print(f"(skipped {sid}: needs gate-level simulation, "
+              f"incompatible with --fast)")
     if failures:
-        print(f"{failures} paper-vs-measured check(s) FAILED", file=sys.stderr)
+        print(f"{failures} paper-vs-measured check(s) FAILED",
+              file=sys.stderr)
         return 1
     print("all paper-vs-measured checks passed")
     return 0
+
+
+def _cmd_sweep(args, parser) -> int:
+    registry.load_builtin()
+    try:
+        sc = registry.get(args.scenario)
+    except registry.ScenarioError as exc:
+        parser.error(str(exc))
+    try:
+        axes = {}
+        for raw in args.param or []:
+            name, _, values = raw.partition("=")
+            if not _:
+                parser.error(f"--param expects name=v1,v2,... got {raw!r}")
+            name = name.strip()
+            if name in axes:
+                parser.error(
+                    f"--param {name} given twice; list every value in "
+                    f"one axis: --param {name}=v1,v2,..."
+                )
+            axes[name] = sweep.parse_axis(sc, name, values)
+        fixed = {}
+        for raw in args.set or []:
+            name, _, value = raw.partition("=")
+            if not _:
+                parser.error(f"--set expects name=value, got {raw!r}")
+            name = name.strip()
+            if name in fixed:
+                parser.error(f"--set {name} given twice")
+            fixed[name] = sc.param(name).coerce(value)
+        requests = sweep.build_requests(
+            sc, axes=axes or None, fixed=fixed or None, fast=args.fast
+        )
+    except registry.ScenarioError as exc:
+        parser.error(str(exc))
+    print(f"sweeping {sc.id}: {len(requests)} point(s), "
+          f"jobs={args.jobs}")
+    outcomes = engine.execute(requests, jobs=args.jobs)
+
+    rows = []
+    failures = 0
+    for outcome in outcomes:
+        params = ", ".join(
+            f"{k}={v}" for k, v in outcome.request.params
+        ) or "-"
+        if outcome.error:
+            rows.append([outcome.request.scenario_id, params, "ERROR"])
+            print(
+                f"scenario point ({params}) raised:\n{outcome.error}",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        bad = len(outcome.result.failures())
+        failures += bad
+        rows.append([
+            outcome.request.scenario_id,
+            params,
+            "ok" if bad == 0 else f"{bad} FAILED",
+        ])
+    print(format_table(
+        ("scenario", "point", "checks"),
+        rows,
+        title=f"sweep of {sc.id}",
+    ))
+    if args.out:
+        summary = artifacts.write_artifacts(outcomes, args.out)
+        print(f"artifacts written to {summary.parent}")
+    if failures:
+        print(f"{failures} check(s)/point(s) FAILED", file=sys.stderr)
+        return 1
+    print("all sweep points passed their checks")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Reproduce and extend the evaluation of 'Serialized "
+            "Asynchronous Links for NoC' (Ogg et al., DATE 2008)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="show registered scenarios")
+    p_list.add_argument("--tags", help="comma-separated tag filter")
+
+    p_run = sub.add_parser("run", help="execute scenarios")
+    p_run.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help="scenario ids (default: every paper-tagged scenario)",
+    )
+    p_run.add_argument("--tags", help="comma-separated tag filter")
+    p_run.add_argument(
+        "--fast", action="store_true",
+        help="skip gate-level simulations (analytical results only)",
+    )
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (default 1)")
+    p_run.add_argument("--out", metavar="DIR",
+                       help="write CSV+JSON artifacts into DIR")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="expand a parameter grid and run every point"
+    )
+    p_sweep.add_argument("scenario", metavar="SCENARIO")
+    p_sweep.add_argument(
+        "--param", action="append", metavar="NAME=V1,V2,...",
+        help="sweep axis (repeatable; default: the scenario's declared axes)",
+    )
+    p_sweep.add_argument(
+        "--set", action="append", metavar="NAME=VALUE",
+        help="pin a parameter across every point (repeatable)",
+    )
+    p_sweep.add_argument("--fast", action="store_true",
+                         help="apply fast-mode parameter overrides")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default 1)")
+    p_sweep.add_argument("--out", metavar="DIR",
+                         help="write CSV+JSON artifacts into DIR")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    if getattr(args, "jobs", 1) < 1:
+        parser.error("--jobs must be >= 1")
+    if args.command == "list":
+        return _cmd_list(args, parser)
+    if args.command == "run":
+        return _cmd_run(args, parser)
+    return _cmd_sweep(args, parser)
+
+
+#: paper-artifact ids, derived from the registry (back-compat re-export)
+EXPERIMENT_IDS = tuple(_paper_ids())
 
 
 if __name__ == "__main__":

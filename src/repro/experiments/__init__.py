@@ -1,16 +1,20 @@
-"""One module per paper table/figure, plus ablations.
+"""One module per paper table/figure, plus ablations and extensions.
 
-``run_all()`` executes every reproduction experiment and returns the
-results keyed by experiment id — the EXPERIMENTS.md generator and the
-benchmark harness both build on it.
+Importing this package registers every experiment with the scenario
+registry (:mod:`repro.runner.registry`) — the modules register
+themselves via the ``@scenario`` decorator, nothing enumerates them by
+hand.  ``run_all()`` is kept as a convenience wrapper that executes the
+paper-tagged scenarios through the registry.
 """
 
 from typing import Dict, Optional
 
 from ..tech.technology import Technology
 from .common import Check, ExperimentResult, resolve_tech
+
+# importing the modules is what populates the registry
 from . import ablation, fig10, fig11, fig12, fig13, fig14, table1, table2
-from . import throughput, wirelength
+from . import throughput, wirelength, mesh_design_space
 
 __all__ = [
     "Check",
@@ -26,6 +30,7 @@ __all__ = [
     "table2",
     "throughput",
     "wirelength",
+    "mesh_design_space",
     "run_all",
 ]
 
@@ -36,19 +41,14 @@ def run_all(
 ) -> Dict[str, ExperimentResult]:
     """Run every paper experiment (figures, tables, Section V equations).
 
-    ``simulate=False`` skips the gate-level simulations (fast mode for
-    smoke testing); analytical results are unaffected.
+    ``simulate=False`` runs each scenario with its fast-mode parameter
+    overrides (no gate-level simulation); analytical results are
+    unaffected.
     """
+    from ..runner import registry
+
     tech = resolve_tech(tech)
-    results = {
-        "fig10": fig10.run(tech),
-        "fig11": fig11.run(tech),
-        "fig12": fig12.run(tech),
-        "fig13": fig13.run(tech),
-        "fig14": fig14.run(tech, with_activity=simulate),
-        "table1": table1.run(tech),
-        "table2": table2.run(tech),
-        "throughput": throughput.run(tech, simulate=simulate),
-        "wirelength": wirelength.run(tech, simulate=simulate),
+    return {
+        sc.id: sc.run(tech=tech, fast=not simulate)
+        for sc in registry.find(tags=("paper",))
     }
-    return results

@@ -30,9 +30,19 @@ from ..analysis.timing import (
     scaled_word_timings,
 )
 from ..analysis.area import wire_area_um2
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 
+@scenario(
+    "ablation-serialization",
+    description="Ablation A — slice-width design space for both ack schemes",
+    tags=("ablation", "extension", "analytical"),
+    params=(
+        ParamSpec("n_buffers", int, 4),
+        ParamSpec("wire_length_um", float, 1000.0),
+    ),
+)
 def serialization_sweep(
     tech: Optional[Technology] = None,
     slice_widths: Sequence[int] = (32, 16, 8, 4, 2),
@@ -91,6 +101,17 @@ def serialization_sweep(
     )
 
 
+@scenario(
+    "ablation-early-ack",
+    description="Ablation B — acknowledge before the burst tail "
+                "(gate-level only)",
+    tags=("ablation", "extension", "simulated"),
+    params=(
+        ParamSpec("n_buffers", int, 4),
+        ParamSpec("n_flits", int, 12),
+    ),
+    fast_skip=True,
+)
 def early_ack_study(
     tech: Optional[Technology] = None,
     n_buffers: int = 4,
@@ -136,6 +157,11 @@ def early_ack_study(
     )
 
 
+@scenario(
+    "ablation-buffers",
+    description="Ablation C — throughput ceilings vs buffer/repeater count",
+    tags=("ablation", "extension", "analytical"),
+)
 def buffer_count_study(
     tech: Optional[Technology] = None,
     buffer_counts: Sequence[int] = (2, 4, 6, 8),

@@ -12,6 +12,7 @@ from typing import Optional, Sequence
 
 from ..tech.technology import Technology
 from ..analysis.wires import fig10_series, sync_wires_needed, async_wires_needed
+from ..runner.registry import scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 #: anchor points the paper states in the running text
@@ -24,6 +25,11 @@ PAPER_POINTS = {
 PAPER_WIRE_REDUCTION_PERCENT = 75.0
 
 
+@scenario(
+    "fig10",
+    description="Fig 10 — wires needed vs offered bandwidth, I1 vs I3",
+    tags=("paper", "figure", "analytical"),
+)
 def run(
     tech: Optional[Technology] = None,
     bandwidths: Sequence[float] = tuple(range(100, 351, 25)),

@@ -12,12 +12,18 @@ from typing import Optional, Sequence
 
 from ..tech.technology import Technology
 from ..analysis.area import fig11_series, wire_area_um2
+from ..runner.registry import scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 PAPER_I1_AREA_AT_1000UM = 30_000.0
 PAPER_I3_AREA_AT_1000UM = 7_500.0
 
 
+@scenario(
+    "fig11",
+    description="Fig 11 — wiring area vs wire length, I1 vs I2/I3",
+    tags=("paper", "figure", "analytical"),
+)
 def run(
     tech: Optional[Technology] = None,
     lengths_um: Sequence[float] = tuple(range(0, 3001, 250)),

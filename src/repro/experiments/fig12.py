@@ -11,6 +11,7 @@ from typing import Optional, Sequence
 
 from ..tech.technology import Technology
 from ..analysis.power import buffer_sweep, link_power_uw
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 FREQ_MHZ = 100.0
@@ -24,6 +25,15 @@ PAPER_POINTS = {
 }
 
 
+@scenario(
+    "fig12",
+    description="Fig 12 — link power vs buffer count at 100 MHz",
+    tags=("paper", "figure", "analytical"),
+    params=(
+        ParamSpec("freq_mhz", float, FREQ_MHZ, help="switch clock"),
+        ParamSpec("usage", float, 0.5, help="link utilisation"),
+    ),
+)
 def run(
     tech: Optional[Technology] = None,
     buffer_counts: Sequence[int] = (2, 4, 6, 8),

@@ -10,6 +10,7 @@ from typing import Optional, Sequence
 
 from ..tech.technology import Technology
 from ..analysis.power import buffer_sweep, link_power_uw, power_saving_percent
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 FREQ_MHZ = 300.0
@@ -20,6 +21,15 @@ PAPER_POINTS = {
 PAPER_SAVING_PERCENT = 65.0
 
 
+@scenario(
+    "fig13",
+    description="Fig 13 — link power vs buffer count at 300 MHz",
+    tags=("paper", "figure", "analytical"),
+    params=(
+        ParamSpec("freq_mhz", float, FREQ_MHZ, help="switch clock"),
+        ParamSpec("usage", float, 0.5, help="link utilisation"),
+    ),
+)
 def run(
     tech: Optional[Technology] = None,
     buffer_counts: Sequence[int] = (2, 4, 6, 8),

@@ -22,6 +22,7 @@ from typing import Optional
 
 from ..tech.technology import Technology
 from ..analysis.power import measure_link_activity, power_breakdown
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 FREQ_MHZ = 100.0
@@ -30,6 +31,18 @@ PAPER_I2_BUFFER_UW = 82.0
 PAPER_I3_BUFFER_UW = 9.0
 
 
+@scenario(
+    "fig14",
+    description="Fig 14 — power breakdown by link component",
+    tags=("paper", "figure", "simulated"),
+    params=(
+        ParamSpec("usage", float, 0.5, help="link utilisation"),
+        ParamSpec("with_activity", bool, True,
+                  help="calibrate with gate-level activity counts"),
+        ParamSpec("activity_flits", int, 24),
+    ),
+    fast_params={"with_activity": False},
+)
 def run(
     tech: Optional[Technology] = None,
     usage: float = 0.5,

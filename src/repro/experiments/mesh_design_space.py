@@ -1,0 +1,131 @@
+"""Mesh design-space point — system-level payoff of the serialized link.
+
+The paper evaluates one point-to-point link; the question its
+introduction poses is what happens to a *whole NoC* when every
+inter-switch connection is replaced by the serialized asynchronous
+design.  This scenario answers it for one operating point — mesh size ×
+injection rate × link kind — and the sweep engine expands the declared
+axes into the full design space (``python -m repro sweep
+mesh-design-space``): 2×2 … 8×8 meshes at low/nominal/high load.
+
+Each point runs seeded uniform traffic on a ``mesh_size`` ×
+``mesh_size`` mesh whose links all use the behavioural parameters of
+the chosen implementation (I1 synchronous baseline, I2 per-transfer
+ack, I3 per-word ack), drains every in-flight flit, and reports
+accepted throughput, packet latency, total wiring and the Fig 12/13
+link-power estimate.  The checks are invariants, not paper numbers:
+the run must conserve flits and actually deliver traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..analysis.power import link_power_uw
+from ..link.behavioral import derive_link_params
+from ..noc import Topology, run_mesh_point
+from ..runner.registry import ParamSpec, scenario
+from ..tech.technology import Technology
+from .common import Check, ExperimentResult, resolve_tech
+
+LINK_KINDS = ("I1", "I2", "I3")
+
+
+@scenario(
+    "mesh-design-space",
+    description=(
+        "Mesh NoC design-space point: size x injection rate x link kind "
+        "(throughput, latency, wires, link power)"
+    ),
+    tags=("noc", "sweep", "extension"),
+    params=(
+        ParamSpec(
+            "mesh_size", int, 4,
+            help="mesh is mesh_size x mesh_size switches",
+            choices=(2, 3, 4, 5, 6, 7, 8),
+            sweep=(2, 3, 4, 5, 6, 7, 8),
+        ),
+        ParamSpec(
+            "injection_rate", float, 0.15,
+            help="offered load, flits/node/cycle",
+            sweep=(0.05, 0.15, 0.25),
+        ),
+        ParamSpec(
+            "kind", str, "I3",
+            help="link implementation under study",
+            choices=LINK_KINDS,
+        ),
+        ParamSpec("freq_mhz", float, 300.0, help="switch clock"),
+        ParamSpec("cycles", int, 800, help="traffic cycles before drain"),
+        ParamSpec("pattern", str, "uniform",
+                  choices=("uniform", "transpose", "hotspot", "neighbor")),
+        ParamSpec("seed", int, 2008),
+    ),
+)
+def run(
+    tech: Optional[Technology] = None,
+    mesh_size: int = 4,
+    injection_rate: float = 0.15,
+    kind: str = "I3",
+    freq_mhz: float = 300.0,
+    cycles: int = 800,
+    pattern: str = "uniform",
+    seed: int = 2008,
+) -> ExperimentResult:
+    tech = resolve_tech(tech)
+    topology = Topology(mesh_size, mesh_size)
+    params = derive_link_params(tech, kind, freq_mhz)
+    point = run_mesh_point(
+        topology,
+        params,
+        injection_rate=injection_rate,
+        cycles=cycles,
+        pattern=pattern,
+        seed=seed,
+    )
+    link_uw = link_power_uw(tech, kind, 4, freq_mhz, usage=0.5)
+    mesh_power_mw = link_uw * topology.n_directed_links / 1000.0
+
+    headers = (
+        "mesh", "link", "offered (flit/node/cyc)", "accepted",
+        "mean lat (cyc)", "p99 lat (cyc)", "total wires",
+        "est. link power (mW)",
+    )
+    rows = [[
+        f"{mesh_size}x{mesh_size}",
+        kind,
+        injection_rate,
+        f"{point['throughput']:.4f}",
+        f"{point['mean_latency']:.1f}",
+        f"{point['p99_latency']:.0f}",
+        point["total_wires"],
+        f"{mesh_power_mw:.1f}",
+    ]]
+
+    checks = [
+        # a drained network must conserve every injected flit
+        Check(
+            "flit conservation (ejected vs injected)",
+            point["flits_ejected"],
+            max(point["flits_injected"], 1),
+            0.0,
+        ),
+        Check(
+            "traffic delivered (packets ejected >= 1)",
+            point["packets_ejected"],
+            1.0,
+            0.0,
+            mode="at_least",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Mesh design space",
+        description=(
+            f"{mesh_size}x{mesh_size} mesh, {kind} links, {pattern} "
+            f"traffic at {injection_rate} flit/node/cycle, "
+            f"{freq_mhz:.0f} MHz"
+        ),
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

@@ -11,6 +11,7 @@ from typing import Optional
 
 from ..tech.technology import Technology
 from ..analysis.area import table1
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 PAPER_AREAS = {
@@ -20,6 +21,12 @@ PAPER_AREAS = {
 }
 
 
+@scenario(
+    "table1",
+    description="Table 1 — cell area of the three link implementations",
+    tags=("paper", "table", "analytical"),
+    params=(ParamSpec("n_buffers", int, 4),),
+)
 def run(tech: Optional[Technology] = None, n_buffers: int = 4) -> ExperimentResult:
     tech = resolve_tech(tech)
     areas = table1(tech, n_buffers)

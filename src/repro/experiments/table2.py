@@ -10,6 +10,7 @@ from typing import Optional
 
 from ..tech.technology import Technology
 from ..analysis.area import table2
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 PAPER_MODULES = {
@@ -22,6 +23,12 @@ PAPER_MODULES = {
 PAPER_TOTAL = 19_193.0
 
 
+@scenario(
+    "table2",
+    description="Table 2 — area breakdown of the proposed link",
+    tags=("paper", "table", "analytical"),
+    params=(ParamSpec("n_buffers", int, 4),),
+)
 def run(tech: Optional[Technology] = None, n_buffers: int = 4) -> ExperimentResult:
     tech = resolve_tech(tech)
     breakdown = table2(tech, n_buffers)

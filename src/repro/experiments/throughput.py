@@ -30,6 +30,7 @@ from ..analysis.timing import (
     per_transfer_cycle_delay,
     per_word_cycle_delay,
 )
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 
 PAPER_PER_WORD_DELAY_NS = 3.21
@@ -69,6 +70,17 @@ def simulate_at_clock_mflits(
     return measurement.throughput_mflits
 
 
+@scenario(
+    "throughput",
+    description="Section V — cycle-delay equations vs gate-level throughput",
+    tags=("paper", "section-v", "simulated"),
+    params=(
+        ParamSpec("n_buffers", int, 4),
+        ParamSpec("simulate", bool, True,
+                  help="cross-check against gate-level runs"),
+    ),
+    fast_params={"simulate": False},
+)
 def run(
     tech: Optional[Technology] = None,
     n_buffers: int = 4,

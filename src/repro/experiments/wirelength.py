@@ -22,10 +22,23 @@ from typing import Optional, Sequence
 
 from ..tech.technology import Technology
 from ..analysis.timing import per_transfer_cycle_delay, per_word_cycle_delay
+from ..runner.registry import ParamSpec, scenario
 from .common import Check, ExperimentResult, resolve_tech
 from .throughput import simulate_ceiling_mflits
 
 
+@scenario(
+    "wirelength",
+    description="Throughput vs wire length (segment-delay sweep)",
+    tags=("paper", "section-v", "simulated"),
+    params=(
+        ParamSpec("n_buffers", int, 4),
+        ParamSpec("simulate", bool, True,
+                  help="cross-check against gate-level runs"),
+        ParamSpec("n_flits", int, 16),
+    ),
+    fast_params={"simulate": False},
+)
 def run(
     tech: Optional[Technology] = None,
     segment_delays_ps: Sequence[int] = (0, 50, 150, 300),

@@ -10,7 +10,7 @@ from .flit import Coord, Flit, FlitKind, Packet, reset_packet_ids
 from .topology import Port, Topology, next_hop, west_first_permitted, xy_route
 from .switch import InputQueue, Switch
 from .traffic import TrafficConfig, TrafficGenerator, message_sequence
-from .network import Network, latency_vs_load
+from .network import Network, latency_vs_load, run_mesh_point
 from .stats import NetworkStats
 
 __all__ = [
@@ -31,5 +31,6 @@ __all__ = [
     "message_sequence",
     "Network",
     "latency_vs_load",
+    "run_mesh_point",
     "NetworkStats",
 ]

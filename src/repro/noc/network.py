@@ -221,6 +221,59 @@ class Network:
         }
 
 
+def run_mesh_point(
+    topology: Topology,
+    link_params: BehavioralLinkParams,
+    injection_rate: float,
+    pattern: str = "uniform",
+    packet_length: int = 4,
+    cycles: int = 2000,
+    seed: int = 2008,
+    drain_max_cycles: int = 300_000,
+    fifo_depth: int = 4,
+    routing: str = "xy",
+) -> Dict[str, float]:
+    """One fully-drained traffic run at a single operating point.
+
+    The common mesh/link setup that the examples, the design-space
+    benches and the ``mesh-design-space`` scenario all share: build a
+    fresh :class:`Network`, drive seeded synthetic traffic for
+    ``cycles`` cycles, drain every in-flight flit, and report the
+    steady metrics.  Packet ids are reset first so repeated calls are
+    bit-for-bit reproducible within one process.
+    """
+    from .flit import reset_packet_ids
+
+    reset_packet_ids()
+    network = Network(
+        topology, link_params, fifo_depth=fifo_depth, routing=routing
+    )
+    traffic = TrafficGenerator(
+        topology,
+        TrafficConfig(
+            pattern=pattern,
+            injection_rate=injection_rate,
+            packet_length=packet_length,
+            seed=seed,
+        ),
+    )
+    network.run(cycles, traffic)
+    network.drain(max_cycles=drain_max_cycles)
+    stats = network.stats
+    return {
+        "offered_rate": injection_rate,
+        "throughput": stats.throughput_flits_per_node_cycle(
+            topology.n_nodes
+        ),
+        "mean_latency": stats.mean_packet_latency,
+        "p99_latency": stats.p99_packet_latency,
+        "flits_injected": stats.flits_injected,
+        "flits_ejected": stats.flits_ejected,
+        "packets_ejected": stats.packets_ejected,
+        "total_wires": network.total_wires,
+    }
+
+
 def latency_vs_load(
     topology: Topology,
     link_params: BehavioralLinkParams,

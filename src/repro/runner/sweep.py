@@ -1,0 +1,85 @@
+"""Cartesian parameter-grid expansion for scenario sweeps.
+
+A grid maps parameter names to value lists; :func:`expand_grid` walks
+the cartesian product in a deterministic order (first axis slowest,
+matching nested for-loops over the axes as given), and
+:func:`build_requests` turns the points into engine requests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .engine import RunRequest
+from .registry import Scenario, ScenarioError
+
+
+def expand_grid(
+    axes: Mapping[str, Sequence[object]],
+) -> List[Dict[str, object]]:
+    """All combinations of the axis values, in nested-loop order.
+
+    >>> expand_grid({"a": [1, 2], "b": ["x"]})
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        return [{}]
+    names = list(axes)
+    for name in names:
+        if not axes[name]:
+            raise ScenarioError(f"sweep axis {name!r} has no values")
+    return [
+        dict(zip(names, values))
+        for values in itertools.product(*(axes[name] for name in names))
+    ]
+
+
+def default_grid(scenario: Scenario) -> Dict[str, Sequence[object]]:
+    """The scenario's declared default sweep axes (may be empty)."""
+    return {
+        spec.name: list(spec.sweep)
+        for spec in scenario.params
+        if spec.sweep
+    }
+
+
+def parse_axis(scenario: Scenario, name: str, raw: str) -> List[object]:
+    """Parse a comma-separated axis value list against the param spec."""
+    spec = scenario.param(name)
+    values = [spec.coerce(part.strip()) for part in raw.split(",") if part.strip()]
+    if not values:
+        raise ScenarioError(f"sweep axis {name!r} has no values")
+    return values
+
+
+def build_requests(
+    scenario: Scenario,
+    axes: Optional[Mapping[str, Sequence[object]]] = None,
+    fixed: Optional[Mapping[str, object]] = None,
+    fast: bool = False,
+) -> List[RunRequest]:
+    """Requests for every grid point (scenario defaults fill the rest).
+
+    ``axes`` defaults to the scenario's declared sweep axes; ``fixed``
+    pins additional parameters across every point.
+    """
+    grid = dict(axes) if axes is not None else default_grid(scenario)
+    if not grid:
+        raise ScenarioError(
+            f"scenario {scenario.id!r} declares no default sweep axes; "
+            f"pass an explicit grid"
+        )
+    overlap = set(grid) & set(fixed or {})
+    if overlap:
+        raise ScenarioError(
+            f"parameters {sorted(overlap)} are both swept and fixed"
+        )
+    return [
+        RunRequest.create(
+            scenario.id,
+            params={**dict(fixed or {}), **point},
+            fast=fast,
+        )
+        for point in expand_grid(grid)
+    ]

@@ -184,13 +184,25 @@ class Simulator:
         self._stopped = True
 
     def step(self) -> bool:
-        """Execute exactly one event.  Returns False if the queue is empty."""
+        """Execute exactly one event.  Returns False if the queue is empty.
+
+        A step is a one-event :meth:`run`: it honours the same
+        reentrancy guard (a callback may not call ``step``/``run`` on
+        its own simulator) and resets the :meth:`stop` flag on entry.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
         if not self._queue:
             return False
-        when, _seq, callback = heapq.heappop(self._queue)
-        self._now = when
-        callback()
-        self._events_executed += 1
+        self._running = True
+        self._stopped = False
+        try:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            self._events_executed += 1
+        finally:
+            self._running = False
         return True
 
     @property

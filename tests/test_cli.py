@@ -1,36 +1,155 @@
 """Tests for the ``python -m repro`` command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENT_IDS, main
+from repro.runner import registry
 
 
-class TestCli:
+@pytest.fixture
+def executed(monkeypatch):
+    """Record which scenarios actually execute (not just get selected)."""
+    registry.load_builtin()
+    calls = []
+    for sc in registry.all_scenarios():
+        def wrap(orig, sid):
+            def wrapper(*args, **kwargs):
+                calls.append(sid)
+                return orig(*args, **kwargs)
+            return wrapper
+        monkeypatch.setattr(sc, "func", wrap(sc.func, sc.id))
+    return calls
+
+
+class TestRun:
     def test_fast_run_all_succeeds(self, capsys):
-        assert main(["--fast"]) == 0
+        assert main(["run", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Fig 10" in out
         assert "Table 2" in out
         assert "all paper-vs-measured checks passed" in out
 
     def test_subset_selection(self, capsys):
-        assert main(["fig12", "--fast"]) == 0
+        assert main(["run", "fig12", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Fig 12" in out
         assert "Fig 10" not in out
 
-    def test_unknown_experiment_rejected(self, capsys):
-        with pytest.raises(SystemExit):
-            main(["fig99", "--fast"])
+    def test_subset_executes_only_that_subset(self, executed, capsys):
+        assert main(["run", "fig12", "--fast"]) == 0
+        assert executed == ["fig12"]
 
-    def test_experiment_ids_cover_every_artifact(self):
+    def test_default_executes_every_paper_scenario_once(
+        self, executed, capsys
+    ):
+        assert main(["run", "--fast"]) == 0
+        assert sorted(executed) == sorted(EXPERIMENT_IDS)
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "fig99", "--fast"])
+        assert exc.value.code == 2
+
+    def test_tag_filter_selects_ablations(self, executed, capsys):
+        assert main(["run", "--tags", "ablation", "--fast"]) == 0
+        # early-ack needs gate-level simulation: skipped under --fast
+        assert sorted(executed) == [
+            "ablation-buffers", "ablation-serialization",
+        ]
+        out = capsys.readouterr().out
+        assert "Ablation A" in out
+        assert "Ablation C" in out
+        assert "skipped ablation-early-ack" in out
+
+    def test_all_selected_scenarios_skipped_fails(self, executed, capsys):
+        """A run where everything was fast-skipped must not go green."""
+        assert main(["run", "ablation-early-ack", "--fast"]) == 1
+        assert executed == []
+        err = capsys.readouterr().err
+        assert "no scenarios executed" in err
+
+    def test_empty_selection_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "--tags", "no-such-tag"])
+        assert exc.value.code == 2
+
+    def test_out_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["run", "fig12", "--fast", "--out", str(out_dir)]) == 0
+        assert (out_dir / "fig12" / "default.rows.csv").exists()
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["runs"][0]["scenario"] == "fig12"
+
+
+class TestList:
+    def test_lists_all_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for sid in EXPERIMENT_IDS + ("mesh-design-space",):
+            assert sid in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tags", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "mesh-design-space" in out
+        assert "fig12" not in out
+
+
+class TestSweep:
+    def test_explicit_grid(self, executed, capsys, tmp_path):
+        out_dir = tmp_path / "sweep"
+        assert main([
+            "sweep", "mesh-design-space",
+            "--param", "mesh_size=2,3",
+            "--set", "cycles=150",
+            "--out", str(out_dir),
+        ]) == 0
+        assert executed == ["mesh-design-space"] * 2
+        out = capsys.readouterr().out
+        assert "2 point(s)" in out
+        assert "all sweep points passed" in out
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert len(summary["runs"]) == 2
+        assert summary["runs"][0]["params"]["cycles"] == 150
+
+    def test_unknown_scenario_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "fig99"])
+        assert exc.value.code == 2
+
+    def test_unknown_param_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "mesh-design-space", "--param", "warp=9"])
+        assert exc.value.code == 2
+
+    def test_duplicate_param_axis_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([
+                "sweep", "mesh-design-space",
+                "--param", "mesh_size=2", "--param", "mesh_size=3",
+            ])
+        assert exc.value.code == 2
+
+    def test_scenario_without_axes_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "fig10"])
+        assert exc.value.code == 2
+
+
+class TestTopLevel:
+    def test_no_subcommand_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "fig12", "--jobs", "0"])
+        assert exc.value.code == 2
+
+    def test_experiment_ids_cover_every_paper_artifact(self):
         assert set(EXPERIMENT_IDS) == {
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "table1", "table2", "throughput", "wirelength",
         }
-
-    def test_ablations_flag(self, capsys):
-        assert main(["table1", "--fast", "--ablations"]) == 0
-        out = capsys.readouterr().out
-        assert "Ablation A" in out
-        assert "Ablation C" in out

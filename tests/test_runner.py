@@ -1,0 +1,267 @@
+"""Tests for the scenario registry, sweep engine and artifact writer."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.experiments.common import ExperimentResult
+from repro.runner import artifacts, engine, registry, sweep
+from repro.runner.registry import ParamSpec, ScenarioError, scenario
+
+
+@pytest.fixture(autouse=True)
+def _builtin():
+    registry.load_builtin()
+
+
+class TestParamSpec:
+    def test_coerce_types(self):
+        assert ParamSpec("n", int, 1).coerce("7") == 7
+        assert ParamSpec("r", float, 0.1).coerce("0.25") == 0.25
+        assert ParamSpec("k", str, "I3").coerce("I1") == "I1"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("true", True), ("0", False), ("yes", True),
+        ("off", False), (True, True),
+    ])
+    def test_coerce_bool(self, raw, expected):
+        assert ParamSpec("b", bool, False).coerce(raw) is expected
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(ScenarioError):
+            ParamSpec("b", bool, False).coerce("maybe")
+
+    def test_bad_number_rejected(self):
+        with pytest.raises(ScenarioError):
+            ParamSpec("n", int, 1).coerce("seven")
+
+    def test_choices_enforced(self):
+        spec = ParamSpec("k", str, "I3", choices=("I1", "I2", "I3"))
+        assert spec.coerce("I2") == "I2"
+        with pytest.raises(ScenarioError):
+            spec.coerce("I9")
+
+
+class TestRegistry:
+    def test_every_experiment_module_registers_exactly_once(self):
+        """The registry replaces hand-enumeration: one scenario per
+        module (the ablation module contributes its three studies)."""
+        counts = Counter(
+            sc.func.__module__ for sc in registry.all_scenarios()
+            if sc.func.__module__.startswith("repro.experiments")
+        )
+        single = (
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table1", "table2", "throughput", "wirelength",
+            "mesh_design_space",
+        )
+        for name in single:
+            assert counts.pop(f"repro.experiments.{name}") == 1, name
+        assert counts.pop("repro.experiments.ablation") == 3
+        assert not counts, f"unexpected registrations: {counts}"
+
+    def test_paper_tag_covers_every_artifact(self):
+        assert {sc.id for sc in registry.find(tags=("paper",))} == {
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+            "table1", "table2", "throughput", "wirelength",
+        }
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ScenarioError, match="already registered"):
+            scenario("fig12", description="clash")(lambda tech=None: None)
+
+    def test_reimport_is_idempotent(self):
+        import importlib
+
+        import repro.experiments.fig12 as mod
+
+        before = registry.get("fig12")
+        importlib.reload(mod)
+        after = registry.get("fig12")
+        assert after.id == before.id
+        registry.load_builtin()
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            registry.get("fig99")
+
+    def test_unknown_param_raises(self):
+        with pytest.raises(ScenarioError, match="no parameter"):
+            registry.get("fig12").param("frequency")
+
+    def test_find_requires_all_tags(self):
+        simulated_paper = registry.find(tags=("paper", "simulated"))
+        assert {sc.id for sc in simulated_paper} == {
+            "fig14", "throughput", "wirelength",
+        }
+
+    def test_fast_params_resolution(self):
+        sc = registry.get("throughput")
+        assert sc.resolve_params()["simulate"] is True
+        assert sc.resolve_params(fast=True)["simulate"] is False
+        # explicit override wins over fast mode
+        assert sc.resolve_params({"simulate": "true"}, fast=True)[
+            "simulate"] is True
+
+
+class TestSweep:
+    def test_expand_grid_nested_loop_order(self):
+        points = sweep.expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert points == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_expand_grid_empty(self):
+        assert sweep.expand_grid({}) == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError):
+            sweep.expand_grid({"a": []})
+
+    def test_default_grid_from_spec(self):
+        grid = sweep.default_grid(registry.get("mesh-design-space"))
+        assert grid["mesh_size"] == [2, 3, 4, 5, 6, 7, 8]
+        assert grid["injection_rate"] == [0.05, 0.15, 0.25]
+
+    def test_no_default_axes_rejected(self):
+        with pytest.raises(ScenarioError, match="no default sweep axes"):
+            sweep.build_requests(registry.get("fig12"))
+
+    def test_parse_axis_coerces_and_validates(self):
+        sc = registry.get("mesh-design-space")
+        assert sweep.parse_axis(sc, "mesh_size", "2, 4") == [2, 4]
+        with pytest.raises(ScenarioError):
+            sweep.parse_axis(sc, "mesh_size", "17")
+
+    def test_swept_and_fixed_conflict(self):
+        sc = registry.get("mesh-design-space")
+        with pytest.raises(ScenarioError, match="both swept and fixed"):
+            sweep.build_requests(
+                sc, axes={"mesh_size": [2]}, fixed={"mesh_size": 3}
+            )
+
+    def test_build_requests_fills_fixed(self):
+        sc = registry.get("mesh-design-space")
+        requests = sweep.build_requests(
+            sc, axes={"mesh_size": [2, 3]}, fixed={"cycles": 100}
+        )
+        assert len(requests) == 2
+        assert all(r.params_dict()["cycles"] == 100 for r in requests)
+
+
+class TestEngine:
+    def test_request_params_sorted_and_coerced(self):
+        request = engine.RunRequest.create(
+            "mesh-design-space",
+            {"mesh_size": "3", "cycles": "100"},
+        )
+        assert request.params == (("cycles", 100), ("mesh_size", 3))
+
+    def test_serial_execution_order(self):
+        requests = [
+            engine.RunRequest.create("table1"),
+            engine.RunRequest.create("fig10"),
+        ]
+        outcomes = engine.execute(requests, jobs=1)
+        assert [o.request.scenario_id for o in outcomes] == [
+            "table1", "fig10",
+        ]
+        assert all(o.ok for o in outcomes)
+        assert isinstance(outcomes[0].result, ExperimentResult)
+
+    def test_unknown_scenario_fails_fast(self):
+        with pytest.raises(ScenarioError):
+            engine.execute([engine.RunRequest(scenario_id="fig99")])
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            engine.execute([], jobs=0)
+
+    def test_scenario_exception_captured_not_raised(self):
+        @scenario("broken-test-scenario", description="always raises")
+        def _broken(tech=None):
+            raise RuntimeError("kaboom")
+
+        try:
+            outcomes = engine.execute([
+                engine.RunRequest.create("broken-test-scenario"),
+                engine.RunRequest.create("table1"),
+            ])
+            assert not outcomes[0].ok
+            assert "kaboom" in outcomes[0].error
+            assert outcomes[1].ok
+        finally:
+            registry.unregister("broken-test-scenario")
+
+    def test_parallel_matches_serial_byte_identical(self, tmp_path):
+        """--jobs 4 must be indistinguishable from a serial run."""
+        sc = registry.get("mesh-design-space")
+        requests = sweep.build_requests(
+            sc,
+            axes={"mesh_size": [2, 3], "injection_rate": [0.05, 0.15]},
+            fixed={"cycles": 200},
+        )
+        serial = engine.execute(requests, jobs=1)
+        parallel = engine.execute(requests, jobs=4)
+        artifacts.write_artifacts(serial, tmp_path / "serial")
+        artifacts.write_artifacts(parallel, tmp_path / "parallel")
+        serial_files = sorted(
+            p.relative_to(tmp_path / "serial")
+            for p in (tmp_path / "serial").rglob("*") if p.is_file()
+        )
+        parallel_files = sorted(
+            p.relative_to(tmp_path / "parallel")
+            for p in (tmp_path / "parallel").rglob("*") if p.is_file()
+        )
+        assert serial_files == parallel_files
+        assert len(serial_files) == 2 * len(requests) + 1  # + summary.json
+        for rel in serial_files:
+            assert (tmp_path / "serial" / rel).read_bytes() == (
+                tmp_path / "parallel" / rel
+            ).read_bytes(), rel
+
+
+class TestArtifacts:
+    def test_layout_and_summary(self, tmp_path):
+        outcomes = engine.execute([
+            engine.RunRequest.create("fig12"),
+            engine.RunRequest.create(
+                "mesh-design-space", {"mesh_size": 2, "cycles": 100}
+            ),
+        ])
+        summary_path = artifacts.write_artifacts(outcomes, tmp_path)
+        assert (tmp_path / "fig12" / "default.rows.csv").exists()
+        assert (tmp_path / "fig12" / "default.checks.csv").exists()
+        mesh = tmp_path / "mesh-design-space"
+        assert (mesh / "cycles=100_mesh_size=2.rows.csv").exists()
+
+        summary = json.loads(summary_path.read_text())
+        assert [r["scenario"] for r in summary["runs"]] == [
+            "fig12", "mesh-design-space",
+        ]
+        fig12_run = summary["runs"][0]
+        assert fig12_run["ok"] is True
+        assert fig12_run["params"] == {}
+        assert all(c["ok"] for c in fig12_run["checks"])
+        mesh_run = summary["runs"][1]
+        assert mesh_run["params"] == {"cycles": 100, "mesh_size": 2}
+
+    def test_failed_outcome_recorded_without_csv(self, tmp_path):
+        @scenario("broken-artifact-scenario", description="raises")
+        def _broken(tech=None):
+            raise ValueError("no result")
+
+        try:
+            outcomes = engine.execute([
+                engine.RunRequest.create("broken-artifact-scenario"),
+            ])
+            summary_path = artifacts.write_artifacts(outcomes, tmp_path)
+            summary = json.loads(summary_path.read_text())
+            run = summary["runs"][0]
+            assert run["ok"] is False
+            assert "no result" in run["error"]
+            assert not (tmp_path / "broken-artifact-scenario").exists()
+        finally:
+            registry.unregister("broken-artifact-scenario")

@@ -173,6 +173,66 @@ class TestRun:
         assert sim.step() is True
         assert sim.step() is False
 
+    def test_step_not_reentrant(self):
+        """step() honours the same guard as run(): a callback may not
+        re-enter the kernel on its own simulator."""
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, recurse)
+        assert sim.step() is True
+        assert len(errors) == 1
+
+    def test_run_inside_step_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def recurse():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, recurse)
+        sim.step()
+        assert len(errors) == 1
+
+    def test_step_clears_stale_stop_flag(self):
+        """Like run(), step() starts a fresh (one-event) execution: a
+        stop() from an earlier run must not leak into it."""
+        sim = Simulator()
+        seen = []
+
+        def first_then_stop():
+            seen.append(1)
+            sim.stop()
+
+        sim.schedule(10, first_then_stop)
+        sim.schedule(20, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+        assert sim.step() is True
+        assert seen == [1, 2]
+
+    def test_step_releases_guard_after_callback_raises(self):
+        sim = Simulator()
+
+        def boom():
+            raise RuntimeError("callback failed")
+
+        sim.schedule(1, boom)
+        with pytest.raises(RuntimeError):
+            sim.step()
+        # the guard must not stay latched
+        sim.schedule(1, lambda: None)
+        assert sim.step() is True
+
     def test_run_ns_horizon(self):
         sim = Simulator()
         sim.run_ns(2.5)
