@@ -11,6 +11,10 @@ Usage::
     python -m repro run fig12 --out out/      # also write CSV+JSON artifacts
     python -m repro sweep mesh-design-space --jobs 4 --out out/
     python -m repro sweep mesh-design-space --param mesh_size=4,8 --set kind=I2
+    python -m repro sweep mesh-design-space --resume out/   # finish a killed sweep
+    python -m repro sweep traffic-hotspot --store runs/     # skip cached points
+    python -m repro diff baseline/ out/                     # regression gate
+    python -m repro history runs/                           # store catalogue
 
 ``run`` exits non-zero if any paper-vs-measured check fails, so it
 doubles as a reproduction smoke test in CI.  ``sweep`` expands a
@@ -20,16 +24,26 @@ parallel; results are deterministic and independent of ``--jobs``.
 Note that *paper* scenarios check against the paper's published
 numbers, so sweeping one away from its calibrated defaults reports
 failed checks (exit 1) by design.
+
+Durability and comparison live in :mod:`repro.store`: every sweep with
+an output directory journals outcomes as they complete, ``--resume``
+finishes a killed sweep from that journal (byte-identical artifacts),
+``--store`` caches outcomes content-addressed by code fingerprint, and
+``diff`` compares two artifact trees, exiting non-zero on regression.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .analysis.report import format_table
 from .runner import artifacts, engine, registry, sweep
+from . import store as run_store_pkg
+from .store import diff as store_diff
+from .store import journal as store_journal
 
 
 def _paper_ids() -> List[str]:
@@ -178,9 +192,99 @@ def _cmd_sweep(args, parser) -> int:
         )
     except registry.ScenarioError as exc:
         parser.error(str(exc))
+
+    out_dir = args.out
+    if args.resume:
+        if out_dir and Path(out_dir) != Path(args.resume):
+            parser.error(
+                "--resume DIR already names the output directory; "
+                "drop --out or make them match"
+            )
+        out_dir = args.resume
+
+    fingerprint = run_store_pkg.code_fingerprint()
+    completed = {}
+    journal_completed = frozenset()  # requests the journal already holds
+    journal_is_current = False
+    if args.resume:
+        jpath = store_journal.journal_path(out_dir)
+        if jpath.exists():
+            header = None
+            try:
+                header, past = store_journal.recover(jpath)
+            except store_journal.JournalError:
+                # a kill during Journal.start() leaves an empty or
+                # headerless file; that's still a resumable state —
+                # nothing was completed, so rerun every point
+                print(
+                    f"journal {jpath} has no usable header; "
+                    f"rerunning every point",
+                    file=sys.stderr,
+                )
+            if header is None:
+                pass
+            elif (header.get("scenario") != sc.id
+                    or header.get("fingerprint") != fingerprint):
+                print(
+                    f"journal {jpath} was written by a different "
+                    f"scenario or code version; rerunning every point",
+                    file=sys.stderr,
+                )
+            else:
+                wanted = set(requests)
+                completed = {o.request: o for o in past
+                             if o.request in wanted}
+                journal_completed = frozenset(completed)
+                journal_is_current = True
+
+    cache = (
+        run_store_pkg.RunStore(args.store, fingerprint=fingerprint)
+        if args.store else None
+    )
+    store_hits = 0
+    if cache is not None:
+        for request in requests:
+            if request not in completed:
+                hit = cache.get(request)
+                if hit is not None:
+                    completed[request] = hit
+                    store_hits += 1
+
+    remaining = [r for r in requests if r not in completed]
     print(f"sweeping {sc.id}: {len(requests)} point(s), "
           f"jobs={args.jobs}")
-    outcomes = engine.execute(requests, jobs=args.jobs)
+    if completed:
+        print(f"resuming: {len(completed) - store_hits} journaled + "
+              f"{store_hits} stored point(s) reused, "
+              f"{len(remaining)} to run")
+
+    journal_writer = None
+    if out_dir:
+        journal_writer = store_journal.Journal(
+            store_journal.journal_path(out_dir)
+        )
+        if not journal_is_current:
+            journal_writer.start(sc.id, fingerprint)
+        # points reused from the store still belong in this sweep's
+        # journal — without them a later --resume would re-run them
+        for request in requests:
+            outcome = completed.get(request)
+            if outcome is not None and request not in journal_completed:
+                journal_writer.append(outcome)
+
+    def on_outcome(outcome):
+        # journal/store immediately so a killed sweep loses nothing done
+        if journal_writer is not None:
+            journal_writer.append(outcome)
+        if cache is not None and not outcome.error:
+            cache.put(outcome)
+
+    executed = engine.execute(
+        remaining, jobs=args.jobs, on_outcome=on_outcome
+    )
+    by_request = dict(completed)
+    by_request.update({o.request: o for o in executed})
+    outcomes = [by_request[request] for request in requests]
 
     rows = []
     failures = 0
@@ -208,13 +312,52 @@ def _cmd_sweep(args, parser) -> int:
         rows,
         title=f"sweep of {sc.id}",
     ))
-    if args.out:
-        summary = artifacts.write_artifacts(outcomes, args.out)
+    if out_dir:
+        summary = artifacts.write_artifacts(outcomes, out_dir)
         print(f"artifacts written to {summary.parent}")
     if failures:
         print(f"{failures} check(s)/point(s) FAILED", file=sys.stderr)
         return 1
     print("all sweep points passed their checks")
+    return 0
+
+
+def _cmd_diff(args, parser) -> int:
+    try:
+        report = store_diff.diff_trees(
+            args.old, args.new, drift_tolerance=args.drift_tolerance
+        )
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    print(report.render())
+    return 1 if report.regressed else 0
+
+
+def _cmd_history(args, parser) -> int:
+    root = Path(args.store)
+    if not root.is_dir():
+        parser.error(f"no such store directory: {args.store}")
+    cache = run_store_pkg.RunStore(root)
+    rows = []
+    for record in cache.records():
+        if args.scenario and record.get("scenario") != args.scenario:
+            continue
+        outcome = run_store_pkg.outcome_from_record(record)
+        bad = len(outcome.result.failures()) if outcome.result else 0
+        rows.append([
+            record.get("scenario", "?"),
+            record.get("point", "?"),
+            "yes" if record.get("fast") else "no",
+            "ok" if bad == 0 else f"{bad} FAILED",
+            record.get("fingerprint", ""),
+            record.get("key", "")[:12],
+        ])
+    rows.sort(key=lambda row: (row[0], row[1]))
+    print(format_table(
+        ("scenario", "point", "fast", "checks", "fingerprint", "key"),
+        rows,
+        title=f"{len(rows)} stored run(s) in {root}",
+    ))
     return 0
 
 
@@ -265,6 +408,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (default 1)")
     p_sweep.add_argument("--out", metavar="DIR",
                          help="write CSV+JSON artifacts into DIR")
+    p_sweep.add_argument(
+        "--resume", metavar="DIR",
+        help="output directory of a killed sweep: skip the points its "
+             "journal already records, then write artifacts as usual",
+    )
+    p_sweep.add_argument(
+        "--store", metavar="DIR",
+        help="content-addressed run store: reuse identical points "
+             "computed by earlier sweeps on this code, record new ones",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two artifact trees; exit 1 on regression",
+    )
+    p_diff.add_argument("old", metavar="BASELINE",
+                        help="artifact directory or summary.json")
+    p_diff.add_argument("new", metavar="CURRENT",
+                        help="artifact directory or summary.json")
+    p_diff.add_argument(
+        "--drift-tolerance", type=float, default=None, metavar="REL",
+        help="relative measured-value drift to tolerate per check "
+             "(default: each check's own recorded tolerance)",
+    )
+
+    p_hist = sub.add_parser(
+        "history", help="list the runs recorded in a result store"
+    )
+    p_hist.add_argument("store", metavar="DIR")
+    p_hist.add_argument("--scenario", help="filter by scenario id")
     return parser
 
 
@@ -280,6 +453,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args, parser)
     if args.command == "run":
         return _cmd_run(args, parser)
+    if args.command == "diff":
+        return _cmd_diff(args, parser)
+    if args.command == "history":
+        return _cmd_history(args, parser)
     return _cmd_sweep(args, parser)
 
 

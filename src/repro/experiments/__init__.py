@@ -14,7 +14,7 @@ from .common import Check, ExperimentResult, resolve_tech
 
 # importing the modules is what populates the registry
 from . import ablation, fig10, fig11, fig12, fig13, fig14, table1, table2
-from . import throughput, wirelength, mesh_design_space
+from . import throughput, wirelength, mesh_design_space, traffic_patterns
 
 __all__ = [
     "Check",
@@ -31,6 +31,7 @@ __all__ = [
     "throughput",
     "wirelength",
     "mesh_design_space",
+    "traffic_patterns",
     "run_all",
 ]
 

@@ -58,7 +58,8 @@ LINK_KINDS = ("I1", "I2", "I3")
         ParamSpec("freq_mhz", float, 300.0, help="switch clock"),
         ParamSpec("cycles", int, 800, help="traffic cycles before drain"),
         ParamSpec("pattern", str, "uniform",
-                  choices=("uniform", "transpose", "hotspot", "neighbor")),
+                  choices=("uniform", "transpose", "bit_complement",
+                           "hotspot", "neighbor")),
         ParamSpec("seed", int, 2008),
     ),
 )

@@ -232,6 +232,8 @@ def run_mesh_point(
     drain_max_cycles: int = 300_000,
     fifo_depth: int = 4,
     routing: str = "xy",
+    hotspot: Optional[Coord] = None,
+    hotspot_fraction: float = 0.5,
 ) -> Dict[str, float]:
     """One fully-drained traffic run at a single operating point.
 
@@ -245,6 +247,9 @@ def run_mesh_point(
     from .flit import reset_packet_ids
 
     reset_packet_ids()
+    if pattern == "hotspot" and hotspot is None:
+        # centre of the mesh: the worst-case convergence point
+        hotspot = (topology.cols // 2, topology.rows // 2)
     network = Network(
         topology, link_params, fifo_depth=fifo_depth, routing=routing
     )
@@ -255,6 +260,8 @@ def run_mesh_point(
             injection_rate=injection_rate,
             packet_length=packet_length,
             seed=seed,
+            hotspot=hotspot,
+            hotspot_fraction=hotspot_fraction,
         ),
     )
     network.run(cycles, traffic)

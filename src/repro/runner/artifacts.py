@@ -15,6 +15,7 @@ and artifact diffs are meaningful in CI.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 from pathlib import Path
@@ -26,12 +27,19 @@ _UNSAFE = re.compile(r"[^A-Za-z0-9._=+-]+")
 
 
 def point_slug(outcome: RunOutcome) -> str:
-    """Filesystem-safe name for one grid point's parameter overrides."""
+    """Filesystem-safe name for one grid point's parameter overrides.
+
+    Sanitizing is lossy (``"a b"`` and ``"a-b"`` both read ``a-b``),
+    so a short hash of the *unsanitized* parameters is appended —
+    distinct points can never share artifact files.  The hash is
+    content-derived, making slugs stable across processes and runs.
+    """
     params = outcome.request.params
     if not params:
         return "default"
     parts = [f"{name}={value}" for name, value in params]
-    return _UNSAFE.sub("-", "_".join(parts))
+    digest = hashlib.sha256(repr(params).encode()).hexdigest()[:8]
+    return f"{_UNSAFE.sub('-', '_'.join(parts))}-{digest}"
 
 
 def _check_record(check) -> dict:

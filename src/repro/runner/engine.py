@@ -16,7 +16,7 @@ from __future__ import annotations
 import multiprocessing
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from . import registry
 
@@ -96,12 +96,19 @@ def _pool_context() -> multiprocessing.context.BaseContext:
 def execute(
     requests: Sequence[RunRequest],
     jobs: int = 1,
+    on_outcome: Optional[Callable[[RunOutcome], None]] = None,
 ) -> list[RunOutcome]:
     """Execute ``requests``; outcomes come back in request order.
 
     ``jobs > 1`` fans work out over a process pool.  Scenario failures
     are captured per-outcome (``error``), never raised, so one broken
     point cannot sink a sweep.
+
+    ``on_outcome`` is invoked in the parent process for each outcome
+    *as it completes* (still in request order — the pool streams via
+    ``imap``, not all-at-the-end ``map``), so callers can journal or
+    store progress incrementally: a killed sweep keeps everything that
+    had finished by the time it died.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -109,8 +116,18 @@ def execute(
     # validate ids up front so a typo fails fast, not in a worker
     for request in requests:
         registry.get(request.scenario_id)
+    outcomes: list[RunOutcome] = []
     if jobs == 1 or len(requests) < 2:
-        return [_execute_one(request) for request in requests]
+        for request in requests:
+            outcome = _execute_one(request)
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+        return outcomes
     ctx = _pool_context()
     with ctx.Pool(processes=min(jobs, len(requests))) as pool:
-        return pool.map(_execute_one, requests)
+        for outcome in pool.imap(_execute_one, requests):
+            if on_outcome is not None:
+                on_outcome(outcome)
+            outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,119 @@
+"""JSON (de)serialization of engine outcomes.
+
+The store and the sweep journal both persist :class:`RunOutcome`
+values; this module is the single round-trip codec they share.  The
+encoding is loss-free for everything the artifact writer consumes —
+reconstructed outcomes produce byte-identical CSV/JSON artifacts —
+which is what makes ``sweep --resume`` safe: a resumed sweep finishes
+from journaled outcomes and nobody can tell from the output tree.
+
+Only JSON-native cell values (str/int/float/bool/None) survive
+verbatim; anything else is stringified, which is exactly what the CSV
+writer would have done to it anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..experiments.common import Check, ExperimentResult
+from ..runner.engine import RunOutcome, RunRequest
+
+#: bump when the record layout changes incompatibly
+RECORD_VERSION = 1
+
+_SCALARS = (str, int, float, bool)
+
+
+def _cell(value: object) -> object:
+    if value is None or isinstance(value, _SCALARS):
+        return value
+    return str(value)
+
+
+def result_to_dict(result: Optional[ExperimentResult]) -> Optional[dict]:
+    """Encode an experiment result (``None`` passes through)."""
+    if result is None:
+        return None
+    return {
+        "experiment_id": result.experiment_id,
+        "description": result.description,
+        "headers": [_cell(h) for h in result.headers],
+        "rows": [[_cell(c) for c in row] for row in result.rows],
+        "checks": [
+            {
+                "name": c.name,
+                "measured": c.measured,
+                "paper": c.paper,
+                "tolerance": c.tolerance,
+                "mode": c.mode,
+            }
+            for c in result.checks
+        ],
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(data: Optional[dict]) -> Optional[ExperimentResult]:
+    if data is None:
+        return None
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        description=data["description"],
+        headers=tuple(data["headers"]),
+        rows=[list(row) for row in data["rows"]],
+        checks=[
+            Check(
+                name=c["name"],
+                measured=c["measured"],
+                paper=c["paper"],
+                tolerance=c["tolerance"],
+                mode=c["mode"],
+            )
+            for c in data["checks"]
+        ],
+        notes=data.get("notes", ""),
+    )
+
+
+def outcome_to_record(outcome: RunOutcome) -> Dict[str, object]:
+    """Encode one outcome (request + result-or-error) as a JSON dict."""
+    request = outcome.request
+    result = outcome.result
+    if result is not None and not isinstance(result, ExperimentResult):
+        raise TypeError(
+            f"cannot encode result of type {type(result).__name__}; "
+            f"scenarios must return ExperimentResult"
+        )
+    return {
+        "version": RECORD_VERSION,
+        "scenario": request.scenario_id,
+        "params": [[name, value] for name, value in request.params],
+        "fast": request.fast,
+        "error": outcome.error,
+        "resolved_params": {
+            name: _cell(value)
+            for name, value in outcome.resolved_params.items()
+        },
+        "result": result_to_dict(result),
+    }
+
+
+def outcome_from_record(record: Dict[str, object]) -> RunOutcome:
+    """Rebuild the outcome; the request hashes/compares like the original."""
+    request = RunRequest(
+        scenario_id=record["scenario"],
+        params=tuple(sorted((name, value) for name, value in record["params"])),
+        fast=record["fast"],
+    )
+    return RunOutcome(
+        request=request,
+        result=result_from_dict(record.get("result")),
+        error=record.get("error", ""),
+        resolved_params=dict(record.get("resolved_params") or {}),
+    )
+
+
+def record_params(record: Dict[str, object]) -> List[list]:
+    """The record's raw ``[name, value]`` pairs (display helper)."""
+    return [list(pair) for pair in record.get("params", [])]

@@ -1,0 +1,276 @@
+"""Structured comparison of two sweep artifact trees.
+
+Compares two ``summary.json`` trees (as written by
+:func:`repro.runner.artifacts.write_artifacts`) point by point and
+reports, in order of severity:
+
+* **new failures** — points whose checks passed (or that succeeded)
+  before and fail (or raise) now;
+* **removed points** — present in the baseline, missing now (a shrunk
+  sweep reads as a regression in CI: coverage silently lost);
+* **check drift** — a check's *measured* value moved relative to the
+  baseline by more than the tolerance (the check's own recorded
+  tolerance by default, or an explicit override);
+* **fixed points / added points** — informational;
+* **row deltas** — cell-level changes in the result tables, resolved
+  from the ``rows.csv`` files when both trees carry them.
+
+``regressed`` (new failures, removed points, or drift) is what the
+CLI's ``repro diff`` exit status reflects — the regression gate in CI
+is one subprocess call.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+PointId = Tuple[str, str]  # (scenario id, point slug)
+
+
+def _point_label(point: PointId) -> str:
+    scenario, slug = point
+    return f"{scenario}/{slug}"
+
+
+@dataclass
+class CheckDrift:
+    """One check whose measured value moved beyond tolerance."""
+
+    point: PointId
+    check: str
+    old: float
+    new: float
+    drift: float  # relative to the old measured value
+    tolerance: float
+
+
+@dataclass
+class RowDelta:
+    """One changed cell in a point's result table."""
+
+    point: PointId
+    row: int
+    column: str
+    old: object
+    new: object
+
+
+@dataclass
+class DiffReport:
+    """Everything that differs between two artifact trees."""
+
+    new_failures: List[PointId] = field(default_factory=list)
+    fixed: List[PointId] = field(default_factory=list)
+    removed: List[PointId] = field(default_factory=list)
+    added: List[PointId] = field(default_factory=list)
+    #: checks a shared point carried in the baseline but not any more —
+    #: silently dropped verification coverage
+    removed_checks: List[Tuple[PointId, str]] = field(default_factory=list)
+    check_drift: List[CheckDrift] = field(default_factory=list)
+    row_deltas: List[RowDelta] = field(default_factory=list)
+    points_compared: int = 0
+
+    @property
+    def regressed(self) -> bool:
+        """True when the new tree is *worse*: gate on this in CI."""
+        return bool(
+            self.new_failures or self.removed or self.removed_checks
+            or self.check_drift
+        )
+
+    def render(self) -> str:
+        from ..analysis.report import format_table
+
+        parts: List[str] = []
+        if self.new_failures:
+            parts.append("NEW FAILURES (passed before, fail now):")
+            parts.extend(f"  {_point_label(p)}" for p in self.new_failures)
+        if self.removed:
+            parts.append("REMOVED POINTS (in baseline, missing now):")
+            parts.extend(f"  {_point_label(p)}" for p in self.removed)
+        if self.removed_checks:
+            parts.append("REMOVED CHECKS (coverage silently dropped):")
+            parts.extend(
+                f"  {_point_label(p)}: {name}"
+                for p, name in self.removed_checks
+            )
+        if self.check_drift:
+            rows = [
+                [
+                    _point_label(d.point),
+                    d.check,
+                    f"{d.old:.6g}",
+                    f"{d.new:.6g}",
+                    f"{100 * d.drift:+.2f}%",
+                    f"{100 * d.tolerance:.1f}%",
+                ]
+                for d in self.check_drift
+            ]
+            parts.append(format_table(
+                ("point", "check", "old", "new", "drift", "tolerance"),
+                rows,
+                title="check drift beyond tolerance",
+            ))
+        if self.fixed:
+            parts.append("fixed (failed before, pass now):")
+            parts.extend(f"  {_point_label(p)}" for p in self.fixed)
+        if self.added:
+            parts.append("added points:")
+            parts.extend(f"  {_point_label(p)}" for p in self.added)
+        if self.row_deltas:
+            rows = [
+                [_point_label(d.point), str(d.row), d.column,
+                 str(d.old), str(d.new)]
+                for d in self.row_deltas
+            ]
+            parts.append(format_table(
+                ("point", "row", "column", "old", "new"),
+                rows,
+                title="result-table deltas",
+            ))
+        verdict = (
+            "REGRESSED" if self.regressed
+            else f"no regressions across {self.points_compared} shared point(s)"
+        )
+        parts.append(verdict)
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+def load_summary(path) -> Tuple[dict, Path]:
+    """Load a ``summary.json`` given the file or its directory.
+
+    Returns the parsed summary and the base directory the run records'
+    relative CSV paths resolve against.
+    """
+    p = Path(path)
+    if p.is_dir():
+        p = p / "summary.json"
+    if not p.is_file():
+        raise FileNotFoundError(f"no summary.json at {path}")
+    return json.loads(p.read_text(encoding="utf-8")), p.parent
+
+
+def _index(summary: dict) -> Dict[PointId, dict]:
+    return {
+        (run["scenario"], run["point"]): run
+        for run in summary.get("runs", [])
+    }
+
+
+def _relative_drift(old: float, new: float) -> float:
+    if old == new:
+        return 0.0
+    if old == 0:
+        return math.inf
+    return (new - old) / abs(old)
+
+
+def _numeric(cell: object) -> Optional[float]:
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def _cells_equal(old: object, new: object) -> bool:
+    if str(old) == str(new):
+        return True
+    old_n, new_n = _numeric(old), _numeric(new)
+    return old_n is not None and new_n is not None and old_n == new_n
+
+
+def _rows_deltas(
+    point: PointId, old_run: dict, new_run: dict,
+    old_base: Path, new_base: Path,
+) -> List[RowDelta]:
+    """Cell-level table comparison, when both trees carry the CSVs."""
+    rel_old, rel_new = old_run.get("rows_csv"), new_run.get("rows_csv")
+    if not rel_old or not rel_new:
+        return []
+    old_path, new_path = old_base / rel_old, new_base / rel_new
+    if not (old_path.is_file() and new_path.is_file()):
+        return []
+    with old_path.open(newline="", encoding="utf-8") as fh:
+        old_rows = list(csv.reader(fh))
+    with new_path.open(newline="", encoding="utf-8") as fh:
+        new_rows = list(csv.reader(fh))
+    if not old_rows or not new_rows:
+        return []
+    header = old_rows[0]
+    deltas = []
+    for row_idx in range(max(len(old_rows), len(new_rows)) - 1):
+        old_row = old_rows[row_idx + 1] if row_idx + 1 < len(old_rows) else []
+        new_row = new_rows[row_idx + 1] if row_idx + 1 < len(new_rows) else []
+        for col_idx in range(max(len(old_row), len(new_row))):
+            old_cell = old_row[col_idx] if col_idx < len(old_row) else ""
+            new_cell = new_row[col_idx] if col_idx < len(new_row) else ""
+            if not _cells_equal(old_cell, new_cell):
+                column = (
+                    header[col_idx] if col_idx < len(header)
+                    else f"col{col_idx}"
+                )
+                deltas.append(RowDelta(
+                    point=point, row=row_idx, column=column,
+                    old=old_cell, new=new_cell,
+                ))
+    return deltas
+
+
+def diff_trees(
+    old_path,
+    new_path,
+    drift_tolerance: Optional[float] = None,
+) -> DiffReport:
+    """Compare two artifact trees (directories or summary.json paths).
+
+    ``drift_tolerance`` overrides every check's own tolerance for the
+    measured-value drift comparison; ``None`` keeps the per-check
+    tolerances recorded in the *new* summary.
+    """
+    old_summary, old_base = load_summary(old_path)
+    new_summary, new_base = load_summary(new_path)
+    old_runs, new_runs = _index(old_summary), _index(new_summary)
+    report = DiffReport()
+    report.removed = sorted(set(old_runs) - set(new_runs))
+    report.added = sorted(set(new_runs) - set(old_runs))
+    for point in sorted(set(old_runs) & set(new_runs)):
+        old_run, new_run = old_runs[point], new_runs[point]
+        report.points_compared += 1
+        if old_run["ok"] and not new_run["ok"]:
+            report.new_failures.append(point)
+        elif not old_run["ok"] and new_run["ok"]:
+            report.fixed.append(point)
+        old_checks = {c["name"]: c for c in old_run.get("checks", [])}
+        new_names = {c["name"] for c in new_run.get("checks", [])}
+        report.removed_checks.extend(
+            (point, name) for name in sorted(old_checks)
+            if name not in new_names
+        )
+        for check in new_run.get("checks", []):
+            before = old_checks.get(check["name"])
+            if before is None:
+                continue
+            tolerance = (
+                drift_tolerance if drift_tolerance is not None
+                else check.get("tolerance", 0.0)
+            )
+            drift = _relative_drift(before["measured"], check["measured"])
+            if abs(drift) > tolerance:
+                report.check_drift.append(CheckDrift(
+                    point=point,
+                    check=check["name"],
+                    old=before["measured"],
+                    new=check["measured"],
+                    drift=drift,
+                    tolerance=tolerance,
+                ))
+        report.row_deltas.extend(
+            _rows_deltas(point, old_run, new_run, old_base, new_base)
+        )
+    return report

@@ -1,0 +1,121 @@
+"""Append-only JSONL sweep journal — the resume log.
+
+The sweep CLI writes one journal per output directory: a header line
+naming the scenario and the code fingerprint, then one line per
+completed grid point, appended (and flushed to disk) the moment the
+engine yields the outcome.  Killing a sweep at any instant therefore
+leaves a journal whose intact prefix is exactly the completed work;
+``repro sweep --resume <dir>`` reloads it, skips those points, and
+appends the rest — the finished journal and artifact tree are
+byte-identical to an uninterrupted run's.
+
+No timestamps, hostnames or durations appear in journal lines: the
+journal is part of the deterministic artifact contract, not a log for
+humans.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..runner.engine import RunOutcome
+from . import codec
+from .store import code_fingerprint, request_key
+
+#: the journal's name inside a sweep output directory
+FILENAME = "journal.jsonl"
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Malformed journal: missing/invalid header."""
+
+
+def journal_path(out_dir) -> Path:
+    return Path(out_dir) / FILENAME
+
+
+class Journal:
+    """Writer side: header once, then one flushed line per outcome."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def start(self, scenario_id: str, fingerprint: str = "") -> None:
+        """(Re)create the journal with a fresh header line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "scenario": scenario_id,
+            "fingerprint": fingerprint or code_fingerprint(),
+        }
+        self.path.write_text(
+            json.dumps(header, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def append(self, outcome: RunOutcome) -> None:
+        """Durably record one completed point (open-write-close)."""
+        entry = {
+            "kind": "outcome",
+            "key": request_key(outcome.request),
+            **codec.outcome_to_record(outcome),
+        }
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+
+
+def _read(path: Path) -> Tuple[Dict[str, object], List[RunOutcome], int]:
+    """Parse the journal; also returns the byte length of the valid
+    prefix (a line is valid only if newline-terminated AND parseable —
+    a sweep killed mid-write leaves a torn tail that fails one of the
+    two)."""
+    header: Dict[str, object] = {}
+    outcomes: List[RunOutcome] = []
+    valid_bytes = 0
+    with path.open("rb") as fh:
+        raw = fh.read()
+    for i, line in enumerate(raw.splitlines(keepends=True)):
+        if not line.endswith(b"\n"):
+            break
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break  # killed mid-write; the rest is untrustworthy
+        if i == 0:
+            if entry.get("kind") != "header":
+                raise JournalError(
+                    f"{path}: first line is not a journal header"
+                )
+            header = entry
+        elif entry.get("kind") == "outcome":
+            outcomes.append(codec.outcome_from_record(entry))
+        valid_bytes += len(line)
+    if not header:
+        raise JournalError(f"{path}: empty or headerless journal")
+    return header, outcomes, valid_bytes
+
+
+def load(path) -> Tuple[Dict[str, object], List[RunOutcome]]:
+    """Read a journal back: ``(header, completed outcomes)``.
+
+    A torn final line is dropped along with anything after it;
+    everything before the damage is trusted.
+    """
+    header, outcomes, _ = _read(Path(path))
+    return header, outcomes
+
+
+def recover(path) -> Tuple[Dict[str, object], List[RunOutcome]]:
+    """Like :func:`load`, but also truncates the file to its valid
+    prefix so subsequent appends continue a well-formed journal."""
+    path = Path(path)
+    header, outcomes, valid_bytes = _read(path)
+    if valid_bytes < path.stat().st_size:
+        with path.open("r+b") as fh:
+            fh.truncate(valid_bytes)
+    return header, outcomes

@@ -59,6 +59,7 @@ class TestRegistry:
         for name in single:
             assert counts.pop(f"repro.experiments.{name}") == 1, name
         assert counts.pop("repro.experiments.ablation") == 3
+        assert counts.pop("repro.experiments.traffic_patterns") == 3
         assert not counts, f"unexpected registrations: {counts}"
 
     def test_paper_tag_covers_every_artifact(self):
@@ -223,6 +224,56 @@ class TestEngine:
             ).read_bytes(), rel
 
 
+class TestPointSlug:
+    def _outcome(self, value):
+        request = engine.RunRequest(
+            scenario_id="slug-test", params=(("label", value),)
+        )
+        return engine.RunOutcome(request=request)
+
+    def test_no_params_is_default(self):
+        request = engine.RunRequest(scenario_id="slug-test")
+        assert artifacts.point_slug(
+            engine.RunOutcome(request=request)
+        ) == "default"
+
+    def test_sanitized_collisions_get_distinct_slugs(self):
+        """'a b' and 'a-b' sanitize identically; the hash suffix must
+        keep their artifact files apart."""
+        slug_space = artifacts.point_slug(self._outcome("a b"))
+        slug_dash = artifacts.point_slug(self._outcome("a-b"))
+        assert slug_space != slug_dash
+        assert slug_space.split("-")[:2] == slug_dash.split("-")[:2]
+
+    def test_slug_is_stable(self):
+        assert artifacts.point_slug(self._outcome("a b")) == \
+            artifacts.point_slug(self._outcome("a b"))
+
+
+class TestOutcomeCallback:
+    def test_serial_callback_streams_in_request_order(self):
+        seen = []
+        requests = [
+            engine.RunRequest.create("table1"),
+            engine.RunRequest.create("fig10"),
+        ]
+        outcomes = engine.execute(
+            requests, jobs=1,
+            on_outcome=lambda o: seen.append(o.request.scenario_id),
+        )
+        assert seen == ["table1", "fig10"]
+        assert [o.request.scenario_id for o in outcomes] == seen
+
+    def test_parallel_callback_sees_every_outcome_in_order(self):
+        sc = registry.get("mesh-design-space")
+        requests = sweep.build_requests(
+            sc, axes={"mesh_size": [2, 3]}, fixed={"cycles": 100}
+        )
+        seen = []
+        engine.execute(requests, jobs=2, on_outcome=seen.append)
+        assert [o.request for o in seen] == [r for r in requests]
+
+
 class TestArtifacts:
     def test_layout_and_summary(self, tmp_path):
         outcomes = engine.execute([
@@ -235,7 +286,9 @@ class TestArtifacts:
         assert (tmp_path / "fig12" / "default.rows.csv").exists()
         assert (tmp_path / "fig12" / "default.checks.csv").exists()
         mesh = tmp_path / "mesh-design-space"
-        assert (mesh / "cycles=100_mesh_size=2.rows.csv").exists()
+        mesh_slug = artifacts.point_slug(outcomes[1])
+        assert mesh_slug.startswith("cycles=100_mesh_size=2-")
+        assert (mesh / f"{mesh_slug}.rows.csv").exists()
 
         summary = json.loads(summary_path.read_text())
         assert [r["scenario"] for r in summary["runs"]] == [
