@@ -66,3 +66,30 @@ def test_bench_small_mesh_sweep(benchmark, report):
         "mesh design-space grid (2 sizes x 2 rates, 200 cycles) "
         "through the sweep engine"
     )
+
+
+def _saturated_8x8_point():
+    sc = registry.get("mesh-design-space")
+    requests = sweep.build_requests(
+        sc,
+        axes={"mesh_size": [8], "injection_rate": [0.35]},
+        fixed={"cycles": 400},
+    )
+    return engine.execute(requests, jobs=1)
+
+
+def test_bench_sweep_8x8_saturation(benchmark, report):
+    """The largest, most loaded design-space point through the engine —
+    the sweep-side view of the cycle-kernel speedup (the engine adds
+    only bookkeeping, so this tracks the kernel's saturation number)."""
+    registry.load_builtin()
+    outcomes = benchmark.pedantic(
+        _saturated_8x8_point, rounds=2, iterations=1
+    )
+    (outcome,) = outcomes
+    assert outcome.ok
+    assert not outcome.result.failures()
+    report(
+        "8x8 mesh-design-space point @ 0.35 flit/node/cycle "
+        "(saturation) through the sweep engine"
+    )

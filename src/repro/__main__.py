@@ -15,6 +15,9 @@ Usage::
     python -m repro sweep traffic-hotspot --store runs/     # skip cached points
     python -m repro diff baseline/ out/                     # regression gate
     python -m repro history runs/                           # store catalogue
+    python -m repro bench --json bench.json                 # kernel cycles/sec
+    python -m repro bench --fast --check benchmarks/baseline_bench.json
+    python -m repro bench --profile                         # cProfile hot spots
 
 ``run`` exits non-zero if any paper-vs-measured check fails, so it
 doubles as a reproduction smoke test in CI.  ``sweep`` expands a
@@ -30,6 +33,11 @@ an output directory journals outcomes as they complete, ``--resume``
 finishes a killed sweep from that journal (byte-identical artifacts),
 ``--store`` caches outcomes content-addressed by code fingerprint, and
 ``diff`` compares two artifact trees, exiting non-zero on regression.
+
+``bench`` times the activity-driven NoC cycle kernel against the frozen
+seed kernel (:mod:`repro.noc.reference`) and emits a JSON record;
+``--check`` gates the speedup ratio against a committed baseline (see
+:mod:`repro.bench` and the README "Performance" section).
 """
 
 from __future__ import annotations
@@ -322,6 +330,106 @@ def _cmd_sweep(args, parser) -> int:
     return 0
 
 
+def _cmd_bench(args, parser) -> int:
+    from dataclasses import replace
+
+    from . import bench as bench_mod
+
+    workload = dict(
+        pattern=args.pattern, routing=args.routing, n_vcs=args.vcs,
+        kind=args.kind, cycles=args.cycles,
+    )
+    if args.mesh or args.rates:
+        try:
+            meshes = [int(m) for m in (args.mesh or "4,8").split(",") if m]
+            rates = [
+                float(r) for r in (args.rates or "0.1").split(",") if r
+            ]
+        except ValueError as exc:
+            parser.error(f"bad --mesh/--rates value: {exc}")
+        if not meshes or not rates:
+            parser.error("--mesh/--rates must name at least one value")
+        if any(m < 1 for m in meshes):
+            parser.error("--mesh sizes must be >= 1")
+        if any(not 0.0 <= r <= 1.0 for r in rates):
+            parser.error("--rates must be in [0, 1] flits/node/cycle")
+        points = [
+            bench_mod.BenchPoint(
+                mesh_size=mesh, injection_rate=rate, **workload
+            )
+            for mesh in meshes
+            for rate in rates
+        ]
+    else:
+        # the standard mesh x rate gate points, with any workload
+        # options (--pattern/--routing/--vcs/--kind) applied on top
+        points = [
+            replace(point, **workload)
+            for point in bench_mod.default_points(args.cycles)
+        ]
+
+    def progress(outcome):
+        speed = (
+            f"{outcome.speedup:.2f}x vs reference"
+            if outcome.speedup is not None else "reference skipped"
+        )
+        match = ""
+        if outcome.stats_match is True:
+            match = ", stats identical"
+        elif outcome.stats_match is False:
+            match = ", STATS DIVERGED"
+        print(
+            f"{outcome.point.key}: {outcome.optimized_cps:,.0f} "
+            f"cycles/sec ({speed}{match})"
+        )
+
+    document = bench_mod.run_bench(
+        points,
+        reference=not args.no_reference,
+        repeats=args.repeats,
+        progress=progress,
+    )
+    if args.profile:
+        # profile the most loaded point — highest injection rate, then
+        # largest mesh — where the hot paths actually dominate
+        target = max(
+            points, key=lambda p: (p.injection_rate, p.mesh_size)
+        )
+        print(f"\ncProfile of the optimized kernel ({target.key}):")
+        print(bench_mod.profile_point(target))
+    if args.json:
+        bench_mod.write_json(document, args.json)
+        print(f"bench JSON written to {args.json}")
+
+    diverged = [
+        p["key"] for p in document["points"] if p.get("stats_match") is False
+    ]
+    if diverged:
+        print(
+            f"optimized kernel diverged from the reference on: "
+            f"{', '.join(diverged)}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        try:
+            baseline = bench_mod.load_baseline(args.check)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot read baseline {args.check}: {exc}")
+        problems = bench_mod.check_against_baseline(
+            document, baseline, tolerance=args.tolerance
+        )
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"bench speedups within {args.tolerance:.0%} of "
+            f"{args.check}"
+        )
+    return 0
+
+
 def _cmd_diff(args, parser) -> int:
     try:
         report = store_diff.diff_trees(
@@ -438,6 +546,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_hist.add_argument("store", metavar="DIR")
     p_hist.add_argument("--scenario", help="filter by scenario id")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure NoC cycle-kernel cycles/sec vs the seed kernel",
+    )
+    p_bench.add_argument(
+        "--mesh", metavar="N1,N2,...",
+        help="mesh sizes to bench (default: the standard 4/8 points)",
+    )
+    p_bench.add_argument(
+        "--rates", metavar="R1,R2,...",
+        help="injection rates, flits/node/cycle (with --mesh; default 0.1)",
+    )
+    p_bench.add_argument(
+        "--pattern", default="uniform",
+        choices=("uniform", "transpose", "bit_complement", "hotspot",
+                 "neighbor"),
+        help="traffic pattern (default uniform)",
+    )
+    p_bench.add_argument("--routing", default="xy",
+                         choices=("xy", "west_first"))
+    p_bench.add_argument("--vcs", type=int, default=1, metavar="N",
+                         help="virtual channels (default 1)")
+    p_bench.add_argument("--kind", default="I3", choices=("I1", "I2", "I3"),
+                         help="link implementation (default I3)")
+    p_bench.add_argument("--cycles", type=int, default=1500, metavar="N",
+                         help="timed cycles per point (default 1500)")
+    p_bench.add_argument("--repeats", type=int, default=3, metavar="N",
+                         help="best-of-N timing repeats (default 3)")
+    p_bench.add_argument(
+        "--fast", action="store_true",
+        help="short run: 300 cycles, 2 repeats (CI smoke)",
+    )
+    p_bench.add_argument(
+        "--no-reference", action="store_true",
+        help="skip the seed-kernel comparison run (no speedup reported)",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the optimized run of the most loaded point",
+    )
+    p_bench.add_argument("--json", metavar="PATH",
+                         help="write the bench document to PATH")
+    p_bench.add_argument(
+        "--check", metavar="BASELINE",
+        help="compare speedups against a committed bench JSON; exit 1 "
+             "when any point regresses beyond --tolerance",
+    )
+    p_bench.add_argument(
+        "--tolerance", type=float, default=0.30, metavar="REL",
+        help="relative speedup regression tolerated by --check "
+             "(default 0.30)",
+    )
     return parser
 
 
@@ -449,6 +610,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if getattr(args, "jobs", 1) < 1:
         parser.error("--jobs must be >= 1")
+    if args.command == "bench":
+        if args.cycles < 1:
+            parser.error("--cycles must be >= 1")
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        if args.vcs < 1:
+            parser.error("--vcs must be >= 1")
+        if args.fast:
+            # short cycles only; repeats stay (best-of-N absorbs
+            # scheduler noise, which dominates sub-second timings)
+            args.cycles = min(args.cycles, 300)
+        return _cmd_bench(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
     if args.command == "run":

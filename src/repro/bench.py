@@ -1,0 +1,310 @@
+"""Cycle-kernel benchmark harness behind ``python -m repro bench``.
+
+Measures the simulated-cycles-per-second throughput of the optimized
+activity-driven kernel (:mod:`repro.noc.network`) and, by default, of
+the frozen seed kernel (:mod:`repro.noc.reference`) on the same
+workloads, reporting the speedup per point and emitting a JSON document
+so the performance trajectory is recorded rather than anecdotal.
+
+Two properties make the numbers trustworthy:
+
+* every timed pair also cross-checks that both kernels produced
+  bit-identical :class:`~repro.noc.stats.NetworkStats` summaries
+  (``stats_match`` in the JSON) — a fast kernel that computes the wrong
+  answer fails the bench;
+* regression checking (``--check``) compares the *speedup ratio*
+  against a committed baseline, not absolute cycles/sec: the ratio of
+  two kernels timed on the same host in the same process is stable
+  across machines, where raw cycles/sec is dominated by whatever CPU
+  the CI runner happened to get.
+
+``--profile`` wraps the most loaded point's optimized run (highest
+injection rate, then largest mesh) in :mod:`cProfile` and prints the
+hottest functions, which is how the active-set work was targeted in
+the first place.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .link.behavioral import derive_link_params
+from .noc import (
+    Network,
+    Topology,
+    TrafficConfig,
+    TrafficGenerator,
+    reset_packet_ids,
+)
+from .noc.reference import ReferenceNetwork
+from .tech import st012
+
+#: bench schema version, bumped on incompatible JSON layout changes
+SCHEMA = 1
+
+#: default operating points: (mesh_size, injection_rate) — the nominal
+#: 4x4 point plus the 8x8 low-load and saturation gates from the perf
+#: acceptance criteria
+DEFAULT_POINTS: Sequence[tuple[int, float]] = ((4, 0.10), (8, 0.02), (8, 0.35))
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One timed workload configuration."""
+
+    mesh_size: int
+    injection_rate: float
+    pattern: str = "uniform"
+    routing: str = "xy"
+    n_vcs: int = 1
+    kind: str = "I3"
+    freq_mhz: float = 300.0
+    cycles: int = 1500
+    seed: int = 2008
+
+    @property
+    def key(self) -> str:
+        """Stable identity used to match points across bench runs."""
+        return (
+            f"{self.mesh_size}x{self.mesh_size}"
+            f"@{self.injection_rate:g}/{self.pattern}"
+            f"/{self.routing}/vc{self.n_vcs}/{self.kind}"
+        )
+
+
+@dataclass
+class BenchResult:
+    """Timing + verification outcome of one point."""
+
+    point: BenchPoint
+    optimized_cps: float
+    reference_cps: Optional[float]
+    stats_match: Optional[bool]
+    flits_ejected: int
+    active_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.reference_cps:
+            return None
+        return self.optimized_cps / self.reference_cps
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "key": self.point.key,
+            "mesh_size": self.point.mesh_size,
+            "injection_rate": self.point.injection_rate,
+            "pattern": self.point.pattern,
+            "routing": self.point.routing,
+            "n_vcs": self.point.n_vcs,
+            "kind": self.point.kind,
+            "cycles": self.point.cycles,
+            "optimized_cps": round(self.optimized_cps, 1),
+            "reference_cps": (
+                round(self.reference_cps, 1) if self.reference_cps else None
+            ),
+            "speedup": (
+                round(self.speedup, 3) if self.speedup is not None else None
+            ),
+            "stats_match": self.stats_match,
+            "flits_ejected": self.flits_ejected,
+            "active_counts_final": self.active_counts,
+        }
+
+
+def _build(point: BenchPoint, network_cls):
+    reset_packet_ids()
+    topology = Topology(point.mesh_size, point.mesh_size)
+    params = derive_link_params(st012(), point.kind, point.freq_mhz)
+    network = network_cls(topology, params, n_vcs=point.n_vcs,
+                         routing=point.routing)
+    hotspot = None
+    if point.pattern == "hotspot":
+        hotspot = (topology.cols // 2, topology.rows // 2)
+    traffic = TrafficGenerator(
+        topology,
+        TrafficConfig(
+            pattern=point.pattern,
+            injection_rate=point.injection_rate,
+            seed=point.seed,
+            hotspot=hotspot,
+            n_vcs=point.n_vcs,
+        ),
+    )
+    return network, traffic
+
+
+def _time_run(point: BenchPoint, network_cls, repeats: int):
+    """Best-of-``repeats`` cycles/sec plus the final network (for stats)."""
+    best = 0.0
+    network = None
+    for _ in range(repeats):
+        network, traffic = _build(point, network_cls)
+        t0 = time.perf_counter()
+        network.run(point.cycles, traffic)
+        elapsed = time.perf_counter() - t0
+        best = max(best, point.cycles / elapsed if elapsed > 0 else 0.0)
+    return best, network
+
+
+def run_point(
+    point: BenchPoint,
+    reference: bool = True,
+    repeats: int = 3,
+) -> BenchResult:
+    """Time one point on the optimized (and optionally seed) kernel."""
+    opt_cps, opt_net = _time_run(point, Network, repeats)
+    ref_cps = None
+    stats_match = None
+    if reference:
+        ref_cps, ref_net = _time_run(point, ReferenceNetwork, repeats)
+        stats_match = (
+            opt_net.stats.summary() == ref_net.stats.summary()
+            and opt_net.stats.packet_latencies
+            == ref_net.stats.packet_latencies
+        )
+    return BenchResult(
+        point=point,
+        optimized_cps=opt_cps,
+        reference_cps=ref_cps,
+        stats_match=stats_match,
+        flits_ejected=opt_net.stats.flits_ejected,
+        active_counts=dict(opt_net.active_component_counts),
+    )
+
+
+def profile_point(point: BenchPoint, top: int = 15) -> str:
+    """cProfile the optimized kernel on ``point``; return a pstats table."""
+    network, traffic = _build(point, Network)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    network.run(point.cycles, traffic)
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+def run_bench(
+    points: Sequence[BenchPoint],
+    reference: bool = True,
+    repeats: int = 3,
+    progress=None,
+) -> Dict[str, object]:
+    """Run every point; return the JSON-able bench document."""
+    results = []
+    for point in points:
+        outcome = run_point(point, reference=reference, repeats=repeats)
+        if progress is not None:
+            progress(outcome)
+        results.append(outcome.to_json())
+    return {
+        "schema": SCHEMA,
+        "python": sys.version.split()[0],
+        "repeats": repeats,
+        "points": results,
+    }
+
+
+def _major_minor(version: Optional[str]) -> Optional[str]:
+    if not version:
+        return None
+    return ".".join(str(version).split(".")[:2])
+
+
+def check_against_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.30,
+) -> List[str]:
+    """Problems found comparing ``current`` to a committed baseline.
+
+    A point regresses when its optimized-vs-reference speedup falls
+    more than ``tolerance`` (relative) below the baseline's — the
+    machine-independent formulation of "cycles/sec regressed".  Points
+    present in the baseline but missing from the current run, mismatched
+    stats, missing speedups, and workload-length mismatches (a speedup
+    measured over a different cycle count is not comparable) all count
+    as problems, as does an interpreter mismatch: the two kernels
+    stress CPython differently (dict/attribute-heavy vs scan-heavy),
+    so the ratio is only stable within one major.minor version — the
+    CI bench job pins the Python the committed baseline was recorded
+    on.
+    """
+    problems: List[str] = []
+    base_python = _major_minor(baseline.get("python"))
+    cur_python = _major_minor(current.get("python"))
+    if base_python and cur_python and base_python != cur_python:
+        problems.append(
+            f"interpreter mismatch: bench ran on Python {cur_python} "
+            f"but the baseline was recorded on {base_python} — kernel "
+            f"speedup ratios are only comparable on the same "
+            f"interpreter; regenerate the baseline"
+        )
+    current_by_key = {p["key"]: p for p in current.get("points", [])}
+    for base_point in baseline.get("points", []):
+        key = base_point["key"]
+        base_speedup = base_point.get("speedup")
+        if base_speedup is None:
+            continue
+        point = current_by_key.get(key)
+        if point is None:
+            problems.append(f"{key}: missing from current bench run")
+            continue
+        base_cycles = base_point.get("cycles")
+        cycles = point.get("cycles")
+        if (base_cycles is not None and cycles is not None
+                and base_cycles != cycles):
+            problems.append(
+                f"{key}: measured over {cycles} cycles but the baseline "
+                f"used {base_cycles} — rerun with matching --cycles "
+                f"(the committed baseline uses --fast) or regenerate "
+                f"the baseline"
+            )
+            continue
+        if point.get("stats_match") is False:
+            problems.append(
+                f"{key}: optimized kernel diverged from reference stats"
+            )
+        speedup = point.get("speedup")
+        if speedup is None:
+            problems.append(f"{key}: no speedup recorded (ran without "
+                            f"--reference?)")
+            continue
+        floor = base_speedup * (1.0 - tolerance)
+        if speedup < floor:
+            problems.append(
+                f"{key}: speedup {speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base_speedup:.2f}x "
+                f"- {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def default_points(cycles: int) -> List[BenchPoint]:
+    return [
+        BenchPoint(mesh_size=mesh, injection_rate=rate, cycles=cycles)
+        for mesh, rate in DEFAULT_POINTS
+    ]
+
+
+def load_baseline(path: str) -> Dict[str, object]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def write_json(document: Dict[str, object], path: str) -> None:
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

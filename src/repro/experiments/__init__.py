@@ -15,6 +15,7 @@ from .common import Check, ExperimentResult, resolve_tech
 # importing the modules is what populates the registry
 from . import ablation, fig10, fig11, fig12, fig13, fig14, table1, table2
 from . import throughput, wirelength, mesh_design_space, traffic_patterns
+from . import fault_injection, gals_mesh
 
 __all__ = [
     "Check",
@@ -32,6 +33,8 @@ __all__ = [
     "wirelength",
     "mesh_design_space",
     "traffic_patterns",
+    "fault_injection",
+    "gals_mesh",
     "run_all",
 ]
 

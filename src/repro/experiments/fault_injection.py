@@ -1,0 +1,202 @@
+"""Fault-injection campaign workload (thin wrapper over the noc layer).
+
+The gate-level failure tests (``tests/test_failure_injection.py``)
+break individual links — stuck handshakes, severed wires — and assert
+loud failure.  This scenario runs the mesh-scale counterpart: a seeded
+campaign degrades a chosen number of directed links (reduced sustained
+rate, added latency — the behavioural signature of a marginal or
+partially failed serializer chain) via the kernel's per-link parameter
+hook, then drives traffic across the damaged mesh.
+
+With the default ``west_first`` adaptive routing the mesh is expected
+to *route around* the slow links; the scenario also runs the identical
+traffic on a healthy mesh so the reported table shows the latency cost
+of the faults directly.  Checks are invariants: degraded links must
+slow traffic down, never drop it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..link.behavioral import BehavioralLinkParams, derive_link_params
+from ..noc import Topology, run_mesh_point
+from ..runner.registry import ParamSpec, scenario
+from ..tech.technology import Technology
+from .common import Check, ExperimentResult, resolve_tech
+
+
+def degraded_params(
+    base: BehavioralLinkParams,
+    rate_factor: float,
+    latency_penalty: int,
+) -> BehavioralLinkParams:
+    """Behavioural parameters of a marginal link: slower and later."""
+    return BehavioralLinkParams(
+        kind=f"{base.kind}-degraded",
+        latency_cycles=base.latency_cycles + latency_penalty,
+        rate_flits_per_cycle=max(base.rate_flits_per_cycle * rate_factor,
+                                 1e-3),
+        capacity_flits=base.capacity_flits,
+        wire_count=base.wire_count,
+        serial_ceiling_mflits=base.serial_ceiling_mflits * rate_factor,
+    )
+
+
+def pick_faulty_links(
+    topology: Topology,
+    n_faults: int,
+    fault_seed: int,
+) -> Set[Tuple[Tuple[int, int], object]]:
+    """Deterministically sample ``n_faults`` directed links to degrade."""
+    all_links = [(src, port) for src, port, _dst in topology.links()]
+    rng = random.Random(fault_seed)
+    count = min(n_faults, len(all_links))
+    return set(rng.sample(all_links, count)) if count else set()
+
+
+@scenario(
+    "fault-injection",
+    description=(
+        "Fault-injection campaign: seeded set of degraded links "
+        "(slower, later); adaptive routing steers around the damage"
+    ),
+    tags=("noc", "fault", "extension", "sweep"),
+    params=(
+        ParamSpec(
+            "mesh_size", int, 4,
+            help="mesh is mesh_size x mesh_size switches",
+            choices=(2, 3, 4, 5, 6, 7, 8),
+        ),
+        ParamSpec(
+            "injection_rate", float, 0.10,
+            help="offered load, flits/node/cycle",
+            sweep=(0.05, 0.10, 0.15),
+        ),
+        ParamSpec(
+            "n_faults", int, 3,
+            help="number of degraded directed links",
+            sweep=(0, 1, 3, 6),
+        ),
+        ParamSpec(
+            "rate_factor", float, 0.5,
+            help="sustained-rate multiplier of a degraded link (0, 1]",
+        ),
+        ParamSpec(
+            "latency_penalty", int, 4,
+            help="extra delivery latency of a degraded link, cycles",
+        ),
+        ParamSpec(
+            "routing", str, "west_first",
+            help="routing mode (west_first adapts around slow links)",
+            choices=("xy", "west_first"),
+        ),
+        ParamSpec(
+            "kind", str, "I3",
+            help="link implementation under study",
+            choices=("I1", "I2", "I3"),
+        ),
+        ParamSpec("freq_mhz", float, 300.0, help="switch clock"),
+        ParamSpec("cycles", int, 800, help="traffic cycles before drain"),
+        ParamSpec("seed", int, 2008),
+        ParamSpec("fault_seed", int, 13,
+                  help="seed of the fault-site sampler"),
+    ),
+    fast_params={"cycles": 200},
+)
+def run(
+    tech: Optional[Technology] = None,
+    mesh_size: int = 4,
+    injection_rate: float = 0.10,
+    n_faults: int = 3,
+    rate_factor: float = 0.5,
+    latency_penalty: int = 4,
+    routing: str = "west_first",
+    kind: str = "I3",
+    freq_mhz: float = 300.0,
+    cycles: int = 800,
+    seed: int = 2008,
+    fault_seed: int = 13,
+) -> ExperimentResult:
+    if not (0.0 < rate_factor <= 1.0):
+        raise ValueError(
+            f"rate_factor must be in (0, 1], got {rate_factor}"
+        )
+    if latency_penalty < 0:
+        raise ValueError(
+            f"latency_penalty must be >= 0, got {latency_penalty}"
+        )
+    tech = resolve_tech(tech)
+    topology = Topology(mesh_size, mesh_size)
+    base = derive_link_params(tech, kind, freq_mhz)
+    faulty = pick_faulty_links(topology, n_faults, fault_seed)
+    slow = degraded_params(base, rate_factor, latency_penalty)
+
+    def link_params_for(src, port, dst):
+        return slow if (src, port) in faulty else None
+
+    common = dict(
+        injection_rate=injection_rate,
+        cycles=cycles,
+        seed=seed,
+        routing=routing,
+    )
+    healthy = run_mesh_point(topology, base, **common)
+    damaged = run_mesh_point(
+        topology, base, link_params_for=link_params_for, **common
+    )
+
+    headers = (
+        "mesh", "link", "routing", "faulty links",
+        "offered (flit/node/cyc)", "accepted", "mean lat (cyc)",
+        "p99 lat (cyc)",
+    )
+    rows: List[Sequence[object]] = []
+    for label, point, count in (
+        ("healthy", healthy, 0),
+        ("damaged", damaged, len(faulty)),
+    ):
+        rows.append([
+            f"{mesh_size}x{mesh_size}",
+            kind if label == "healthy" else f"{kind} ({label})",
+            routing,
+            count,
+            injection_rate,
+            f"{point['throughput']:.4f}",
+            f"{point['mean_latency']:.1f}",
+            f"{point['p99_latency']:.0f}",
+        ])
+    checks = [
+        Check(
+            "flit conservation on the damaged mesh",
+            damaged["flits_ejected"],
+            max(damaged["flits_injected"], 1),
+            0.0,
+        ),
+        Check(
+            "traffic delivered through the damage (packets >= 1)",
+            damaged["packets_ejected"],
+            1.0,
+            0.0,
+            mode="at_least",
+        ),
+        Check(
+            "healthy mesh conserves flits too",
+            healthy["flits_ejected"],
+            max(healthy["flits_injected"], 1),
+            0.0,
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="Fault-injection campaign",
+        description=(
+            f"{mesh_size}x{mesh_size} mesh, {kind} links, "
+            f"{len(faulty)} degraded link(s) "
+            f"(rate x{rate_factor:g}, +{latency_penalty} cycles), "
+            f"{routing} routing at {injection_rate} flit/node/cycle"
+        ),
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,166 @@
+"""GALS mixed-clock mesh workload (thin wrapper over the noc layer).
+
+The paper's serialized asynchronous links never clock the wire, so the
+two switch domains they join need not share a frequency — the
+gate-level GALS tests (``tests/test_gals.py``) drive the links with
+independent, even mutually prime, clocks and show lossless in-order
+delivery.  This scenario lifts that property to whole-mesh scale using
+the behavioural kernel's per-link parameter hook
+(``Network(link_params_for=...)``): the mesh is split into a fast west
+half and a slow east half.
+
+The behavioural kernel counts *switch cycles*, so the simulation cycle
+is pinned to the **fast** domain's clock and every link touching the
+slow domain is rescaled by the clock ratio: sustained rate multiplied
+by ``slow/fast`` (the slow side accepts at most one flit per slow
+cycle) and delivery latency divided by it (the same wall-clock
+traversal spans more fast-domain cycles).  Links wholly inside the
+fast half keep the plain parameters.  All reported latencies are in
+fast-domain cycles.
+
+Checks are invariants (flit conservation, traffic delivered), not paper
+numbers: the paper evaluates a single link, this is an extension study
+exercising the activity-driven cycle kernel with heterogeneous links.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..link.behavioral import BehavioralLinkParams, derive_link_params
+from ..noc import Topology, run_mesh_point
+from ..runner.registry import ParamSpec, scenario
+from ..tech.technology import Technology
+from .common import Check, ExperimentResult, resolve_tech
+
+#: load axis, matching the other traffic extension sweeps
+_RATE_AXIS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+@scenario(
+    "gals-mesh",
+    description=(
+        "GALS mixed-clock mesh: fast west half, slow east half; links "
+        "touching the slow domain are rescaled by the clock ratio"
+    ),
+    tags=("noc", "gals", "extension", "sweep"),
+    params=(
+        ParamSpec(
+            "mesh_size", int, 4,
+            help="mesh is mesh_size x mesh_size switches",
+            choices=(2, 3, 4, 5, 6, 7, 8),
+        ),
+        ParamSpec(
+            "injection_rate", float, 0.15,
+            help="offered load, flits/node/cycle",
+            sweep=_RATE_AXIS,
+        ),
+        ParamSpec(
+            "kind", str, "I3",
+            help="link implementation under study",
+            choices=("I1", "I2", "I3"),
+        ),
+        ParamSpec("fast_mhz", float, 400.0,
+                  help="clock of the west (fast) domain"),
+        ParamSpec("slow_mhz", float, 200.0,
+                  help="clock of the east (slow) domain"),
+        ParamSpec("cycles", int, 800, help="traffic cycles before drain"),
+        ParamSpec("seed", int, 2008),
+    ),
+    fast_params={"cycles": 200},
+)
+def run(
+    tech: Optional[Technology] = None,
+    mesh_size: int = 4,
+    injection_rate: float = 0.15,
+    kind: str = "I3",
+    fast_mhz: float = 400.0,
+    slow_mhz: float = 200.0,
+    cycles: int = 800,
+    seed: int = 2008,
+) -> ExperimentResult:
+    if fast_mhz <= 0 or slow_mhz <= 0:
+        raise ValueError("clock frequencies must be positive")
+    tech = resolve_tech(tech)
+    topology = Topology(mesh_size, mesh_size)
+    split_col = mesh_size // 2  # nodes with x < split_col are "fast"
+    base = derive_link_params(tech, kind, fast_mhz)
+    # simulation cycle = fast clock; links touching the slow domain run
+    # at the clock ratio (never above 1: a "slow" domain faster than
+    # the fast one degenerates to a uniform mesh)
+    ratio = min(1.0, slow_mhz / fast_mhz)
+    slow_params = BehavioralLinkParams(
+        kind=f"{kind}-gals",
+        latency_cycles=max(1, round(base.latency_cycles / ratio)),
+        rate_flits_per_cycle=max(
+            min(base.rate_flits_per_cycle * ratio, 1.0), 1e-3
+        ),
+        capacity_flits=base.capacity_flits,
+        wire_count=base.wire_count,
+        serial_ceiling_mflits=base.serial_ceiling_mflits,
+    )
+
+    def in_slow_domain(node) -> bool:
+        return node[0] >= split_col
+
+    cross_domain = 0
+
+    def link_params_for(src, port, dst):
+        nonlocal cross_domain
+        if in_slow_domain(src) != in_slow_domain(dst):
+            cross_domain += 1
+        if in_slow_domain(src) or in_slow_domain(dst):
+            return slow_params
+        return None  # keep the fast-domain default
+
+    point = run_mesh_point(
+        topology,
+        base,
+        injection_rate=injection_rate,
+        cycles=cycles,
+        seed=seed,
+        link_params_for=link_params_for,
+    )
+
+    headers = (
+        "mesh", "link", "west clk (MHz)", "east clk (MHz)",
+        "cross-domain links", "offered (flit/node/cyc)", "accepted",
+        "mean lat (fast cyc)", "p99 lat (fast cyc)",
+    )
+    rows: List[Sequence[object]] = [[
+        f"{mesh_size}x{mesh_size}",
+        kind,
+        f"{fast_mhz:.0f}",
+        f"{slow_mhz:.0f}",
+        cross_domain,
+        injection_rate,
+        f"{point['throughput']:.4f}",
+        f"{point['mean_latency']:.1f}",
+        f"{point['p99_latency']:.0f}",
+    ]]
+    checks = [
+        Check(
+            "flit conservation (ejected vs injected)",
+            point["flits_ejected"],
+            max(point["flits_injected"], 1),
+            0.0,
+        ),
+        Check(
+            "traffic delivered (packets ejected >= 1)",
+            point["packets_ejected"],
+            1.0,
+            0.0,
+            mode="at_least",
+        ),
+    ]
+    return ExperimentResult(
+        experiment_id="GALS mixed-clock mesh",
+        description=(
+            f"{mesh_size}x{mesh_size} mesh, {kind} links, west domain "
+            f"{fast_mhz:.0f} MHz / east domain {slow_mhz:.0f} MHz, "
+            f"uniform traffic at {injection_rate} flit/node/cycle"
+        ),
+        headers=headers,
+        rows=rows,
+        checks=checks,
+    )

@@ -116,6 +116,17 @@ class TokenLink:
     emerge from :meth:`deliverable` after ``latency_cycles``.  The
     receiving switch pops them with :meth:`pop`; undelivered flits apply
     backpressure through the capacity bound.
+
+    Credit accrual is *batchable*: per-cycle accrual clamps at
+    ``1.0 + rate``, so an idle link's credit is a pure function of how
+    many cycles have elapsed since its last send, and it saturates after
+    at most ``ceil(cap / rate)`` steps.  :meth:`accrue_to` replays
+    exactly the per-cycle ``min(credit + rate, cap)`` updates (the same
+    float operations in the same order, so results stay bit-identical)
+    but stops early once the clamp is reached — the network only calls
+    it for links that might actually send this cycle, instead of
+    touching every link every cycle.  ``_accruals`` counts how many
+    per-cycle accruals have been applied since construction.
     """
 
     def __init__(self, params: BehavioralLinkParams, name: str = "link") -> None:
@@ -123,15 +134,36 @@ class TokenLink:
         self.name = name
         self._in_flight: list[tuple[int, object]] = []  # (ready_cycle, flit)
         self._rate_credit = 0.0
+        self._rate = params.rate_flits_per_cycle
+        self._credit_cap = 1.0 + self._rate
+        self._accruals = 0
         self.flits_sent = 0
         self.flits_delivered = 0
 
     def begin_cycle(self) -> None:
         """Accrue rate credit for this cycle (call once per cycle)."""
-        self._rate_credit = min(
-            self._rate_credit + self.params.rate_flits_per_cycle,
-            1.0 + self.params.rate_flits_per_cycle,
-        )
+        self.accrue_to(self._accruals + 1)
+
+    def accrue_to(self, n_accruals: int) -> None:
+        """Apply per-cycle credit accruals until ``n_accruals`` are done.
+
+        Equivalent to calling :meth:`begin_cycle` the missing number of
+        times; the loop exits as soon as the credit clamps at the cap,
+        which bounds the work for long-idle links.
+        """
+        done = self._accruals
+        if n_accruals <= done:
+            return
+        credit = self._rate_credit
+        cap = self._credit_cap
+        if credit != cap:
+            rate = self._rate
+            steps = n_accruals - done
+            while steps and credit != cap:
+                credit = min(credit + rate, cap)
+                steps -= 1
+            self._rate_credit = credit
+        self._accruals = n_accruals
 
     def can_send(self) -> bool:
         return (
@@ -153,6 +185,17 @@ class TokenLink:
     def deliverable(self, now_cycle: int) -> bool:
         """True if the head flit has completed its traversal."""
         return bool(self._in_flight) and self._in_flight[0][0] <= now_cycle
+
+    @property
+    def next_deliverable_cycle(self) -> Optional[int]:
+        """Cycle the head flit matures at, or None for an empty link.
+
+        The network's active-link set uses this to turn the seed's
+        per-cycle ``begin_cycle``/``deliverable`` polling of *every*
+        link into a single integer comparison on in-flight links only.
+        """
+        in_flight = self._in_flight
+        return in_flight[0][0] if in_flight else None
 
     def peek(self) -> object:
         return self._in_flight[0][1]

@@ -4,10 +4,28 @@ The paper's links live between the switches of a synchronous NoC; this
 package provides that context so the links can be evaluated inside full
 networks (mesh latency/throughput under synthetic traffic), not just on
 an isolated point-to-point testbench.
+
+Flits carry a concrete ``vc`` field (virtual channel, assigned at
+injection, default 0) — the cycle kernel reads ``flit.vc`` directly on
+its hot path, so anything offering flits to a :class:`Network` or
+:class:`Switch` must provide real :class:`Flit` instances rather than
+duck-typed stand-ins without ``vc``.
+
+The cycle kernel itself is activity-driven (see
+:mod:`repro.noc.network`); the original full-scan kernel is preserved
+in :mod:`repro.noc.reference` as the differential-testing oracle and
+the baseline that ``python -m repro bench`` measures speedups against.
 """
 
 from .flit import Coord, Flit, FlitKind, Packet, reset_packet_ids
-from .topology import Port, Topology, next_hop, west_first_permitted, xy_route
+from .topology import (
+    Port,
+    Topology,
+    compile_next_hop,
+    next_hop,
+    west_first_permitted,
+    xy_route,
+)
 from .switch import InputQueue, Switch
 from .traffic import TrafficConfig, TrafficGenerator, message_sequence
 from .network import Network, latency_vs_load, run_mesh_point
@@ -21,6 +39,7 @@ __all__ = [
     "reset_packet_ids",
     "Port",
     "Topology",
+    "compile_next_hop",
     "next_hop",
     "west_first_permitted",
     "xy_route",

@@ -19,7 +19,14 @@ _packet_ids = itertools.count()
 
 
 class FlitKind(Enum):
-    """Position of a flit within its packet."""
+    """Position of a flit within its packet.
+
+    ``opens_route`` / ``closes_route`` are plain member attributes
+    (assigned right after the class body) rather than properties: the
+    switch arbitration loop reads them once per lane per output port
+    per cycle, and a concrete bool avoids a descriptor call plus tuple
+    construction on that hot path.
+    """
 
     HEAD = "head"
     BODY = "body"
@@ -27,13 +34,16 @@ class FlitKind(Enum):
     #: single-flit packet: simultaneously head and tail
     HEAD_TAIL = "head_tail"
 
-    @property
-    def opens_route(self) -> bool:
-        return self in (FlitKind.HEAD, FlitKind.HEAD_TAIL)
 
-    @property
-    def closes_route(self) -> bool:
-        return self in (FlitKind.TAIL, FlitKind.HEAD_TAIL)
+FlitKind.HEAD.opens_route = True
+FlitKind.BODY.opens_route = False
+FlitKind.TAIL.opens_route = False
+FlitKind.HEAD_TAIL.opens_route = True
+
+FlitKind.HEAD.closes_route = False
+FlitKind.BODY.closes_route = False
+FlitKind.TAIL.closes_route = True
+FlitKind.HEAD_TAIL.closes_route = True
 
 
 @dataclass

@@ -15,6 +15,26 @@ Each cycle:
 2. the traffic generator injects new packets into per-node source
    queues; one flit per node per cycle may enter the LOCAL input;
 3. every switch arbitrates and forwards at most one flit per output.
+
+The cycle kernel is **activity-driven**: instead of polling every link
+twice and sorting every switch each cycle (the seed kernel, preserved
+verbatim in :mod:`repro.noc.reference`), :meth:`Network.step` maintains
+
+* ``_active_links`` — links with flits in flight (delivery is a single
+  integer comparison against the head flit's ready cycle);
+* ``_active_switches`` — switches with buffered flits (empty switches
+  are never visited; the sorted node order is hoisted to ``__init__``
+  and reused whenever every switch is active);
+* ``_pending_sources`` — nodes whose source queues hold flits waiting
+  to enter the network (``drain`` no longer rescans every queue).
+
+Rate credit accrues lazily and in batch (see
+:meth:`~repro.link.behavioral.TokenLink.accrue_to`), only for links
+that might send this cycle.  All of this is decision-identical to the
+seed kernel — ``tests/test_kernel_equivalence.py`` pins bit-identical
+statistics, link counters and traced routes across routing modes, VC
+counts, traffic patterns and mesh sizes; ``python -m repro bench``
+measures the resulting speedup.
 """
 
 from __future__ import annotations
@@ -26,7 +46,13 @@ from ..link.behavioral import BehavioralLinkParams, TokenLink
 from .flit import Flit, Packet
 from .stats import NetworkStats
 from .switch import Switch
-from .topology import Coord, Port, Topology, next_hop, west_first_permitted
+from .topology import (
+    Coord,
+    Port,
+    Topology,
+    compile_next_hop,
+    west_first_permitted,
+)
 from .traffic import TrafficConfig, TrafficGenerator
 
 
@@ -36,8 +62,10 @@ class Network:
     ``link_params`` sets the default for every directed link;
     ``link_params_for(src, port, dst)`` (if given) may return a
     different :class:`BehavioralLinkParams` for specific links — e.g.
-    serialized asynchronous links only on the long cross-die rows, or a
-    GALS mesh mixing clock domains.  Returning None keeps the default.
+    serialized asynchronous links only on the long cross-die rows, a
+    GALS mesh mixing clock domains (the ``gals-mesh`` scenario), or a
+    fault-injection campaign degrading chosen links (the
+    ``fault-injection`` scenario).  Returning None keeps the default.
     """
 
     def __init__(
@@ -63,10 +91,9 @@ class Network:
         self.cycle = 0
 
         if routing == "xy":
-
-            def route(current: Coord, dest: Coord) -> Port:
-                return next_hop(current, dest, topology)
-
+            # dimension-ordered; the compiled closure skips the
+            # full-route construction of topology.next_hop
+            route = compile_next_hop(topology)
         else:
             # west-first adaptive: among the permitted productive ports,
             # steer towards the least-occupied outgoing link
@@ -111,6 +138,31 @@ class Network:
         self.trace_routes: bool = False
         self.routes: Dict[int, list[Coord]] = {}
 
+        # ------------------------------------------------------------------
+        # activity-driven kernel state
+        # ------------------------------------------------------------------
+        #: arbitration order, hoisted out of the cycle loop
+        self._node_order: Tuple[Coord, ...] = tuple(sorted(self.switches))
+        self._n_switches = len(self.switches)
+        #: nodes whose switches hold buffered flits
+        self._active_switches: set = set()
+        #: links with flits in flight, mapped to their precomputed
+        #: delivery target (dst switch object, dst node, dst port)
+        self._active_links: Dict[TokenLink, Tuple[Switch, Coord, Port]] = {}
+        #: nodes with non-empty source queues
+        self._pending_sources: set = set()
+        # per-switch (link, delivery-target) tuples so phase 3 can
+        # accrue credit and (re)activate links without dict lookups
+        self._switch_links: Dict[
+            Coord, Tuple[Tuple[TokenLink, Tuple[Switch, Coord, Port]], ...]
+        ] = {}
+        for node, switch in self.switches.items():
+            entries = []
+            for port, link in switch.out_links.items():
+                dst, dport = self._link_dst[(node, port)]
+                entries.append((link, (self.switches[dst], dst, dport)))
+            self._switch_links[node] = tuple(entries)
+
     # ------------------------------------------------------------------
     def offer_packet(self, packet: Packet) -> None:
         """Queue a packet for injection at its source node."""
@@ -121,46 +173,83 @@ class Network:
             packet.created_cycle,
         )
         self.source_queues[packet.src].extend(packet.flits())
+        self._pending_sources.add(packet.src)
 
     # ------------------------------------------------------------------
     def step(self, traffic: Optional[TrafficGenerator] = None) -> None:
         """Advance the network by one clock cycle."""
         now = self.cycle
+        active_switches = self._active_switches
 
-        # 1. link transport
-        for key, link in self.links.items():
-            link.begin_cycle()
-        for key, link in self.links.items():
-            if not link.deliverable(now):
-                continue
-            dst_node, dst_port = self._link_dst[key]
-            switch = self.switches[dst_node]
-            flit = link.peek()
-            if switch.can_accept(dst_port, getattr(flit, "vc", 0)):
-                switch.accept(dst_port, link.pop(now))
+        # 1. link transport — only links with flits in flight; delivery
+        # of a matured head flit is one integer comparison
+        active_links = self._active_links
+        if active_links:
+            for link in list(active_links):
+                in_flight = link._in_flight
+                ready, flit = in_flight[0]
+                if ready > now:
+                    continue
+                switch, dst_node, dst_port = active_links[link]
+                queue = switch.inputs[dst_port][flit.vc]
+                if len(queue.fifo) >= queue.depth:
+                    continue  # backpressure: retry next cycle
+                del in_flight[0]
+                link.flits_delivered += 1
+                queue.fifo.append(flit)
+                switch._buffered += 1
+                active_switches.add(dst_node)
+                if not in_flight:
+                    del active_links[link]
 
-        # 2. traffic injection
+        # 2. traffic injection — only nodes with queued flits
         if traffic is not None:
             for packet in traffic.packets_for_cycle(now):
                 self.offer_packet(packet)
-        for node, queue in self.source_queues.items():
-            if not queue:
-                continue
-            switch = self.switches[node]
-            if switch.can_accept(Port.LOCAL, getattr(queue[0], "vc", 0)):
-                flit = queue.popleft()
-                length, created = self._packet_meta[flit.packet_id]
-                self.stats.record_injection(flit, now, length, created)
-                switch.accept(Port.LOCAL, flit)
+        pending = self._pending_sources
+        if pending:
+            stats = self.stats
+            packet_meta = self._packet_meta
+            for node in list(pending):
+                queue = self.source_queues[node]
+                switch = self.switches[node]
+                flit = queue[0]
+                if switch.can_accept(Port.LOCAL, flit.vc):
+                    queue.popleft()
+                    length, created = packet_meta[flit.packet_id]
+                    stats.record_injection(flit, now, length, created)
+                    switch.accept(Port.LOCAL, flit)
+                    active_switches.add(node)
+                    if not queue:
+                        pending.discard(node)
 
-        # 3. switching
-        for node in sorted(self.switches):
-            switch = self.switches[node]
-            if self.trace_routes:
-                self._record_heads(node, switch)
-            switch.arbitrate_and_send(now, self._eject)
+        # 3. switching — only switches with buffered flits, in the same
+        # sorted node order the seed kernel used (hoisted to __init__)
+        if active_switches:
+            if len(active_switches) == self._n_switches:
+                order: Iterable[Coord] = self._node_order
+            else:
+                order = sorted(active_switches)
+            switches = self.switches
+            switch_links = self._switch_links
+            eject = self._eject
+            trace = self.trace_routes
+            target_accruals = now + 1
+            for node in order:
+                switch = switches[node]
+                links = switch_links[node]
+                for link, _info in links:
+                    link.accrue_to(target_accruals)
+                if trace:
+                    self._record_heads(node, switch)
+                switch.arbitrate_and_send(now, eject)
+                for link, info in links:
+                    if link._in_flight:
+                        active_links[link] = info
+                if switch._buffered == 0:
+                    active_switches.discard(node)
 
-        self.cycle += 1
+        self.cycle = now + 1
         self.stats.cycles = self.cycle
 
     def _eject(self, flit: Flit) -> None:
@@ -191,19 +280,22 @@ class Network:
         return self.stats
 
     def drain(self, max_cycles: int = 100_000) -> NetworkStats:
-        """Run without new traffic until every in-flight flit ejects."""
+        """Run without new traffic until every in-flight flit ejects.
+
+        The loop condition reuses the pending-source set instead of
+        rescanning every source queue with ``any(...)`` each cycle.
+        """
         waited = 0
-        while self.stats.in_flight_flits > 0 or any(
-            q for q in self.source_queues.values()
-        ):
+        stats = self.stats
+        while stats.in_flight_flits > 0 or self._pending_sources:
             self.step(None)
             waited += 1
             if waited > max_cycles:
                 raise TimeoutError(
                     f"network failed to drain within {max_cycles} cycles "
-                    f"({self.stats.in_flight_flits} flits stuck)"
+                    f"({stats.in_flight_flits} flits stuck)"
                 )
-        return self.stats
+        return stats
 
     # ------------------------------------------------------------------
     @property
@@ -211,12 +303,29 @@ class Network:
         """Physical wires across all inter-switch links (cost metric)."""
         return sum(link.params.wire_count for link in self.links.values())
 
+    @property
+    def active_component_counts(self) -> Dict[str, int]:
+        """Live sizes of the kernel's activity sets (observability)."""
+        return {
+            "links_in_flight": len(self._active_links),
+            "switches_buffered": len(self._active_switches),
+            "sources_pending": len(self._pending_sources),
+        }
+
     def link_utilization(self) -> Dict[Tuple[Coord, Port], float]:
-        """Flits carried per cycle for every directed link (load map)."""
-        if self.cycle == 0:
+        """Flits carried per cycle for every directed link (load map).
+
+        One pass over the link table; ``flits_delivered`` is maintained
+        incrementally by the active-link delivery fast path, so this is
+        a pure read — no per-link polling.  (Division stays per-link:
+        multiplying by a hoisted reciprocal changes the last ulp and
+        would break bit-identity with the seed kernel.)
+        """
+        cycles = self.cycle
+        if cycles == 0:
             return {key: 0.0 for key in self.links}
         return {
-            key: link.flits_delivered / self.cycle
+            key: link.flits_delivered / cycles
             for key, link in self.links.items()
         }
 
@@ -234,6 +343,10 @@ def run_mesh_point(
     routing: str = "xy",
     hotspot: Optional[Coord] = None,
     hotspot_fraction: float = 0.5,
+    n_vcs: int = 1,
+    link_params_for: Optional[
+        Callable[[Coord, Port, Coord], Optional[BehavioralLinkParams]]
+    ] = None,
 ) -> Dict[str, float]:
     """One fully-drained traffic run at a single operating point.
 
@@ -242,7 +355,10 @@ def run_mesh_point(
     fresh :class:`Network`, drive seeded synthetic traffic for
     ``cycles`` cycles, drain every in-flight flit, and report the
     steady metrics.  Packet ids are reset first so repeated calls are
-    bit-for-bit reproducible within one process.
+    bit-for-bit reproducible within one process.  ``n_vcs`` and
+    ``link_params_for`` thread through to :class:`Network` (and the
+    traffic generator) so the VC, GALS and fault-injection scenarios
+    can reuse this entry point.
     """
     from .flit import reset_packet_ids
 
@@ -251,7 +367,8 @@ def run_mesh_point(
         # centre of the mesh: the worst-case convergence point
         hotspot = (topology.cols // 2, topology.rows // 2)
     network = Network(
-        topology, link_params, fifo_depth=fifo_depth, routing=routing
+        topology, link_params, fifo_depth=fifo_depth, routing=routing,
+        n_vcs=n_vcs, link_params_for=link_params_for,
     )
     traffic = TrafficGenerator(
         topology,
@@ -262,6 +379,7 @@ def run_mesh_point(
             seed=seed,
             hotspot=hotspot,
             hotspot_fraction=hotspot_fraction,
+            n_vcs=n_vcs,
         ),
     )
     network.run(cycles, traffic)

@@ -25,27 +25,35 @@ class NetworkStats:
     _packet_created: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
+    # Both recorders run once per flit on the network's cycle hot path;
+    # they are written as straight-line dict operations (no method
+    # dispatch, one lookup per dict) so recording stays cheap even at
+    # saturation.
     def record_injection(self, flit: Flit, cycle: int,
                          packet_length: int, created_cycle: int) -> None:
         flit.injected_cycle = cycle
         self.flits_injected += 1
-        self._packet_lengths.setdefault(flit.packet_id, packet_length)
-        self._packet_created.setdefault(flit.packet_id, created_cycle)
+        pid = flit.packet_id
+        if pid not in self._packet_lengths:
+            self._packet_lengths[pid] = packet_length
+            self._packet_created[pid] = created_cycle
 
     def record_ejection(self, flit: Flit, cycle: int) -> None:
         flit.ejected_cycle = cycle
         self.flits_ejected += 1
         pid = flit.packet_id
-        seen = self._packet_progress.get(pid, 0) + 1
-        self._packet_progress[pid] = seen
-        if seen == self._packet_lengths.get(pid, -1):
-            self.packets_ejected += 1
-            created = self._packet_created.get(pid, flit.injected_cycle)
-            self.packet_latencies.append(cycle - created)
-            # free the bookkeeping
-            del self._packet_progress[pid]
-            del self._packet_lengths[pid]
-            del self._packet_created[pid]
+        progress = self._packet_progress
+        seen = progress.get(pid, 0) + 1
+        if seen != self._packet_lengths.get(pid, -1):
+            progress[pid] = seen
+            return
+        self.packets_ejected += 1
+        created = self._packet_created.get(pid, flit.injected_cycle)
+        self.packet_latencies.append(cycle - created)
+        # free the bookkeeping
+        progress.pop(pid, None)
+        del self._packet_lengths[pid]
+        del self._packet_created[pid]
 
     # ------------------------------------------------------------------
     @property

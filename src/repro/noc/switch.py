@@ -21,6 +21,17 @@ The switch is cycle-driven: the network calls :meth:`arbitrate_and_send`
 once per clock after link deliveries have been drained into the input
 FIFOs.  At most one flit crosses each physical output per cycle —
 virtual channels share the wire, they do not widen it.
+
+Arbitration is decision-identical to the straightforward seed
+implementation (kept verbatim in :mod:`repro.noc.reference` and pinned
+by ``tests/test_kernel_equivalence.py``) but organised for speed: the
+lane list and the lane→index map are precomputed once, empty switches
+return before touching any lane, and the round-robin update is a dict
+lookup instead of a linear ``list.index`` scan.  The per-output rescan
+of the lanes is deliberate — with adaptive routing a lane's desired
+output may change *within* a cycle as earlier outputs send (occupancies
+shift and queue heads advance), so caching desired outputs across
+output ports would change arbitration decisions.
 """
 
 from __future__ import annotations
@@ -99,6 +110,19 @@ class Switch:
         self._rr: Dict[Port, int] = {port: 0 for port in Port}
         #: outgoing links, attached by the network
         self.out_links: Dict[Port, object] = {}
+        # precomputed arbitration structures (hot path)
+        lanes = [(port, vc) for port in Port for vc in range(n_vcs)]
+        self._lane_index: Dict[Lane, int] = {
+            lane: i for i, lane in enumerate(lanes)
+        }
+        self._lane_pairs: Tuple[Tuple[Lane, InputQueue], ...] = tuple(
+            (lane, self.inputs[lane[0]][lane[1]]) for lane in lanes
+        )
+        self._n_lanes = len(lanes)
+        #: flits currently buffered across all lanes (maintained by
+        #: :meth:`accept` and the arbitration pops; lets both the switch
+        #: and the network skip empty switches without scanning FIFOs)
+        self._buffered = 0
         # statistics
         self.flits_routed = 0
         self.arbitration_conflicts = 0
@@ -114,29 +138,16 @@ class Switch:
 
     def accept(self, port: Port, flit: Flit) -> None:
         """Push an arriving flit into its lane's FIFO (lane = flit.vc)."""
-        vc = getattr(flit, "vc", 0)
+        vc = flit.vc
         if not (0 <= vc < self.n_vcs):
             raise ValueError(
                 f"{self.name}: flit carries VC {vc} but switch has "
                 f"{self.n_vcs} VC(s)"
             )
         self.inputs[port][vc].push(flit)
+        self._buffered += 1
 
     # ------------------------------------------------------------------
-    def _lanes(self) -> List[Lane]:
-        return [(port, vc) for port in Port for vc in range(self.n_vcs)]
-
-    def _desired_output(self, lane: Lane) -> Optional[Port]:
-        """Output the head flit of ``lane`` wants, honouring locks."""
-        queue = self.inputs[lane[0]][lane[1]]
-        if queue.empty:
-            return None
-        flit = queue.head()
-        if flit.kind.opens_route:
-            return self.route_fn(self.position, flit.dest)
-        # body/tail follow the locked route
-        return queue.locked_output
-
     def arbitrate_and_send(
         self,
         now_cycle: int,
@@ -149,48 +160,54 @@ class Switch:
         over the input lanes resolves conflicts; the wormhole lock is
         per (output, VC) so different VCs interleave.
         """
+        if self._buffered == 0:
+            return 0
         moved = 0
-        lanes = self._lanes()
+        route_fn = self.route_fn
+        position = self.position
+        output_owner = self.output_owner
+        lane_pairs = self._lane_pairs
+        lane_index = self._lane_index
+        n_lanes = self._n_lanes
+        rr = self._rr
         for out_port in Port:
-            candidates: List[Lane] = []
-            for lane in lanes:
-                desired = self._desired_output(lane)
-                if desired != out_port:
+            candidates: List[Tuple[Lane, InputQueue]] = []
+            for lane, queue in lane_pairs:
+                fifo = queue.fifo
+                if not fifo:
                     continue
-                queue = self.inputs[lane[0]][lane[1]]
-                flit = queue.head()
-                vc = getattr(flit, "vc", 0)
+                flit = fifo[0]
                 if flit.kind.opens_route:
-                    owner = self.output_owner[(out_port, vc)]
+                    if route_fn(position, flit.dest) is not out_port:
+                        continue
+                    owner = output_owner[(out_port, flit.vc)]
                     if owner is not None and owner != lane:
                         continue  # VC lane locked by another packet
-                elif queue.locked_output != out_port:
+                elif queue.locked_output is not out_port:
+                    # body/tail follow the locked route
                     continue
-                candidates.append(lane)
+                candidates.append((lane, queue))
 
             if not candidates:
                 continue
-            if len(candidates) > 1:
+            if len(candidates) == 1:
+                pick, queue = candidates[0]
+            else:
                 self.arbitration_conflicts += 1
+                # round-robin: the first candidate at or after the pointer
+                start = rr[out_port]
+                pick, queue = min(
+                    candidates,
+                    key=lambda cand: (lane_index[cand[0]] - start) % n_lanes,
+                )
 
-            # round-robin pick over the lane list
-            start = self._rr[out_port]
-            pick: Optional[Lane] = None
-            for offset in range(len(lanes)):
-                lane = lanes[(start + offset) % len(lanes)]
-                if lane in candidates:
-                    pick = lane
-                    break
-            assert pick is not None
-            queue = self.inputs[pick[0]][pick[1]]
-            flit = queue.head()
-
-            if out_port == Port.LOCAL:
-                queue.pop()
+            if out_port is Port.LOCAL:
+                flit = queue.pop()
+                self._buffered -= 1
                 self._finish_flit(queue, pick, out_port, flit)
                 eject(flit)
                 moved += 1
-                self._rr[out_port] = (lanes.index(pick) + 1) % len(lanes)
+                rr[out_port] = (lane_index[pick] + 1) % n_lanes
                 continue
 
             link = self.out_links.get(out_port)
@@ -198,23 +215,24 @@ class Switch:
                 raise RuntimeError(
                     f"{self.name}: no link attached on {out_port}"
                 )
-            if link.try_send(flit, now_cycle):
-                queue.pop()
+            if link.try_send(queue.fifo[0], now_cycle):
+                flit = queue.pop()
+                self._buffered -= 1
                 self._finish_flit(queue, pick, out_port, flit)
                 moved += 1
-                self._rr[out_port] = (lanes.index(pick) + 1) % len(lanes)
+                rr[out_port] = (lane_index[pick] + 1) % n_lanes
         self.flits_routed += moved
         return moved
 
     def _finish_flit(self, queue: InputQueue, lane: Lane,
                      out_port: Port, flit: Flit) -> None:
         """Update wormhole locks after a flit advances."""
-        vc = getattr(flit, "vc", 0)
-        if flit.kind.opens_route:
-            self.output_owner[(out_port, vc)] = lane
+        kind = flit.kind
+        if kind.opens_route:
+            self.output_owner[(out_port, flit.vc)] = lane
             queue.locked_output = out_port
-        if flit.kind.closes_route:
-            self.output_owner[(out_port, vc)] = None
+        if kind.closes_route:
+            self.output_owner[(out_port, flit.vc)] = None
             queue.locked_output = None
 
     # ------------------------------------------------------------------

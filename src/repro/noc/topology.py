@@ -144,6 +144,63 @@ def next_hop(current: Coord, dest: Coord, topology: Topology) -> Port:
     return route[0]
 
 
+def compile_next_hop(topology: Topology):
+    """A fast ``(current, dest) -> Port`` closure for one topology.
+
+    Decision-identical to :func:`next_hop` (see the equivalence test in
+    ``tests/test_noc_topology.py``) but skips the bounds validation and
+    the full-route list that :func:`xy_route` builds — the network cycle
+    kernel calls this once per buffered head flit per output port per
+    cycle, where materialising the whole remaining path is pure waste.
+    """
+    east, west = Port.EAST, Port.WEST
+    north, south = Port.NORTH, Port.SOUTH
+    local = Port.LOCAL
+
+    if not topology.torus:
+
+        def fast_next_hop(current: Coord, dest: Coord) -> Port:
+            dx = dest[0] - current[0]
+            if dx > 0:
+                return east
+            if dx < 0:
+                return west
+            dy = dest[1] - current[1]
+            if dy > 0:
+                return north
+            if dy < 0:
+                return south
+            return local
+
+        return fast_next_hop
+
+    cols, rows = topology.cols, topology.rows
+    half_cols, half_rows = cols // 2, rows // 2
+
+    def fast_next_hop_torus(current: Coord, dest: Coord) -> Port:
+        dx = dest[0] - current[0]
+        if dx > half_cols:
+            dx -= cols
+        elif -dx > half_cols:
+            dx += cols
+        if dx > 0:
+            return east
+        if dx < 0:
+            return west
+        dy = dest[1] - current[1]
+        if dy > half_rows:
+            dy -= rows
+        elif -dy > half_rows:
+            dy += rows
+        if dy > 0:
+            return north
+        if dy < 0:
+            return south
+        return local
+
+    return fast_next_hop_torus
+
+
 def west_first_permitted(
     current: Coord, dest: Coord, topology: Topology
 ) -> List[Port]:

@@ -1,0 +1,228 @@
+"""Tests for the ``repro bench`` subcommand and the bench harness."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.bench import (
+    BenchPoint,
+    check_against_baseline,
+    default_points,
+    profile_point,
+    run_point,
+)
+
+#: tiny workload: 2x2 mesh, 60 cycles — milliseconds per kernel
+TINY = ["--mesh", "2", "--rates", "0.1", "--cycles", "60", "--repeats", "1"]
+
+
+class TestBenchHarness:
+    def test_run_point_reports_speedup_and_matching_stats(self):
+        point = BenchPoint(mesh_size=2, injection_rate=0.1, cycles=60)
+        outcome = run_point(point, reference=True, repeats=1)
+        assert outcome.optimized_cps > 0
+        assert outcome.reference_cps > 0
+        assert outcome.speedup == pytest.approx(
+            outcome.optimized_cps / outcome.reference_cps
+        )
+        assert outcome.stats_match is True
+        assert outcome.flits_ejected > 0
+
+    def test_reference_skippable(self):
+        point = BenchPoint(mesh_size=2, injection_rate=0.1, cycles=60)
+        outcome = run_point(point, reference=False, repeats=1)
+        assert outcome.reference_cps is None
+        assert outcome.speedup is None
+        assert outcome.stats_match is None
+
+    def test_default_points_cover_the_acceptance_gates(self):
+        keys = [p.key for p in default_points(cycles=300)]
+        assert "8x8@0.02/uniform/xy/vc1/I3" in keys
+        assert "8x8@0.35/uniform/xy/vc1/I3" in keys
+
+    def test_point_key_stable(self):
+        point = BenchPoint(mesh_size=4, injection_rate=0.1)
+        assert point.key == "4x4@0.1/uniform/xy/vc1/I3"
+
+    def test_profile_point_names_the_kernel(self):
+        text = profile_point(
+            BenchPoint(mesh_size=2, injection_rate=0.1, cycles=40)
+        )
+        assert "step" in text
+        assert "function calls" in text
+
+
+class TestBaselineCheck:
+    def _doc(self, speedup, key="2x2@0.1/uniform/xy/vc1/I3",
+             stats_match=True):
+        return {
+            "schema": 1,
+            "points": [{
+                "key": key,
+                "speedup": speedup,
+                "stats_match": stats_match,
+            }],
+        }
+
+    def test_clean_when_within_tolerance(self):
+        problems = check_against_baseline(
+            self._doc(3.0), self._doc(3.5), tolerance=0.30
+        )
+        assert problems == []
+
+    def test_regression_reported(self):
+        problems = check_against_baseline(
+            self._doc(2.0), self._doc(4.0), tolerance=0.30
+        )
+        assert len(problems) == 1
+        assert "fell below" in problems[0]
+
+    def test_missing_point_reported(self):
+        problems = check_against_baseline(
+            self._doc(3.0, key="other"), self._doc(3.0), tolerance=0.30
+        )
+        assert any("missing" in p for p in problems)
+
+    def test_diverged_stats_reported(self):
+        problems = check_against_baseline(
+            self._doc(5.0, stats_match=False), self._doc(3.0),
+            tolerance=0.30,
+        )
+        assert any("diverged" in p for p in problems)
+
+    def test_interpreter_mismatch_reported(self):
+        """Speedup ratios are only comparable within one CPython
+        major.minor — a baseline from another interpreter must refuse."""
+        current = self._doc(3.0)
+        baseline = self._doc(3.0)
+        current["python"] = "3.12.1"
+        baseline["python"] = "3.11.7"
+        problems = check_against_baseline(current, baseline,
+                                          tolerance=0.30)
+        assert any("interpreter mismatch" in p for p in problems)
+        # patch releases of the same minor are fine
+        current["python"] = "3.11.2"
+        assert check_against_baseline(current, baseline,
+                                      tolerance=0.30) == []
+
+    def test_cycle_count_mismatch_reported(self):
+        """Speedups measured over different cycle counts are not
+        comparable — the check must refuse rather than gate them."""
+        current = self._doc(3.0)
+        baseline = self._doc(3.0)
+        current["points"][0]["cycles"] = 1500
+        baseline["points"][0]["cycles"] = 300
+        problems = check_against_baseline(current, baseline,
+                                          tolerance=0.30)
+        assert any("cycles" in p for p in problems)
+
+
+class TestBenchCli:
+    def test_bench_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", *TINY, "--json", str(out)])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == 1
+        (point,) = document["points"]
+        assert point["speedup"] > 0
+        assert point["stats_match"] is True
+        assert "cycles/sec" in capsys.readouterr().out
+
+    def test_bench_self_check_passes(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", *TINY, "--json", str(out)]) == 0
+        assert main(["bench", *TINY, "--check", str(out)]) == 0
+
+    def test_bench_check_fails_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", *TINY, "--json", str(out)]) == 0
+        doctored = json.loads(out.read_text())
+        for point in doctored["points"]:
+            point["speedup"] = point["speedup"] * 100  # unreachable bar
+        out.write_text(json.dumps(doctored))
+        rc = main(["bench", *TINY, "--check", str(out)])
+        assert rc == 1
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_bench_profile_smoke(self, capsys):
+        rc = main(["bench", *TINY, "--profile"])
+        assert rc == 0
+        assert "cProfile" in capsys.readouterr().out
+
+    def test_bench_profile_picks_most_loaded_point(self, capsys):
+        rc = main([
+            "bench", "--mesh", "2,3", "--rates", "0.05,0.2",
+            "--cycles", "40", "--repeats", "1", "--no-reference",
+            "--profile",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cProfile of the optimized kernel (3x3@0.2/" in out
+
+    def test_bench_fast_caps_cycles(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--mesh", "2", "--rates", "0.1",
+            "--cycles", "5000", "--fast", "--json", str(out),
+        ])
+        assert rc == 0
+        (point,) = json.loads(out.read_text())["points"]
+        assert point["cycles"] == 300
+
+    def test_bench_no_reference(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", *TINY, "--no-reference", "--json", str(out)])
+        assert rc == 0
+        (point,) = json.loads(out.read_text())["points"]
+        assert point["speedup"] is None
+
+    def test_bench_rejects_bad_cycles(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--cycles", "0"])
+
+    def test_bench_rejects_malformed_mesh_and_rates(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--mesh", "4x4"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--mesh", ","])
+        with pytest.raises(SystemExit):
+            main(["bench", "--mesh", "2", "--rates", "fast"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--mesh", "2", "--rates", "1.5"])
+
+    def test_workload_flags_apply_without_mesh(self, tmp_path):
+        """--routing/--vcs/... must reshape the default points rather
+        than being silently ignored when --mesh/--rates are absent."""
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--routing", "west_first", "--vcs", "2",
+            "--kind", "I2", "--pattern", "transpose",
+            "--cycles", "40", "--repeats", "1", "--no-reference",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        points = json.loads(out.read_text())["points"]
+        assert {p["routing"] for p in points} == {"west_first"}
+        assert {p["n_vcs"] for p in points} == {2}
+        assert {p["kind"] for p in points} == {"I2"}
+        assert {p["pattern"] for p in points} == {"transpose"}
+        # the default mesh x rate gate points are preserved
+        assert {(p["mesh_size"], p["injection_rate"]) for p in points} \
+            == {(4, 0.10), (8, 0.02), (8, 0.35)}
+
+    def test_committed_baseline_matches_default_points(self):
+        """The checked-in baseline must gate the default bench points
+        (guards against the baseline going stale when points change)."""
+        from pathlib import Path
+
+        baseline_path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks" / "baseline_bench.json"
+        )
+        baseline = json.loads(baseline_path.read_text())
+        baseline_keys = {p["key"] for p in baseline["points"]}
+        expected = {p.key for p in default_points(cycles=300)}
+        assert expected == baseline_keys
+        assert all(p["speedup"] is not None for p in baseline["points"])

@@ -113,3 +113,31 @@ class TestXYRoute:
             port = next_hop(pos, dest, topo)
             pos = topo.neighbor(pos, port)
         assert pos == dest
+
+
+class TestCompiledNextHop:
+    """The compiled fast router must agree with next_hop everywhere."""
+
+    @pytest.mark.parametrize("torus", [False, True])
+    @pytest.mark.parametrize("cols,rows", [(1, 1), (2, 2), (3, 5),
+                                           (4, 4), (5, 3), (8, 8)])
+    def test_agrees_with_next_hop_on_all_pairs(self, cols, rows, torus):
+        from repro.noc.topology import compile_next_hop
+
+        topo = Topology(cols, rows, torus=torus)
+        fast = compile_next_hop(topo)
+        for src in topo.nodes():
+            for dest in topo.nodes():
+                assert fast(src, dest) is next_hop(src, dest, topo), \
+                    (src, dest, cols, rows, torus)
+
+    def test_compiled_router_is_reused_by_the_network(self):
+        from repro.link.behavioral import derive_link_params
+        from repro.noc import Network
+        from repro.tech import st012
+
+        topo = Topology(3, 3)
+        net = Network(topo, derive_link_params(st012(), "I3", 300))
+        route_fn = net.switches[(0, 0)].route_fn
+        assert route_fn((0, 0), (2, 1)) is Port.EAST
+        assert route_fn.__name__ == "fast_next_hop"

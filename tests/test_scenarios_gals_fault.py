@@ -1,0 +1,120 @@
+"""Tests for the GALS mixed-clock and fault-injection scenario wrappers."""
+
+import pytest
+
+from repro.link.behavioral import derive_link_params
+from repro.noc import Topology, run_mesh_point
+from repro.runner import registry
+from repro.tech import st012
+
+
+@pytest.fixture(autouse=True)
+def loaded_registry():
+    registry.load_builtin()
+
+
+class TestRegistration:
+    def test_both_registered_with_tags(self):
+        gals = registry.get("gals-mesh")
+        fault = registry.get("fault-injection")
+        assert {"noc", "gals", "extension"} <= gals.tags
+        assert {"noc", "fault", "extension"} <= fault.tags
+
+    def test_both_declare_sweep_axes(self):
+        for sid in ("gals-mesh", "fault-injection"):
+            sc = registry.get(sid)
+            swept = [p.name for p in sc.params if p.sweep]
+            assert swept, f"{sid} declares no sweep axis"
+
+
+class TestGalsMesh:
+    def test_fast_run_passes_checks(self):
+        result = registry.get("gals-mesh").run(fast=True)
+        assert result.failures() == []
+        # the 4x4 default splits into two domains with a seam of links
+        assert int(result.rows[0][4]) > 0  # cross-domain links
+
+    def test_equal_clocks_degenerate_to_uniform_mesh(self):
+        """With both domains at the same frequency the GALS mesh is just
+        a uniform mesh — the scenario must agree with run_mesh_point."""
+        mhz, cycles = 300.0, 200
+        result = registry.get("gals-mesh").run(
+            overrides={"fast_mhz": mhz, "slow_mhz": mhz,
+                       "cycles": cycles},
+        )
+        topology = Topology(4, 4)
+        params = derive_link_params(st012(), "I3", mhz)
+        point = run_mesh_point(
+            topology, params, injection_rate=0.15, cycles=cycles
+        )
+        row = result.rows[0]
+        assert row[6] == f"{point['throughput']:.4f}"
+        assert row[7] == f"{point['mean_latency']:.1f}"
+
+    def test_slow_domain_raises_latency(self):
+        fast = registry.get("gals-mesh").run(
+            overrides={"slow_mhz": 400.0, "cycles": 300},
+        )
+        mixed = registry.get("gals-mesh").run(
+            overrides={"slow_mhz": 100.0, "cycles": 300},
+        )
+        lat = lambda r: float(r.rows[0][7])  # noqa: E731
+        assert lat(mixed) > lat(fast)
+
+
+class TestFaultInjection:
+    def test_fast_run_passes_checks(self):
+        result = registry.get("fault-injection").run(fast=True)
+        assert result.failures() == []
+        healthy, damaged = result.rows
+        assert healthy[3] == 0
+        assert damaged[3] == 3
+
+    def test_zero_faults_matches_healthy_mesh(self):
+        result = registry.get("fault-injection").run(
+            overrides={"n_faults": 0, "cycles": 200},
+        )
+        healthy, damaged = result.rows
+        # identical traffic over an identical mesh: rows must agree on
+        # every measured column
+        assert healthy[4:] == damaged[4:]
+
+    def test_fault_sites_are_seed_deterministic(self):
+        from repro.experiments.fault_injection import pick_faulty_links
+
+        topology = Topology(4, 4)
+        a = pick_faulty_links(topology, 5, fault_seed=13)
+        b = pick_faulty_links(topology, 5, fault_seed=13)
+        c = pick_faulty_links(topology, 5, fault_seed=14)
+        assert a == b
+        assert len(a) == 5
+        assert a != c
+
+    def test_degraded_params_are_slower_and_later(self):
+        from repro.experiments.fault_injection import degraded_params
+
+        base = derive_link_params(st012(), "I3", 300)
+        slow = degraded_params(base, rate_factor=0.5, latency_penalty=4)
+        assert slow.latency_cycles == base.latency_cycles + 4
+        assert slow.rate_flits_per_cycle \
+            == pytest.approx(base.rate_flits_per_cycle * 0.5)
+        assert slow.capacity_flits == base.capacity_flits
+        assert slow.wire_count == base.wire_count
+
+    def test_bad_rate_factor_rejected(self):
+        with pytest.raises(ValueError, match="rate_factor"):
+            registry.get("fault-injection").run(
+                overrides={"rate_factor": 0.0},
+            )
+
+    def test_damage_costs_latency_under_xy_routing(self):
+        """Deterministic XY routing cannot steer around the slow links,
+        so enough damage must show up as added latency."""
+        result = registry.get("fault-injection").run(
+            overrides={"routing": "xy", "n_faults": 8,
+                       "rate_factor": 0.25, "latency_penalty": 8,
+                       "cycles": 300},
+        )
+        assert result.failures() == []
+        healthy, damaged = result.rows
+        assert float(damaged[6]) > float(healthy[6])  # mean latency
