@@ -335,11 +335,18 @@ def _cmd_bench(args, parser) -> int:
 
     from . import bench as bench_mod
 
+    run_noc = args.suite in ("noc", "all")
+    run_gate = args.suite in ("gate", "all")
+    if not run_noc and (args.mesh or args.rates):
+        parser.error("--mesh/--rates only apply to the noc suite")
+
     workload = dict(
         pattern=args.pattern, routing=args.routing, n_vcs=args.vcs,
         kind=args.kind, cycles=args.cycles,
     )
-    if args.mesh or args.rates:
+    if not run_noc:
+        points = []
+    elif args.mesh or args.rates:
         try:
             meshes = [int(m) for m in (args.mesh or "4,8").split(",") if m]
             rates = [
@@ -368,6 +375,11 @@ def _cmd_bench(args, parser) -> int:
             for point in bench_mod.default_points(args.cycles)
         ]
 
+    gate_points = (
+        bench_mod.default_gate_points(scale=args.gate_scale)
+        if run_gate else []
+    )
+
     def progress(outcome):
         speed = (
             f"{outcome.speedup:.2f}x vs reference"
@@ -378,25 +390,35 @@ def _cmd_bench(args, parser) -> int:
             match = ", stats identical"
         elif outcome.stats_match is False:
             match = ", STATS DIVERGED"
-        print(
-            f"{outcome.point.key}: {outcome.optimized_cps:,.0f} "
-            f"cycles/sec ({speed}{match})"
-        )
+        if hasattr(outcome, "optimized_eps"):
+            rate = f"{outcome.optimized_eps:,.0f} events/sec"
+        else:
+            rate = f"{outcome.optimized_cps:,.0f} cycles/sec"
+        print(f"{outcome.point.key}: {rate} ({speed}{match})")
 
     document = bench_mod.run_bench(
         points,
         reference=not args.no_reference,
         repeats=args.repeats,
         progress=progress,
+        gate_points=gate_points,
     )
     if args.profile:
-        # profile the most loaded point — highest injection rate, then
-        # largest mesh — where the hot paths actually dominate
-        target = max(
-            points, key=lambda p: (p.injection_rate, p.mesh_size)
-        )
-        print(f"\ncProfile of the optimized kernel ({target.key}):")
-        print(bench_mod.profile_point(target))
+        if points:
+            # profile the most loaded point — highest injection rate,
+            # then largest mesh — where the hot paths actually dominate
+            target = max(
+                points, key=lambda p: (p.injection_rate, p.mesh_size)
+            )
+            print(f"\ncProfile of the optimized kernel ({target.key}):")
+            print(bench_mod.profile_point(target))
+        if gate_points:
+            gate_target = gate_points[0]  # the serializer-i3 gate point
+            print(
+                f"\ncProfile of the optimized sim kernel "
+                f"({gate_target.key}):"
+            )
+            print(bench_mod.profile_gate_point(gate_target))
     if args.json:
         bench_mod.write_json(document, args.json)
         print(f"bench JSON written to {args.json}")
@@ -549,7 +571,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench",
-        help="measure NoC cycle-kernel cycles/sec vs the seed kernel",
+        help="measure kernel throughput vs the frozen seed kernels",
+    )
+    p_bench.add_argument(
+        "--suite", default="noc", choices=("noc", "gate", "all"),
+        help="noc = cycle-kernel cycles/sec, gate = event-kernel "
+             "events/sec on serializer/four-phase/ring-oscillator "
+             "testbenches (default noc)",
+    )
+    p_bench.add_argument(
+        "--gate-scale", type=float, default=1.0, metavar="FRAC",
+        help="scale factor for the gate-suite workload sizes "
+             "(default 1.0; --fast uses 0.5)",
     )
     p_bench.add_argument(
         "--mesh", metavar="N1,N2,...",
@@ -617,10 +650,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--repeats must be >= 1")
         if args.vcs < 1:
             parser.error("--vcs must be >= 1")
+        if args.gate_scale <= 0:
+            parser.error("--gate-scale must be positive")
+        if args.suite not in ("gate", "all") and args.gate_scale != 1.0:
+            # checked before --fast rescales it: reject only an explicit
+            # user-supplied value that the selected suite would ignore
+            parser.error("--gate-scale only applies to the gate suite")
         if args.fast:
             # short cycles only; repeats stay (best-of-N absorbs
             # scheduler noise, which dominates sub-second timings)
             args.cycles = min(args.cycles, 300)
+            args.gate_scale = min(args.gate_scale, 0.5)
         return _cmd_bench(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)

@@ -1,22 +1,37 @@
-"""Cycle-kernel benchmark harness behind ``python -m repro bench``.
+"""Kernel benchmark harness behind ``python -m repro bench``.
 
-Measures the simulated-cycles-per-second throughput of the optimized
-activity-driven kernel (:mod:`repro.noc.network`) and, by default, of
-the frozen seed kernel (:mod:`repro.noc.reference`) on the same
-workloads, reporting the speedup per point and emitting a JSON document
-so the performance trajectory is recorded rather than anecdotal.
+Two suites, selected with ``--suite {noc,gate,all}``:
+
+* **noc** — simulated-cycles-per-second of the optimized activity-driven
+  NoC cycle kernel (:mod:`repro.noc.network`) vs the frozen seed kernel
+  (:mod:`repro.noc.reference`);
+* **gate** — events-per-second of the optimized gate-level event kernel
+  (:mod:`repro.sim`: calendar-queue scheduler, true inertial
+  cancellation, allocation-free signal dispatch) vs the frozen seed
+  kernel (:mod:`repro.sim.reference`) on serializer-link testbenches, a
+  four-phase wire-buffer chain and a free-running ring oscillator.
+
+Both report the speedup per point and emit a JSON document so the
+performance trajectory is recorded rather than anecdotal.
 
 Two properties make the numbers trustworthy:
 
 * every timed pair also cross-checks that both kernels produced
-  bit-identical :class:`~repro.noc.stats.NetworkStats` summaries
-  (``stats_match`` in the JSON) — a fast kernel that computes the wrong
-  answer fails the bench;
+  bit-identical results (``stats_match`` in the JSON): NetworkStats
+  summaries for the noc suite, delivery timestamps / received values /
+  activity counters for the gate suite — a fast kernel that computes
+  the wrong answer fails the bench;
 * regression checking (``--check``) compares the *speedup ratio*
-  against a committed baseline, not absolute cycles/sec: the ratio of
+  against a committed baseline, not absolute throughput: the ratio of
   two kernels timed on the same host in the same process is stable
   across machines, where raw cycles/sec is dominated by whatever CPU
   the CI runner happened to get.
+
+The gate suite's speedup is the wall-clock ratio on the identical
+workload — the two kernels execute different event *counts* for the
+same circuit (the seed runs superseded inertial drives as no-ops, the
+optimized kernel cancels them), so the ratio is quoted in the seed
+kernel's event currency.
 
 ``--profile`` wraps the most loaded point's optimized run (highest
 injection rate, then largest mesh) in :mod:`cProfile` and prints the
@@ -28,8 +43,8 @@ from __future__ import annotations
 
 import cProfile
 import io
-import json
 import pstats
+import json
 import sys
 import time
 from dataclasses import dataclass, field
@@ -48,7 +63,8 @@ from .noc.reference import ReferenceNetwork
 from .tech import st012
 
 #: bench schema version, bumped on incompatible JSON layout changes
-SCHEMA = 1
+#: (2: added the gate-level suite; points carry a ``suite`` field)
+SCHEMA = 2
 
 #: default operating points: (mesh_size, injection_rate) — the nominal
 #: 4x4 point plus the 8x8 low-load and saturation gates from the perf
@@ -99,6 +115,7 @@ class BenchResult:
 
     def to_json(self) -> Dict[str, object]:
         return {
+            "suite": "noc",
             "key": self.point.key,
             "mesh_size": self.point.mesh_size,
             "injection_rate": self.point.injection_rate,
@@ -194,23 +211,295 @@ def profile_point(point: BenchPoint, top: int = 15) -> str:
     return buf.getvalue()
 
 
+# ----------------------------------------------------------------------
+# gate-level event-kernel suite
+# ----------------------------------------------------------------------
+#: workload ids of the gate suite and their default sizes (the unit is
+#: flits for the serializer testbenches, tokens for the four-phase
+#: chain, and nanoseconds of free-running oscillation for the ring)
+GATE_WORKLOADS: Sequence[tuple[str, int]] = (
+    ("serializer-i3", 24),
+    ("serializer-i2", 16),
+    ("fourphase-chain", 40),
+    ("ringosc", 40_000),
+)
+
+
+@dataclass(frozen=True)
+class GateBenchPoint:
+    """One timed gate-level workload configuration.
+
+    ``size`` is the workload length in the workload's own unit; it is
+    recorded as ``cycles`` in the JSON so the baseline check's
+    workload-length comparability rule applies unchanged.
+    """
+
+    workload: str
+    size: int
+
+    @property
+    def key(self) -> str:
+        return f"gate/{self.workload}@{self.size}"
+
+
+@dataclass
+class GateBenchResult:
+    """Timing + cross-check outcome of one gate-level point."""
+
+    point: GateBenchPoint
+    optimized_eps: float
+    optimized_wall_s: float
+    reference_eps: Optional[float]
+    reference_wall_s: Optional[float]
+    stats_match: Optional[bool]
+    events_executed: int
+    events_cancelled: int
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Wall-clock ratio on the identical workload (the seed kernel's
+        events/sec currency; see the module docstring)."""
+        if not self.reference_wall_s or not self.optimized_wall_s:
+            return None
+        return self.reference_wall_s / self.optimized_wall_s
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "suite": "gate",
+            "key": self.point.key,
+            "workload": self.point.workload,
+            "cycles": self.point.size,
+            "optimized_eps": round(self.optimized_eps, 1),
+            "reference_eps": (
+                round(self.reference_eps, 1) if self.reference_eps else None
+            ),
+            "speedup": (
+                round(self.speedup, 3) if self.speedup is not None else None
+            ),
+            "stats_match": self.stats_match,
+            "events_executed": self.events_executed,
+            "events_cancelled": self.events_cancelled,
+        }
+
+
+def _gate_serializer(stack, kind: str, n_flits: int):
+    """Serializer-link testbench workload; fingerprint pins delivery."""
+    from .link import LinkConfig, LinkTestbench, build_i2, build_i3
+
+    sim = stack.Simulator()
+    clock = stack.Clock.from_mhz(sim, 300)
+    builder = build_i3 if kind == "I3" else build_i2
+    link = builder(sim, clock.signal, LinkConfig(), st012())
+    bench = LinkTestbench(sim, clock, link)
+    flits = [(0xA5A5A5A5, 0x5A5A5A5A)[i % 2] for i in range(n_flits)]
+
+    def run():
+        return bench.run(flits)
+
+    def fingerprint(measurement):
+        return (
+            link.flits_accepted(),
+            link.flits_delivered(),
+            tuple(measurement.received_values),
+            tuple(measurement.delivery_times_ps),
+            tuple(
+                (group, link.monitor.transitions(group))
+                for group in sorted(link.monitor.groups)
+            ),
+        )
+
+    return sim, run, fingerprint
+
+
+def _gate_fourphase(stack, n_tokens: int):
+    """Four-phase wire-buffer-chain token pump."""
+    from .link.wiring import AsyncWireBufferChain, wire
+    from .sim.process import Delay, WaitValue
+
+    tech = st012()
+    sim = stack.Simulator()
+    data_in = sim.bus(8, "din")
+    req_in = sim.signal("req")
+    chain = AsyncWireBufferChain(
+        sim, data_in, req_in, 4,
+        t_p_ps=tech.handshake.t_p_per_segment,
+        delays=tech.gates,
+        ctl_delay_ps=tech.handshake.t_wire_buffer_ctl,
+        name="chain",
+    )
+    ack_back = sim.signal("ackback")
+    wire(chain.ack_out, ack_back, tech.handshake.t_p_per_segment)
+    received: List[int] = []
+
+    def source():
+        for i in range(n_tokens):
+            data_in.set((0xA5 + i * 31) & 0xFF)
+            yield Delay(tech.gates.mux2)
+            req_in.set(1)
+            yield WaitValue(ack_back, 1)
+            req_in.set(0)
+            yield WaitValue(ack_back, 0)
+
+    def sink():
+        for _ in range(n_tokens):
+            yield WaitValue(chain.req_out, 1)
+            received.append(chain.data_out.value)
+            yield Delay(40)
+            chain.ack_in.set(1)
+            yield WaitValue(chain.req_out, 0)
+            chain.ack_in.set(0)
+
+    def run():
+        stack.spawn(sim, source(), "src")
+        stack.spawn(sim, sink(), "snk")
+        sim.run(max_events=50_000_000)
+        return None
+
+    def fingerprint(_result):
+        return (
+            tuple(received),
+            sim.now,
+            chain.data_out.transitions,
+            chain.req_out.transitions,
+        )
+
+    return sim, run, fingerprint
+
+
+def _gate_ringosc(stack, duration_ns: int):
+    """Free-running gated ring oscillator: pure kernel churn."""
+    from .elements.ringosc import RingOscillator
+
+    sim = stack.Simulator()
+    enable = sim.signal("en")
+    osc = RingOscillator(sim, enable, stages=5)
+    enable.set(1)
+
+    def run():
+        sim.run(until=duration_ns * 1000)
+        return None
+
+    def fingerprint(_result):
+        return (osc.out.transitions, osc.out.value, sim.now)
+
+    return sim, run, fingerprint
+
+
+def _build_gate_workload(stack, point: GateBenchPoint):
+    if point.workload == "serializer-i3":
+        return _gate_serializer(stack, "I3", point.size)
+    if point.workload == "serializer-i2":
+        return _gate_serializer(stack, "I2", point.size)
+    if point.workload == "fourphase-chain":
+        return _gate_fourphase(stack, point.size)
+    if point.workload == "ringosc":
+        return _gate_ringosc(stack, point.size)
+    raise ValueError(f"unknown gate workload {point.workload!r}")
+
+
+def _time_gate_run(point: GateBenchPoint, stack, repeats: int):
+    """Best-of-``repeats`` wall seconds plus the final run's artifacts."""
+    best = float("inf")
+    sim = fingerprint = None
+    for _ in range(repeats):
+        sim, run, fp = _build_gate_workload(stack, point)
+        t0 = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - t0
+        best = min(best, elapsed)
+        fingerprint = fp(result)
+    return best, sim, fingerprint
+
+
+def run_gate_point(
+    point: GateBenchPoint,
+    reference: bool = True,
+    repeats: int = 3,
+) -> GateBenchResult:
+    """Time one gate workload on the optimized (and seed) sim kernel."""
+    import repro.sim as optimized_stack
+    from .sim import reference as reference_stack
+
+    opt_wall, opt_sim, opt_fp = _time_gate_run(
+        point, optimized_stack, repeats
+    )
+    ref_wall = ref_eps = None
+    stats_match = None
+    if reference:
+        ref_wall, ref_sim, ref_fp = _time_gate_run(
+            point, reference_stack, repeats
+        )
+        ref_eps = ref_sim.events_executed / ref_wall if ref_wall else 0.0
+        stats_match = opt_fp == ref_fp
+    return GateBenchResult(
+        point=point,
+        optimized_eps=(
+            opt_sim.events_executed / opt_wall if opt_wall else 0.0
+        ),
+        optimized_wall_s=opt_wall,
+        reference_eps=ref_eps,
+        reference_wall_s=ref_wall,
+        stats_match=stats_match,
+        events_executed=opt_sim.events_executed,
+        events_cancelled=getattr(opt_sim, "events_cancelled", 0),
+    )
+
+
+def profile_gate_point(point: GateBenchPoint, top: int = 15) -> str:
+    """cProfile the optimized sim kernel on ``point``; a pstats table."""
+    import repro.sim as optimized_stack
+
+    _sim, run, _fp = _build_gate_workload(optimized_stack, point)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run()
+    profiler.disable()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buf.getvalue()
+
+
+def default_gate_points(scale: float = 1.0) -> List[GateBenchPoint]:
+    """The standard gate-suite points, workload sizes scaled by ``scale``
+    (the CLI's ``--fast`` passes a fraction)."""
+    return [
+        GateBenchPoint(workload, max(4, round(size * scale)))
+        for workload, size in GATE_WORKLOADS
+    ]
+
+
 def run_bench(
-    points: Sequence[BenchPoint],
+    points: Sequence[BenchPoint] = (),
     reference: bool = True,
     repeats: int = 3,
     progress=None,
+    gate_points: Sequence[GateBenchPoint] = (),
 ) -> Dict[str, object]:
-    """Run every point; return the JSON-able bench document."""
+    """Run every noc and gate point; return the JSON-able document."""
     results = []
+    suites = []
+    if points:
+        suites.append("noc")
+    if gate_points:
+        suites.append("gate")
     for point in points:
         outcome = run_point(point, reference=reference, repeats=repeats)
         if progress is not None:
             progress(outcome)
         results.append(outcome.to_json())
+    for gate_point in gate_points:
+        gate_outcome = run_gate_point(
+            gate_point, reference=reference, repeats=repeats
+        )
+        if progress is not None:
+            progress(gate_outcome)
+        results.append(gate_outcome.to_json())
     return {
         "schema": SCHEMA,
         "python": sys.version.split()[0],
         "repeats": repeats,
+        "suites": suites,
         "points": results,
     }
 
@@ -239,8 +528,19 @@ def check_against_baseline(
     so the ratio is only stable within one major.minor version — the
     CI bench job pins the Python the committed baseline was recorded
     on.
+
+    Baseline points whose suite was not benchmarked by ``current`` are
+    skipped: ``repro bench --suite gate`` gates only the gate points of
+    a combined baseline (schema-1 baselines without suite tags count as
+    noc points).
     """
     problems: List[str] = []
+    current_suites = set(current.get("suites") or [])
+    if not current_suites:
+        # pre-suite document: infer from the recorded points
+        current_suites = {
+            p.get("suite", "noc") for p in current.get("points", [])
+        }
     base_python = _major_minor(baseline.get("python"))
     cur_python = _major_minor(current.get("python"))
     if base_python and cur_python and base_python != cur_python:
@@ -253,6 +553,8 @@ def check_against_baseline(
     current_by_key = {p["key"]: p for p in current.get("points", [])}
     for base_point in baseline.get("points", []):
         key = base_point["key"]
+        if base_point.get("suite", "noc") not in current_suites:
+            continue
         base_speedup = base_point.get("speedup")
         if base_speedup is None:
             continue
@@ -264,9 +566,15 @@ def check_against_baseline(
         cycles = point.get("cycles")
         if (base_cycles is not None and cycles is not None
                 and base_cycles != cycles):
+            # gate-suite workload sizes are set by --gate-scale, noc
+            # cycle counts by --cycles — point the user at the right knob
+            if base_point.get("suite") == "gate":
+                flag, unit = "--gate-scale", "workload units"
+            else:
+                flag, unit = "--cycles", "cycles"
             problems.append(
-                f"{key}: measured over {cycles} cycles but the baseline "
-                f"used {base_cycles} — rerun with matching --cycles "
+                f"{key}: measured over {cycles} {unit} but the baseline "
+                f"used {base_cycles} — rerun with matching {flag} "
                 f"(the committed baseline uses --fast) or regenerate "
                 f"the baseline"
             )

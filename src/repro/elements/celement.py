@@ -53,7 +53,7 @@ class CElement:
                 f"C-element {name!r}: {len(self.invert)} invert flags for "
                 f"{len(self.inputs)} inputs"
             )
-        self.output = output if output is not None else Signal(sim, f"{name}.z")
+        self.output = output if output is not None else sim.signal(f"{name}.z")
         # ``delay_ps`` overrides the library delay — used where the
         # C-element stands in for a longer control chain (wire buffers)
         self.delay = (
@@ -69,12 +69,12 @@ class CElement:
 
     def _effective(self) -> list[int]:
         return [
-            (0 if sig.value else 1) if inv else sig.value
+            (0 if sig._value else 1) if inv else sig._value
             for sig, inv in zip(self.inputs, self.invert)
         ]
 
     def _on_input(self, _sig: Signal) -> None:
-        if self.reset is not None and self.reset.value:
+        if self.reset is not None and self.reset._value:
             return
         values = self._effective()
         if all(values):
@@ -84,7 +84,7 @@ class CElement:
         # else: hold state
 
     def _on_reset(self, _sig: Signal) -> None:
-        if self.reset is not None and self.reset.value:
+        if self.reset is not None and self.reset._value:
             self.output.drive(self.reset_value, self.delay, inertial=True)
         else:
             self._on_input(self.inputs[0])

@@ -48,19 +48,19 @@ class DavidCell:
         self.clear_in = clear_in
         self.delay = (delays or GateDelays()).davidcell
         init = 1 if init_active else 0
-        self.q = Signal(sim, f"{name}.q", init=init)
-        self.q_to_prev = Signal(sim, f"{name}.o1", init=init)
+        self.q = sim.signal(f"{name}.q", init=init)
+        self.q_to_prev = sim.signal(f"{name}.o1", init=init)
         set_in.on_change(self._on_set)
         clear_in.on_change(self._on_clear)
 
     def _on_set(self, sig: Signal) -> None:
         # set dominates only on its rising edge while the cell is clear
-        if sig.value and not self.clear_in.value:
+        if sig._value and not self.clear_in._value:
             self.q.drive(1, self.delay, inertial=True)
             self.q_to_prev.drive(1, self.delay + 1, inertial=True)
 
     def _on_clear(self, sig: Signal) -> None:
-        if sig.value:
+        if sig._value:
             self.q.drive(0, self.delay, inertial=True)
             self.q_to_prev.drive(0, self.delay + 1, inertial=True)
 
@@ -95,9 +95,9 @@ class OneHotSequencer:
         self.n = n
         self.delays = delays or GateDelays()
         self.on_wrap = on_wrap
-        self.advance = Signal(sim, f"{name}.advance")
-        self._set_lines = [Signal(sim, f"{name}.set{i}") for i in range(n)]
-        self._clear_lines = [Signal(sim, f"{name}.clr{i}") for i in range(n)]
+        self.advance = sim.signal(f"{name}.advance")
+        self._set_lines = [sim.signal(f"{name}.set{i}") for i in range(n)]
+        self._clear_lines = [sim.signal(f"{name}.clr{i}") for i in range(n)]
         self.cells: List[DavidCell] = [
             DavidCell(
                 sim,
@@ -128,7 +128,7 @@ class OneHotSequencer:
 
     # ------------------------------------------------------------------
     def _on_advance(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         current = self.index
         if current < 0:
@@ -145,7 +145,7 @@ class OneHotSequencer:
         prev = (i - 1) % self.n
 
         def clear_prev(sig: Signal) -> None:
-            if sig.value:
+            if sig._value:
                 self._clear_lines[prev].set(1)
                 self._clear_lines[prev].drive(
                     0, self.delays.davidcell, inertial=False

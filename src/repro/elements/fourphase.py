@@ -52,7 +52,7 @@ class SimpleLatchController:
         # the controller output drives every latch enable in the stage —
         # a heavily loaded net (the dominant share of the 82 µW the paper
         # measures for I2's buffers against I3's bare inverters)
-        self.ctl = Signal(sim, f"{name}.ctl", cap_ff=8.0)
+        self.ctl = sim.signal(f"{name}.ctl", cap_ff=8.0)
         # C-element with the downstream ack inverted; ``ctl_delay_ps``
         # stands in for the full request/completion control chain of a
         # real buffer stage (see HandshakeTimings.t_wire_buffer_ctl)
@@ -69,7 +69,7 @@ class SimpleLatchController:
         self.req_out = self.ctl
         self.ack_out = self.ctl
         # latch enable = NOT ctl (transparent while idle); same heavy load
-        self.latch_enable = Signal(sim, f"{name}.le", init=1, cap_ff=8.0)
+        self.latch_enable = sim.signal(f"{name}.le", init=1, cap_ff=8.0)
         self._inv = Inverter(sim, self.ctl, self.latch_enable, delays,
                              f"{name}.inv")
 
@@ -98,7 +98,7 @@ class WireBufferStage:
         )
         # each latched bit switches its internal storage nodes as well as
         # the wire — substantially more capacitance than a bare repeater
-        self.data_out = Bus(sim, data_in.width, f"{name}.dout", cap_ff=4.0)
+        self.data_out = sim.bus(data_in.width, f"{name}.dout", cap_ff=4.0)
         self._latch = LatchBus(
             sim,
             data_in,

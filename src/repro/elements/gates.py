@@ -19,7 +19,14 @@ from ..tech.technology import GateDelays
 
 
 class Gate:
-    """Base combinational gate: output = f(inputs) after ``delay`` ps."""
+    """Base combinational gate: output = f(inputs) after ``delay`` ps.
+
+    The evaluation closure is compiled once per gate for its exact input
+    arity (input values read straight off the signal slots), so an input
+    edge costs one call — no per-edge generator or argument tuple.  The
+    exhaustive truth-table test in ``tests/test_elements_gates.py`` pins
+    the compiled closure against a direct ``func`` call.
+    """
 
     def __init__(
         self,
@@ -38,25 +45,42 @@ class Gate:
         self.func = func
         self.delay = delay
         self.name = name
+        self._compiled = self._compile()
+        on_input = self._on_input
         for sig in self.inputs:
-            sig.on_change(self._on_input)
+            sig.on_change(on_input)
         # settle the output to match the initial inputs
         sim.schedule(0, self._on_input_initial)
 
+    def _compile(self) -> Callable[[], int]:
+        """Specialize the eval closure for this gate's input arity."""
+        func = self.func
+        ins = self.inputs
+        if len(ins) == 1:
+            (a,) = ins
+            return lambda: 1 if func(a._value) else 0
+        if len(ins) == 2:
+            a, b = ins
+            return lambda: 1 if func(a._value, b._value) else 0
+        if len(ins) == 3:
+            a, b, c = ins
+            return lambda: 1 if func(a._value, b._value, c._value) else 0
+        return lambda: 1 if func(*[s._value for s in ins]) else 0
+
     def _evaluate(self) -> int:
-        return 1 if self.func(*(sig.value for sig in self.inputs)) else 0
+        return self._compiled()
 
     def _on_input(self, _sig: Signal) -> None:
-        self.output.drive(self._evaluate(), self.delay, inertial=True)
+        self.output.drive(self._compiled(), self.delay, inertial=True)
 
     def _on_input_initial(self) -> None:
-        value = self._evaluate()
+        value = self._compiled()
         if value != self.output.value:
             self.output.drive(value, self.delay, inertial=True)
 
 
 def _new_output(sim: Simulator, name: str) -> Signal:
-    return Signal(sim, name)
+    return sim.signal(name)
 
 
 class Inverter(Gate):
@@ -161,14 +185,17 @@ class OneHotMux:
         self.out = out
         self.delay = (delays or GateDelays()).mux2
         self.name = name
+        # (select line, input slice) pairs scanned on every update
+        self._taps = list(zip(self.sel, self.inputs))
+        update = self._update
         for sig in self.sel:
-            sig.on_change(self._update)
+            sig.on_change(update)
         for bus in self.inputs:
-            bus.on_change(self._update)
+            bus.on_change(update)
 
     def _update(self, _sig: Signal) -> None:
-        for i, sel_sig in enumerate(self.sel):
-            if sel_sig.value:
-                self.out.drive(self.inputs[i].value, self.delay, inertial=True)
+        for sel_sig, bus in self._taps:
+            if sel_sig._value:
+                self.out.drive(bus.value, self.delay, inertial=True)
                 return
         # no select active: hold last value (bus keeper)

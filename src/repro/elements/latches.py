@@ -41,19 +41,19 @@ class DLatch:
         self.name = name
         self.d = d
         self.g = g
-        self.q = q if q is not None else Signal(sim, f"{name}.q")
+        self.q = q if q is not None else sim.signal(f"{name}.q")
         self._dq_delay = delays.latch_dq
         self._en_delay = delays.latch_en
         d.on_change(self._on_d)
         g.on_change(self._on_g)
 
     def _on_d(self, _sig: Signal) -> None:
-        if self.g.value:
-            self.q.drive(self.d.value, self._dq_delay, inertial=True)
+        if self.g._value:
+            self.q.drive(self.d._value, self._dq_delay, inertial=True)
 
     def _on_g(self, sig: Signal) -> None:
-        if sig.value:
-            self.q.drive(self.d.value, self._en_delay, inertial=True)
+        if sig._value:
+            self.q.drive(self.d._value, self._en_delay, inertial=True)
 
 
 class LatchBus:
@@ -68,7 +68,7 @@ class LatchBus:
         delays: Optional[GateDelays] = None,
         name: str = "latbus",
     ) -> None:
-        self.q = q if q is not None else Bus(sim, d.width, f"{name}.q")
+        self.q = q if q is not None else sim.bus(d.width, f"{name}.q")
         if self.q.width != d.width:
             raise ValueError(
                 f"{name}: D width {d.width} != Q width {self.q.width}"
@@ -97,7 +97,7 @@ class DFlipFlop:
         self.name = name
         self.d = d
         self.clk = clk
-        self.q = q if q is not None else Signal(sim, f"{name}.q")
+        self.q = q if q is not None else sim.signal(f"{name}.q")
         self.clear = clear
         self._clk_q = delays.dff_clk_q
         clk.on_change(self._on_clk)
@@ -105,14 +105,14 @@ class DFlipFlop:
             clear.on_change(self._on_clear)
 
     def _on_clk(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
-        if self.clear is not None and self.clear.value:
+        if self.clear is not None and self.clear._value:
             return
-        self.q.drive(self.d.value, self._clk_q, inertial=True)
+        self.q.drive(self.d._value, self._clk_q, inertial=True)
 
     def _on_clear(self, sig: Signal) -> None:
-        if sig.value:
+        if sig._value:
             self.q.drive(0, self._clk_q, inertial=True)
 
 
@@ -139,7 +139,7 @@ class RegisterBus:
         self.d = d
         self.clk = clk
         self.enable = enable
-        self.q = q if q is not None else Bus(sim, d.width, f"{name}.q")
+        self.q = q if q is not None else sim.bus(d.width, f"{name}.q")
         if self.q.width != d.width:
             raise ValueError(
                 f"{name}: D width {d.width} != Q width {self.q.width}"
@@ -148,7 +148,7 @@ class RegisterBus:
         clk.on_change(self._on_clk)
 
     def _on_clk(self, sig: Signal) -> None:
-        if sig.value and self.enable.value:
+        if sig._value and self.enable._value:
             self.q.drive(self.d.value, self._clk_q, inertial=True)
 
 
@@ -184,20 +184,20 @@ class FlagSynchronizer:
         self.clk = clk
         self.wr_en = wr_en
         self.clear = clear
-        self.flag_a = Signal(sim, f"{name}.a")
-        self.flag_s = Signal(sim, f"{name}.s")
-        self._sync1 = Signal(sim, f"{name}.sync1")
+        self.flag_a = sim.signal(f"{name}.a")
+        self.flag_s = sim.signal(f"{name}.s")
+        self._sync1 = sim.signal(f"{name}.sync1")
         self._clk_q = delays.dff_clk_q
         clk.on_change(self._on_clk)
         clear.on_change(self._on_clear)
 
     def _on_clk(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         # async clear dominates the synchronous set
-        if self.clear.value:
+        if self.clear._value:
             return
-        if self.wr_en.value:
+        if self.wr_en._value:
             self.flag_a.drive(1, self._clk_q, inertial=True)
             # a synchronous set is visible to the sync side immediately:
             # the synchronizer only filters the asynchronous *clear* path
@@ -205,9 +205,9 @@ class FlagSynchronizer:
             self.flag_s.drive(1, self._clk_q, inertial=True)
         else:
             # synchronizer chain samples flag_a
-            self._sync1.drive(self.flag_a.value, self._clk_q, inertial=True)
-            self.flag_s.drive(self._sync1.value, self._clk_q, inertial=True)
+            self._sync1.drive(self.flag_a._value, self._clk_q, inertial=True)
+            self.flag_s.drive(self._sync1._value, self._clk_q, inertial=True)
 
     def _on_clear(self, sig: Signal) -> None:
-        if sig.value:
+        if sig._value:
             self.flag_a.drive(0, self._clk_q, inertial=True)

@@ -56,7 +56,7 @@ class RingOscillator:
         self.enable = enable
         self.stages = stages
         self.t_inv = t_inv_ps if t_inv_ps is not None else delays.inv
-        self.out = Signal(sim, f"{name}.out")
+        self.out = sim.signal(f"{name}.out")
         # ``half_period_ps`` models sizing/loading the ring for a target
         # frequency, which the paper explicitly allows ("different sizes
         # can be used depending upon requirements")
@@ -75,15 +75,16 @@ class RingOscillator:
         return 2 * self.half_period
 
     def _on_enable(self, sig: Signal) -> None:
-        if sig.value and not self._running:
+        if sig._value and not self._running:
             self._running = True
             self.sim.schedule(self.half_period, self._toggle)
-        elif not sig.value:
+        elif not sig._value:
             self._running = False
             self.out.drive(0, self.t_inv, inertial=True)
 
     def _toggle(self) -> None:
         if not self._running:
             return
-        self.out.set(0 if self.out.value else 1)
+        out = self.out
+        out.set(0 if out._value else 1)
         self.sim.schedule(self.half_period, self._toggle)

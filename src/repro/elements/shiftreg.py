@@ -51,14 +51,14 @@ class SliceShiftRegister:
         self.depth = depth
         self.slice_width = slice_in.width
         self.stages = [
-            Bus(sim, self.slice_width, f"{name}.st{i}") for i in range(depth)
+            sim.bus(self.slice_width, f"{name}.st{i}") for i in range(depth)
         ]
         self._clk_q = delays.dff_clk_q
         self.pulses_seen = 0
         shift.on_change(self._on_shift)
 
     def _on_shift(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         self.pulses_seen += 1
         # capture predecessor values *before* this edge (two-phase update)
@@ -106,14 +106,14 @@ class PulseShiftRegister:
         self.name = name
         self.depth = depth
         self.bits = [0] * depth
-        self.done = Signal(sim, f"{name}.done")
+        self.done = sim.signal(f"{name}.done")
         self._clk_q = delays.dff_clk_q
         self._armed = True
         shift.on_change(self._on_shift)
         clear.on_change(self._on_clear)
 
     def _on_shift(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         # shift right; inject a 1 at the head for the first pulse of a word
         self.bits = [1 if self._armed else 0] + self.bits[:-1]
@@ -122,7 +122,7 @@ class PulseShiftRegister:
             self.done.drive(1, self._clk_q, inertial=True)
 
     def _on_clear(self, sig: Signal) -> None:
-        if sig.value:
+        if sig._value:
             self.bits = [0] * self.depth
             self._armed = True
             self.done.drive(0, self._clk_q, inertial=True)

@@ -265,8 +265,8 @@ def build_i3(
     stations_d: list[RepeatedWireBus] = []
     stations_v: list[RepeatedWire] = []
     for i in range(config.n_buffers):
-        seg_d = Bus(sim, config.slice_width, f"{name}.seg{i}.d")
-        seg_v = Signal(sim, f"{name}.seg{i}.v")
+        seg_d = sim.bus(config.slice_width, f"{name}.seg{i}.d")
+        seg_v = sim.signal(f"{name}.seg{i}.v")
         wire_bus(data_src, seg_d, t_p)
         wire(valid_src, seg_v, t_p)
         st_d = RepeatedWireBus(sim, seg_d, config.inverters_per_station,
@@ -276,8 +276,8 @@ def build_i3(
         stations_d.append(st_d)
         stations_v.append(st_v)
         data_src, valid_src = st_d.out, st_v.out
-    rx_data = Bus(sim, config.slice_width, f"{name}.rx.d")
-    rx_valid = Signal(sim, f"{name}.rx.v")
+    rx_data = sim.bus(config.slice_width, f"{name}.rx.d")
+    rx_valid = sim.signal(f"{name}.rx.v")
     wire_bus(data_src, rx_data, t_p)
     wire(valid_src, rx_valid, t_p)
 
@@ -295,7 +295,7 @@ def build_i3(
     # word-level acknowledge return path: n_buffers+1 plain Tp segments
     ack_src: Signal = wdes.ack_to_tx
     for i in range(config.n_buffers):
-        seg = Signal(sim, f"{name}.ackseg{i}")
+        seg = sim.signal(f"{name}.ackseg{i}")
         wire(ack_src, seg, t_p)
         ack_src = seg
     wire(ack_src, wser.out_ch.ack, t_p)

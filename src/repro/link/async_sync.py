@@ -51,17 +51,17 @@ class AsyncToSyncInterface:
         self.in_ch = Channel(sim, width, f"{name}.in")
 
         # switch-facing ports
-        self.flit_out = Bus(sim, width, f"{name}.flitout")
-        self.valid = Signal(sim, f"{name}.valid")
-        self.stall = Signal(sim, f"{name}.stall")
+        self.flit_out = sim.bus(width, f"{name}.flitout")
+        self.valid = sim.signal(f"{name}.valid")
+        self.stall = sim.signal(f"{name}.stall")
 
         # storage: asynchronous latch registers with per-register flags
         self.registers = [
-            Bus(sim, width, f"{name}.lt{i}") for i in range(depth)
+            sim.bus(width, f"{name}.lt{i}") for i in range(depth)
         ]
-        self.flag_a = [Signal(sim, f"{name}.flaga{i}") for i in range(depth)]
-        self._sync1 = [Signal(sim, f"{name}.sync1_{i}") for i in range(depth)]
-        self.flag_s = [Signal(sim, f"{name}.flags{i}") for i in range(depth)]
+        self.flag_a = [sim.signal(f"{name}.flaga{i}") for i in range(depth)]
+        self._sync1 = [sim.signal(f"{name}.sync1_{i}") for i in range(depth)]
+        self.flag_s = [sim.signal(f"{name}.flags{i}") for i in range(depth)]
 
         self._rp = 0
         self.flits_written = 0
@@ -95,19 +95,19 @@ class AsyncToSyncInterface:
     # synchronous read side
     # ------------------------------------------------------------------
     def _on_clk(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         d = self.delays
         # two-FF synchronizer sampling of every flag (set path crosses
         # domains here; the synchronous clear below resets all stages)
         for i in range(self.depth):
-            self.flag_s[i].drive(self._sync1[i].value, d.dff_clk_q,
+            self.flag_s[i].drive(self._sync1[i]._value, d.dff_clk_q,
                                  inertial=True)
-            self._sync1[i].drive(self.flag_a[i].value, d.dff_clk_q,
+            self._sync1[i].drive(self.flag_a[i]._value, d.dff_clk_q,
                                  inertial=True)
 
         rp = self._rp
-        if self.flag_s[rp].value and not self.stall.value:
+        if self.flag_s[rp]._value and not self.stall._value:
             self.flit_out.drive(self.registers[rp].value, d.dff_clk_q,
                                 inertial=True)
             self.valid.drive(1, d.dff_clk_q, inertial=True)

@@ -30,9 +30,9 @@ class Channel:
         self.sim = sim
         self.name = name
         self.width = width
-        self.data = Bus(sim, width, f"{name}.data")
-        self.req = Signal(sim, f"{name}.req")
-        self.ack = Signal(sim, f"{name}.ack")
+        self.data = sim.bus(width, f"{name}.data")
+        self.req = sim.signal(f"{name}.req")
+        self.ack = sim.signal(f"{name}.ack")
 
     @property
     def wire_count(self) -> int:
@@ -53,9 +53,9 @@ class ValidChannel:
         self.sim = sim
         self.name = name
         self.width = width
-        self.data = Bus(sim, width, f"{name}.data")
-        self.valid = Signal(sim, f"{name}.valid")
-        self.ack = Signal(sim, f"{name}.ack")
+        self.data = sim.bus(width, f"{name}.data")
+        self.valid = sim.signal(f"{name}.valid")
+        self.ack = sim.signal(f"{name}.ack")
 
     @property
     def wire_count(self) -> int:

@@ -72,8 +72,7 @@ class Serializer:
                 sim, self.n_slices, self.delays, f"{name}.seq"
             )
             slices = [
-                Bus.from_signals(
-                    sim,
+                sim.bus_view(
                     in_ch.data.slice(
                         i * slice_width, (i + 1) * slice_width - 1
                     ),
@@ -147,7 +146,7 @@ class Deserializer:
 
         # LE(0:n-1) latch registers, one per slice position
         self.stores = [
-            Bus(sim, self.slice_width, f"{name}.le{i}")
+            sim.bus(self.slice_width, f"{name}.le{i}")
             for i in range(self.n_slices)
         ]
         self.le_sequencer = (

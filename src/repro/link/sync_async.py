@@ -54,16 +54,16 @@ class SyncToAsyncInterface:
         self.depth = depth
 
         # switch-facing ports
-        self.flit_in = Bus(sim, width, f"{name}.flitin")
-        self.valid = Signal(sim, f"{name}.valid")
-        self.stall = Signal(sim, f"{name}.stall")
+        self.flit_in = sim.bus(width, f"{name}.flitin")
+        self.valid = sim.signal(f"{name}.valid")
+        self.stall = sim.signal(f"{name}.stall")
 
         # link-facing port
         self.out_ch = Channel(sim, width, f"{name}.out")
 
         # FIFO storage, write enables and flags
-        self.wr_en = [Signal(sim, f"{name}.wren{i}") for i in range(depth)]
-        self.clear = [Signal(sim, f"{name}.clear{i}") for i in range(depth)]
+        self.wr_en = [sim.signal(f"{name}.wren{i}") for i in range(depth)]
+        self.clear = [sim.signal(f"{name}.clear{i}") for i in range(depth)]
         self.registers = [
             RegisterBus(
                 sim,
@@ -93,7 +93,7 @@ class SyncToAsyncInterface:
     # synchronous write side
     # ------------------------------------------------------------------
     def _on_clk(self, sig: Signal) -> None:
-        if sig.value:
+        if sig._value:
             self._on_rising()
         else:
             self._on_falling()
@@ -102,14 +102,14 @@ class SyncToAsyncInterface:
         # write-enable decode: one-hot on the pointer, gated by VALID and
         # the (synchronized) occupancy flag
         can_write = (
-            self.valid.value == 1
-            and self.flags[self._wp].flag_s.value == 0
+            self.valid._value == 1
+            and self.flags[self._wp].flag_s._value == 0
         )
         for i, en in enumerate(self.wr_en):
             en.set(1 if (can_write and i == self._wp) else 0)
 
     def _on_rising(self) -> None:
-        if self.wr_en[self._wp].value:
+        if self.wr_en[self._wp]._value:
             self.flits_written += 1
             self._wp = (self._wp + 1) % self.depth
         # STALL reflects the occupancy of the register now at the write
@@ -117,7 +117,7 @@ class SyncToAsyncInterface:
         self.sim.schedule(self.delays.dff_clk_q + 1, self._update_stall)
 
     def _update_stall(self) -> None:
-        self.stall.set(1 if self.flags[self._wp].flag_s.value else 0)
+        self.stall.set(1 if self.flags[self._wp].flag_s._value else 0)
 
     # ------------------------------------------------------------------
     # asynchronous read side (David-cell sequencer + C-element handshake)

@@ -49,20 +49,20 @@ class SyncPipelineLink:
         self.width = width
         self.n_buffers = n_buffers
 
-        self.flit_in = Bus(sim, width, f"{name}.flitin")
-        self.valid_in = Signal(sim, f"{name}.validin")
-        self.stall_out = Signal(sim, f"{name}.stallout")
+        self.flit_in = sim.bus(width, f"{name}.flitin")
+        self.valid_in = sim.signal(f"{name}.validin")
+        self.stall_out = sim.signal(f"{name}.stallout")
 
-        self.flit_out = Bus(sim, width, f"{name}.flitout")
-        self.valid_out = Signal(sim, f"{name}.validout")
-        self.stall_in = Signal(sim, f"{name}.stallin")
+        self.flit_out = sim.bus(width, f"{name}.flitout")
+        self.valid_out = sim.signal(f"{name}.validout")
+        self.stall_in = sim.signal(f"{name}.stallin")
 
         # pipeline stages: data register + valid flop per buffer
         self.stage_data = [
-            Bus(sim, width, f"{name}.st{i}.data") for i in range(n_buffers)
+            sim.bus(width, f"{name}.st{i}.data") for i in range(n_buffers)
         ]
         self.stage_valid = [
-            Signal(sim, f"{name}.st{i}.valid") for i in range(n_buffers)
+            sim.signal(f"{name}.st{i}.valid") for i in range(n_buffers)
         ]
 
         self.flits_written = 0
@@ -75,10 +75,10 @@ class SyncPipelineLink:
         return self.width
 
     def _on_clk(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         d = self.delays
-        if self.stall_in.value:
+        if self.stall_in._value:
             # whole pipeline freezes; upstream must hold its flit
             self.stall_out.drive(1, d.dff_clk_q, inertial=True)
             return
@@ -86,7 +86,7 @@ class SyncPipelineLink:
 
         # capture pre-edge values, then shift (two-phase update)
         data_vals = [bus.value for bus in self.stage_data]
-        valid_vals = [s.value for s in self.stage_valid]
+        valid_vals = [s._value for s in self.stage_valid]
 
         # output stage → receiving switch
         last = self.n_buffers - 1
@@ -103,7 +103,7 @@ class SyncPipelineLink:
                                       inertial=True)
 
         # input stage ← transmitting switch
-        if self.valid_in.value:
+        if self.valid_in._value:
             self.stage_data[0].drive(self.flit_in.value, d.dff_clk_q,
                                      inertial=True)
             self.stage_valid[0].drive(1, d.dff_clk_q, inertial=True)

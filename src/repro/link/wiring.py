@@ -27,8 +27,21 @@ def wire(src: Signal, dst: Signal, delay_ps: int = 0) -> None:
 
     Transitions propagate independently — a wire never swallows pulses.
     """
-    def forward(sig: Signal) -> None:
-        dst.drive(sig.value, delay_ps, inertial=False)
+    set0 = getattr(dst, "_set0_cb", None)
+    if set0 is not None:
+        # optimized-kernel fast path: schedule the destination's
+        # prebuilt set-0/set-1 callbacks directly (identical semantics
+        # to a transport drive, minus the dispatch call per transition)
+        set1 = dst._set1_cb
+        schedule = dst.sim.schedule
+
+        def forward(sig: Signal) -> None:
+            schedule(delay_ps, set1 if sig._value else set0)
+
+    else:  # frozen reference kernel: generic transport drive
+
+        def forward(sig: Signal) -> None:
+            dst.drive(sig._value, delay_ps, inertial=False)
 
     src.on_change(forward)
     if src.value != dst.value:
@@ -81,7 +94,7 @@ class RepeatedWireBus:
         self.name = name
         self.n_inverters = n_inverters
         self.delay_ps = n_inverters * t_inv_ps
-        self.out = Bus(sim, src.width, f"{name}.out",
+        self.out = sim.bus(src.width, f"{name}.out",
                        cap_ff=1.0 + self.INVERTER_NODE_CAP * n_inverters)
         wire_bus(src, self.out, self.delay_ps)
 
@@ -104,8 +117,7 @@ class RepeatedWire:
         self.sim = sim
         self.name = name
         self.delay_ps = n_inverters * t_inv_ps
-        self.out = Signal(
-            sim,
+        self.out = sim.signal(
             f"{name}.out",
             cap_ff=1.0 + RepeatedWireBus.INVERTER_NODE_CAP * n_inverters,
         )
@@ -144,11 +156,11 @@ class AsyncWireBufferChain:
         acks: list[Signal] = []
         for i in range(n_buffers):
             # wire segment (Tp) into the stage
-            seg_data = Bus(sim, data_in.width, f"{name}.w{i}.data")
-            seg_req = Signal(sim, f"{name}.w{i}.req")
+            seg_data = sim.bus(data_in.width, f"{name}.w{i}.data")
+            seg_req = sim.signal(f"{name}.w{i}.req")
             wire_bus(cur_data, seg_data, t_p_ps)
             wire(cur_req, seg_req, t_p_ps)
-            ack_in = Signal(sim, f"{name}.s{i}.ackin")
+            ack_in = sim.signal(f"{name}.s{i}.ackin")
             stage = WireBufferStage(
                 sim, seg_data, seg_req, ack_in, delays, ctl_delay_ps,
                 f"{name}.s{i}",
@@ -158,14 +170,14 @@ class AsyncWireBufferChain:
             cur_data, cur_req = stage.data_out, stage.req_out
 
         # final wire segment out of the chain
-        self.data_out = Bus(sim, data_in.width, f"{name}.dout")
-        self.req_out = Signal(sim, f"{name}.reqout")
+        self.data_out = sim.bus(data_in.width, f"{name}.dout")
+        self.req_out = sim.signal(f"{name}.reqout")
         wire_bus(cur_data, self.data_out, t_p_ps)
         wire(cur_req, self.req_out, t_p_ps)
 
         # acknowledge path: downstream ack feeds the last stage; each
         # stage's ack_out feeds its predecessor's ack_in (with Tp)
-        self.ack_in = Signal(sim, f"{name}.ackin")
+        self.ack_in = sim.signal(f"{name}.ackin")
         wire(self.ack_in, acks[-1], t_p_ps)
         for i in range(n_buffers - 1):
             wire(self.stages[i + 1].ack_out, acks[i], t_p_ps)

@@ -63,7 +63,7 @@ class WordSerializer:
 
         #: interval between slice launches; n slices fill Tburst
         self.slice_interval = max(2, self.timings.t_burst // self.n_slices)
-        self.osc_enable = Signal(sim, f"{name}.oscen")
+        self.osc_enable = sim.signal(f"{name}.oscen")
         self.osc = RingOscillator(
             sim,
             self.osc_enable,
@@ -139,10 +139,10 @@ class WordDeserializer:
         self.word_width = word_width
         self.n_slices = check_slicing(word_width, in_ch.width)
         self.out_ch = Channel(sim, word_width, f"{name}.out")
-        self.ack_to_tx = Signal(sim, f"{name}.acktx")
+        self.ack_to_tx = sim.signal(f"{name}.acktx")
         self.words_deserialized = 0
 
-        self.clear = Signal(sim, f"{name}.clear")
+        self.clear = sim.signal(f"{name}.clear")
         self.slices = SliceShiftRegister(
             sim, in_ch.data, in_ch.valid, self.n_slices, self.delays,
             f"{name}.sreg",
@@ -203,7 +203,7 @@ class EarlyAckDeserializer(WordDeserializer):
         self.in_ch.valid.on_change(self._count_valid)
 
     def _count_valid(self, sig: Signal) -> None:
-        if not sig.value:
+        if not sig._value:
             return
         self._seen += 1
         if self._seen == self._early_threshold:

@@ -34,10 +34,15 @@ class Clock:
         self.sim = sim
         self.period_ps = period_ps
         self.half_period = period_ps // 2
-        self.signal = Signal(sim, name, init=0)
+        # built through the factory so the clock net follows the kernel
+        # the simulator belongs to (optimized or frozen reference)
+        self.signal: Signal = sim.signal(name, init=0)
         self.cycles: int = 0
         self._running = True
-        sim.schedule(start_delay_ps, self._tick)
+        # one bound method reused by every toggle (a clock schedules an
+        # event per half-period for the whole simulation)
+        self._tick_cb = self._tick
+        sim.schedule(start_delay_ps, self._tick_cb)
 
     @classmethod
     def from_mhz(
@@ -58,13 +63,14 @@ class Clock:
     def _tick(self) -> None:
         if not self._running:
             return
-        if self.signal.value == 0:
-            self.signal.set(1)
+        signal = self.signal
+        if signal.value == 0:
+            signal.set(1)
             self.cycles += 1
-            self.sim.schedule(self.half_period, self._tick)
+            self.sim.schedule(self.half_period, self._tick_cb)
         else:
-            self.signal.set(0)
-            self.sim.schedule(self.period_ps - self.half_period, self._tick)
+            signal.set(0)
+            self.sim.schedule(self.period_ps - self.half_period, self._tick_cb)
 
     def stop(self) -> None:
         """Freeze the clock at its current level."""

@@ -19,6 +19,13 @@ generator that yields *wait conditions*:
 Processes are started with :func:`spawn` and run until their generator
 returns.  Exceptions raised inside a process propagate out of
 ``Simulator.run`` so test failures are loud, never silently swallowed.
+
+Hot-path notes: a process resumes thousands of times per simulated
+word, so the resume and edge-wait callbacks are bound methods created
+once at construction — no closure is allocated per wait, and the edge
+filter runs off a plain attribute instead of a captured variable.  The
+wait-condition classes themselves are pure data and are shared with the
+frozen seed kernel (:mod:`repro.sim.reference`).
 """
 
 from __future__ import annotations
@@ -86,13 +93,25 @@ ProcessGen = Generator[Condition, None, None]
 class Process:
     """A running coroutine on the simulator."""
 
+    __slots__ = (
+        "sim",
+        "gen",
+        "name",
+        "finished",
+        "_edge_kind",
+        "_resume_cb",
+        "_edge_cb",
+    )
+
     def __init__(self, sim: Simulator, gen: ProcessGen, name: str = "proc") -> None:
         self.sim = sim
         self.gen = gen
         self.name = name
         self.finished = False
-        self._waiting_on: Optional[Signal] = None
-        self._listener = None
+        self._edge_kind: Optional[str] = None
+        # created once: every Delay/Edge wait reuses these bound methods
+        self._resume_cb = self._resume
+        self._edge_cb = self._on_edge
 
     # ------------------------------------------------------------------
     def _resume(self) -> None:
@@ -107,32 +126,33 @@ class Process:
 
     def _arm(self, condition: Condition) -> None:
         if isinstance(condition, Delay):
-            self.sim.schedule(condition.duration, self._resume)
-        elif isinstance(condition, Edge):
-            self._wait_edge(condition.signal, condition.kind)
+            self.sim.schedule(condition.duration, self._resume_cb)
         elif isinstance(condition, WaitValue):
-            if condition.signal.value == condition.value:
+            if condition.signal._value == condition.value:
                 # resume in a fresh delta so ordering stays deterministic
-                self.sim.schedule(0, self._resume)
+                self.sim.schedule(0, self._resume_cb)
             else:
-                kind = "rise" if condition.value else "fall"
-                self._wait_edge(condition.signal, kind)
+                self._edge_kind = "rise" if condition.value else "fall"
+                condition.signal.on_change(self._edge_cb)
+        elif isinstance(condition, Edge):
+            self._edge_kind = condition.kind
+            condition.signal.on_change(self._edge_cb)
         else:  # pragma: no cover - defensive
             raise TypeError(
                 f"process {self.name!r} yielded {condition!r}; expected "
                 "Delay, Edge or WaitValue"
             )
 
-    def _wait_edge(self, signal: Signal, kind: str) -> None:
-        def listener(sig: Signal) -> None:
-            if kind == "rise" and sig.value != 1:
+    def _on_edge(self, sig: Signal) -> None:
+        kind = self._edge_kind
+        if kind == "rise":
+            if sig._value != 1:
                 return
-            if kind == "fall" and sig.value != 0:
+        elif kind == "fall":
+            if sig._value != 0:
                 return
-            sig.remove_listener(listener)
-            self._resume()
-
-        signal.on_change(listener)
+        sig.remove_listener(self._edge_cb)
+        self._resume()
 
     def kill(self) -> None:
         """Stop the process; it will never resume."""
@@ -141,7 +161,10 @@ class Process:
 
 
 def spawn(sim: Simulator, gen: ProcessGen, name: str = "proc") -> Process:
-    """Start ``gen`` as a process; it first runs at the current time."""
-    proc = Process(sim, gen, name)
-    sim.schedule(0, proc._resume)
-    return proc
+    """Start ``gen`` as a process; it first runs at the current time.
+
+    Dispatches through ``sim.spawn`` so circuits built on the frozen
+    seed kernel (:mod:`repro.sim.reference`) get the frozen process
+    implementation instead.
+    """
+    return sim.spawn(gen, name)

@@ -1,0 +1,546 @@
+"""Frozen seed-semantics event kernel (differential-testing oracle).
+
+The optimized kernel in :mod:`repro.sim.kernel` / :mod:`repro.sim.signal`
+/ :mod:`repro.sim.process` / :mod:`repro.sim.clock` replaces the seed's
+flat ``heapq`` event wheel with a two-level calendar scheduler, adds true
+cancellation for inertial drives, and strips the per-event allocations
+out of ``Signal.set`` / ``Signal.drive`` / ``Bus``.  This module
+preserves the original kernel — one ``(time, seq, callback)`` tuple per
+event, superseded inertial drives executing as token-checked no-ops,
+listener snapshots allocated per transition — exactly as the seed
+implemented it.
+
+It exists for two reasons:
+
+* **equivalence gating** — ``tests/test_sim_kernel_equivalence.py``
+  builds the same gate/latch/four-phase/serializer testbenches on both
+  kernels and asserts bit-identical signal traces, transition counters,
+  process wakeup orders and VCD output.  Any divergence is a kernel bug.
+* **speedup measurement** — ``python -m repro bench --suite gate`` times
+  both kernels on the same workloads and reports events/sec and the
+  ratio; the committed ``benchmarks/baseline_bench.json`` pins that
+  ratio so CI catches performance regressions without depending on
+  absolute machine speed.
+
+The circuit library (``repro.elements`` / ``repro.link``) constructs its
+internal nets and processes through the simulator factory methods
+(``sim.signal`` / ``sim.bus`` / ``sim.bus_view`` / ``sim.spawn``), so a
+circuit built on a :class:`ReferenceSimulator` is wired entirely from
+frozen :class:`ReferenceSignal` / :class:`ReferenceBus` /
+:class:`ReferenceProcess` instances.  The factory methods (and the
+``created_signals`` registry they feed, which the equivalence tests walk)
+are the only non-seed additions here; everything else is verbatim.
+
+Do not optimize this module; its value is that it stays simple and
+obviously equal to the seed semantics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Optional
+
+# shared, semantics-free pieces: the exception type, the time helpers and
+# the process wait-condition data classes are identical in both kernels
+from .kernel import NS, SimulationError, mhz_period_ps
+from .process import Delay, Edge, WaitValue
+
+Listener = Callable[["ReferenceSignal"], None]
+
+
+class ReferenceSimulator:
+    """The seed event wheel: a flat heapq of (time, seq, callback)."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_executed: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        #: every net built through the factory methods, in creation order
+        #: (equivalence-test addition; the seed had no such registry)
+        self.created_signals: list["ReferenceSignal"] = []
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        return self._now
+
+    @property
+    def now_ns(self) -> float:
+        return self._now / NS
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+    # ------------------------------------------------------------------
+    # scheduling (seed semantics, verbatim)
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[], None]) -> int:
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} ps into the past at t={self._now}"
+            )
+        return self.call_at(self._now + delay, callback)
+
+    def call_at(self, when: int, callback: Callable[[], None]) -> int:
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={when} ps, current time is {self._now}"
+            )
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, callback))
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # execution (seed semantics, verbatim)
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when >= until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                executed += 1
+                self._events_executed += 1
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"event budget of {max_events} exhausted at "
+                        f"t={self._now} ps — possible livelock"
+                    )
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_ns(self, until_ns: float, max_events: Optional[int] = None) -> int:
+        from .kernel import ns
+
+        return self.run(until=ns(until_ns), max_events=max_events)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def step(self) -> bool:
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        if not self._queue:
+            return False
+        self._running = True
+        self._stopped = False
+        try:
+            when, _seq, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            self._events_executed += 1
+        finally:
+            self._running = False
+        return True
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def drain(self, max_events: int = 1_000_000) -> int:
+        return self.run(until=None, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # construction factories (the seam the circuit library builds through;
+    # mirrors the optimized kernel's additions)
+    # ------------------------------------------------------------------
+    def signal(self, name: str = "sig", init: int = 0,
+               cap_ff: float = 1.0) -> "ReferenceSignal":
+        sig = ReferenceSignal(self, name, init, cap_ff)
+        self.created_signals.append(sig)
+        return sig
+
+    def bus(self, width: int, name: str = "bus", init: int = 0,
+            cap_ff: float = 1.0) -> "ReferenceBus":
+        made = ReferenceBus(self, width, name, init, cap_ff)
+        self.created_signals.extend(made.signals)
+        return made
+
+    def bus_view(self, signals: list["ReferenceSignal"],
+                 name: str = "view") -> "ReferenceBus":
+        return ReferenceBus.from_signals(self, signals, name)
+
+    def spawn(self, gen, name: str = "proc") -> "ReferenceProcess":
+        proc = ReferenceProcess(self, gen, name)
+        self.schedule(0, proc._resume)
+        return proc
+
+
+class ReferenceSignal:
+    """The seed single-bit net, verbatim (token-based inertial drives)."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_value",
+        "_listeners",
+        "rising",
+        "falling",
+        "cap_ff",
+        "_drive_token",
+        "trace",
+        "_forced",
+    )
+
+    def __init__(
+        self,
+        sim: ReferenceSimulator,
+        name: str = "sig",
+        init: int = 0,
+        cap_ff: float = 1.0,
+    ) -> None:
+        if init not in (0, 1):
+            raise ValueError(f"signal init must be 0 or 1, got {init!r}")
+        self.sim = sim
+        self.name = name
+        self._value: int = init
+        self._listeners: list[Listener] = []
+        self.rising: int = 0
+        self.falling: int = 0
+        self.cap_ff: float = cap_ff
+        self._drive_token: int = 0
+        self.trace: Optional[list[tuple[int, int]]] = None
+        self._forced: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReferenceSignal({self.name}={self._value} @t={self.sim.now})"
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def transitions(self) -> int:
+        return self.rising + self.falling
+
+    def reset_activity(self) -> None:
+        self.rising = 0
+        self.falling = 0
+
+    def enable_trace(self) -> None:
+        if self.trace is None:
+            self.trace = [(self.sim.now, self._value)]
+
+    # ------------------------------------------------------------------
+    def on_change(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    # ------------------------------------------------------------------
+    def force(self, value: int) -> None:
+        self._forced = False
+        self.set(value)
+        self._forced = True
+
+    def release(self) -> None:
+        self._forced = False
+
+    @property
+    def is_forced(self) -> bool:
+        return self._forced
+
+    def set(self, value: int) -> None:
+        if self._forced:
+            return
+        value = 1 if value else 0
+        if value == self._value:
+            return
+        self._value = value
+        if value:
+            self.rising += 1
+        else:
+            self.falling += 1
+        if self.trace is not None:
+            self.trace.append((self.sim.now, value))
+        # iterate over a snapshot: listeners may add listeners
+        for listener in tuple(self._listeners):
+            listener(self)
+
+    def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
+        if delay == 0 and inertial:
+            self._drive_token += 1
+            self.set(value)
+            return
+        if inertial:
+            self._drive_token += 1
+            token = self._drive_token
+
+            def apply_inertial() -> None:
+                if token == self._drive_token:
+                    self.set(value)
+
+            self.sim.schedule(delay, apply_inertial)
+        else:
+            self.sim.schedule(delay, lambda: self.set(value))
+
+    def pulse(self, width: int, delay: int = 0) -> None:
+        self.drive(1, delay, inertial=False)
+        self.drive(0, delay + width, inertial=False)
+
+
+class ReferenceBus:
+    """The seed little-endian signal bundle, verbatim per-bit loops."""
+
+    __slots__ = ("sim", "name", "signals", "width")
+
+    def __init__(
+        self,
+        sim: ReferenceSimulator,
+        width: int,
+        name: str = "bus",
+        init: int = 0,
+        cap_ff: float = 1.0,
+    ) -> None:
+        if width <= 0:
+            raise ValueError(f"bus width must be positive, got {width}")
+        if init < 0 or init >= (1 << width):
+            raise ValueError(f"init {init} does not fit in {width} bits")
+        self.sim = sim
+        self.name = name
+        self.width = width
+        self.signals = [
+            ReferenceSignal(
+                sim, f"{name}[{i}]", init=(init >> i) & 1, cap_ff=cap_ff
+            )
+            for i in range(width)
+        ]
+
+    @classmethod
+    def from_signals(
+        cls, sim: ReferenceSimulator, signals: list["ReferenceSignal"],
+        name: str = "view"
+    ) -> "ReferenceBus":
+        if not signals:
+            raise ValueError("a bus view needs at least one signal")
+        view = cls.__new__(cls)
+        view.sim = sim
+        view.name = name
+        view.width = len(signals)
+        view.signals = list(signals)
+        return view
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __getitem__(self, index: int) -> ReferenceSignal:
+        return self.signals[index]
+
+    def __iter__(self) -> Iterable[ReferenceSignal]:
+        return iter(self.signals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ReferenceBus({self.name}="
+            f"0x{self.value:0{(self.width + 3) // 4}x})"
+        )
+
+    @property
+    def value(self) -> int:
+        total = 0
+        for i, sig in enumerate(self.signals):
+            total |= sig.value << i
+        return total
+
+    def set(self, value: int) -> None:
+        self._check(value)
+        for i, sig in enumerate(self.signals):
+            sig.set((value >> i) & 1)
+
+    def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
+        self._check(value)
+        for i, sig in enumerate(self.signals):
+            sig.drive((value >> i) & 1, delay, inertial=inertial)
+
+    def _check(self, value: int) -> None:
+        if value < 0 or value >= (1 << self.width):
+            raise ValueError(
+                f"value {value:#x} does not fit in {self.width}-bit bus "
+                f"{self.name!r}"
+            )
+
+    def slice(self, low: int, high: int) -> list[ReferenceSignal]:
+        if not (0 <= low <= high < self.width):
+            raise ValueError(
+                f"slice [{low}:{high}] out of range for width {self.width}"
+            )
+        return self.signals[low : high + 1]
+
+    def on_change(self, listener: Listener) -> None:
+        for sig in self.signals:
+            sig.on_change(listener)
+
+    @property
+    def transitions(self) -> int:
+        return sum(sig.transitions for sig in self.signals)
+
+    def reset_activity(self) -> None:
+        for sig in self.signals:
+            sig.reset_activity()
+
+
+class ReferenceProcess:
+    """The seed generator process, verbatim (closure-per-wait listeners).
+
+    Wait conditions are the *shared* :class:`~repro.sim.process.Delay` /
+    ``Edge`` / ``WaitValue`` data classes — they carry no behaviour, so
+    sharing them keeps circuit code kernel-agnostic without weakening
+    the oracle.
+    """
+
+    def __init__(self, sim: ReferenceSimulator, gen, name: str = "proc") -> None:
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self._waiting_on: Optional[ReferenceSignal] = None
+        self._listener = None
+
+    def _resume(self) -> None:
+        if self.finished:
+            return
+        try:
+            condition = next(self.gen)
+        except StopIteration:
+            self.finished = True
+            return
+        self._arm(condition)
+
+    def _arm(self, condition) -> None:
+        if isinstance(condition, Delay):
+            self.sim.schedule(condition.duration, self._resume)
+        elif isinstance(condition, Edge):
+            self._wait_edge(condition.signal, condition.kind)
+        elif isinstance(condition, WaitValue):
+            if condition.signal.value == condition.value:
+                # resume in a fresh delta so ordering stays deterministic
+                self.sim.schedule(0, self._resume)
+            else:
+                kind = "rise" if condition.value else "fall"
+                self._wait_edge(condition.signal, kind)
+        else:  # pragma: no cover - defensive
+            raise TypeError(
+                f"process {self.name!r} yielded {condition!r}; expected "
+                "Delay, Edge or WaitValue"
+            )
+
+    def _wait_edge(self, signal: ReferenceSignal, kind: str) -> None:
+        def listener(sig: ReferenceSignal) -> None:
+            if kind == "rise" and sig.value != 1:
+                return
+            if kind == "fall" and sig.value != 0:
+                return
+            sig.remove_listener(listener)
+            self._resume()
+
+        signal.on_change(listener)
+
+    def kill(self) -> None:
+        self.finished = True
+        self.gen.close()
+
+
+def reference_spawn(sim: ReferenceSimulator, gen,
+                    name: str = "proc") -> ReferenceProcess:
+    """Seed :func:`repro.sim.process.spawn`, bound to the frozen process."""
+    return sim.spawn(gen, name)
+
+
+class ReferenceClock:
+    """The seed free-running clock, verbatim toggle scheduling."""
+
+    def __init__(
+        self,
+        sim: ReferenceSimulator,
+        period_ps: int,
+        name: str = "clk",
+        start_delay_ps: int = 0,
+    ) -> None:
+        if period_ps < 2:
+            raise ValueError(f"clock period must be >= 2 ps, got {period_ps}")
+        self.sim = sim
+        self.period_ps = period_ps
+        self.half_period = period_ps // 2
+        self.signal = sim.signal(name, init=0)
+        self.cycles: int = 0
+        self._running = True
+        sim.schedule(start_delay_ps, self._tick)
+
+    @classmethod
+    def from_mhz(
+        cls,
+        sim: ReferenceSimulator,
+        freq_mhz: float,
+        name: str = "clk",
+        start_delay_ps: int = 0,
+    ) -> "ReferenceClock":
+        return cls(sim, mhz_period_ps(freq_mhz), name, start_delay_ps)
+
+    @property
+    def freq_mhz(self) -> float:
+        return 1e6 / self.period_ps
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if self.signal.value == 0:
+            self.signal.set(1)
+            self.cycles += 1
+            self.sim.schedule(self.half_period, self._tick)
+        else:
+            self.signal.set(0)
+            self.sim.schedule(self.period_ps - self.half_period, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+
+# Aliases so the equivalence harness can treat this module and
+# ``repro.sim`` as interchangeable kernel stacks.
+Simulator = ReferenceSimulator
+Signal = ReferenceSignal
+Bus = ReferenceBus
+Process = ReferenceProcess
+Clock = ReferenceClock
+spawn = reference_spawn
+
+__all__ = [
+    "ReferenceSimulator",
+    "ReferenceSignal",
+    "ReferenceBus",
+    "ReferenceProcess",
+    "ReferenceClock",
+    "reference_spawn",
+    "Simulator",
+    "Signal",
+    "Bus",
+    "Process",
+    "Clock",
+    "spawn",
+]

@@ -10,16 +10,33 @@ Drives can be *inertial* (a newer drive cancels a pending one — the
 behaviour of a real gate output, which filters pulses shorter than its
 delay) or *transport* (pure delay line — the behaviour of a wire).
 
+Hot-path design (the seed implementation is frozen verbatim in
+:mod:`repro.sim.reference`):
+
+* listeners live in a copy-on-write tuple — dispatch iterates it
+  directly, with no per-transition snapshot allocation; ``on_change`` /
+  ``remove_listener`` rebuild the tuple instead;
+* an inertial drive holds at most one pending event per net, applied by
+  a bound method created once at construction — superseding it is a true
+  kernel-level :meth:`~repro.sim.kernel.Simulator.cancel`, so stale
+  drives never execute and never count against event budgets;
+* transport drives reuse two per-net callbacks (``set 0`` / ``set 1``)
+  instead of allocating a closure per scheduled edge.
+
 A :class:`Bus` bundles ``width`` signals little-endian (index 0 = LSB) and
 provides integer read/write helpers, which keeps the serializer slicing
-code close to the paper's ``DIN(15:8)`` notation.
+code close to the paper's ``DIN(15:8)`` notation.  ``set`` runs a single
+pass that only pays the ``set`` dispatch for bits that actually change
+(checked at visit time, so it is exact); ``drive`` visits every bit but
+each visit is allocation-free.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Iterable, Optional
 
-from .kernel import Simulator
+from .kernel import SimulationError, Simulator
 
 Listener = Callable[["Signal"], None]
 
@@ -35,9 +52,13 @@ class Signal:
         "rising",
         "falling",
         "cap_ff",
-        "_drive_token",
         "trace",
         "_forced",
+        "_pending",
+        "_pending_value",
+        "_apply_cb",
+        "_set0_cb",
+        "_set1_cb",
     )
 
     def __init__(
@@ -52,17 +73,23 @@ class Signal:
         self.sim = sim
         self.name = name
         self._value: int = init
-        self._listeners: list[Listener] = []
+        self._listeners: tuple[Listener, ...] = ()
         #: number of 0→1 transitions observed (power model input)
         self.rising: int = 0
         #: number of 1→0 transitions observed
         self.falling: int = 0
         #: effective switched capacitance in femtofarads (power weight)
         self.cap_ff: float = cap_ff
-        self._drive_token: int = 0
         #: optional list of (time_ps, value) appended on every change
         self.trace: Optional[list[tuple[int, int]]] = None
         self._forced: bool = False
+        #: handle of the one outstanding inertial drive, if any
+        self._pending = None
+        self._pending_value: int = 0
+        # per-net callbacks, created once so drives allocate nothing
+        self._apply_cb = self._apply_pending
+        self._set0_cb = self._apply_0
+        self._set1_cb = self._apply_1
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -93,10 +120,12 @@ class Signal:
     # ------------------------------------------------------------------
     def on_change(self, listener: Listener) -> None:
         """Register ``listener(signal)`` to run whenever the value flips."""
-        self._listeners.append(listener)
+        self._listeners = self._listeners + (listener,)
 
     def remove_listener(self, listener: Listener) -> None:
-        self._listeners.remove(listener)
+        current = list(self._listeners)
+        current.remove(listener)
+        self._listeners = tuple(current)
 
     # ------------------------------------------------------------------
     # driving
@@ -104,10 +133,18 @@ class Signal:
     def force(self, value: int) -> None:
         """Force the net to ``value`` and ignore all drivers until
         :meth:`release` — a stuck-at fault / testbench override, like a
-        simulator's ``force`` command."""
-        self._forced = False
-        self.set(value)
+        simulator's ``force`` command.
+
+        The force is atomic: listeners observe :attr:`is_forced` already
+        True while being notified of the forced transition, and a
+        pending inertial drive maturing during the forced window is
+        blocked by the guard in :meth:`_apply_pending` — no driver can
+        glitch the net mid-force.  The pending drive itself stays
+        queued (matching the seed kernel): if it matures only after
+        :meth:`release`, it applies normally.
+        """
         self._forced = True
+        self._transition(1 if value else 0)
 
     def release(self) -> None:
         """Remove a :meth:`force`; subsequent drives apply normally."""
@@ -116,6 +153,22 @@ class Signal:
     @property
     def is_forced(self) -> bool:
         return self._forced
+
+    def _transition(self, value: int) -> None:
+        """Apply a normalized value, bypassing the force guard."""
+        if value == self._value:
+            return
+        self._value = value
+        if value:
+            self.rising += 1
+        else:
+            self.falling += 1
+        if self.trace is not None:
+            self.trace.append((self.sim._now, value))
+        # the tuple is copy-on-write: listeners registered or removed
+        # during dispatch rebuild it, leaving this iteration untouched
+        for listener in self._listeners:
+            listener(self)
 
     def set(self, value: int) -> None:
         """Apply ``value`` immediately (no delay, still notifies listeners)."""
@@ -130,35 +183,86 @@ class Signal:
         else:
             self.falling += 1
         if self.trace is not None:
-            self.trace.append((self.sim.now, value))
-        # iterate over a snapshot: listeners may add listeners
-        for listener in tuple(self._listeners):
+            self.trace.append((self.sim._now, value))
+        for listener in self._listeners:
             listener(self)
 
     def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
         """Schedule ``value`` onto the net after ``delay`` picoseconds.
 
         With ``inertial=True`` (gate-output semantics) any previously
-        scheduled drive that has not yet matured is cancelled, so a pulse
-        shorter than the gate delay never appears on the output.  With
-        ``inertial=False`` (transport / wire semantics) every scheduled
-        drive matures independently.
+        scheduled drive that has not yet matured is cancelled — removed
+        from the event queue for good — so a pulse shorter than the gate
+        delay never appears on the output.  With ``inertial=False``
+        (transport / wire semantics) every scheduled drive matures
+        independently.
+
+        The event insert is a manual inline of
+        :meth:`~repro.sim.kernel.Simulator.schedule` — a gate netlist
+        issues one drive per input edge, so the call overhead is the
+        single hottest line of the whole simulator.  Keep it in sync
+        with the kernel's scheduler representation.
         """
-        if delay == 0 and inertial:
-            self._drive_token += 1
-            self.set(value)
-            return
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} ps into the past at "
+                f"t={self.sim._now}"
+            )
         if inertial:
-            self._drive_token += 1
-            token = self._drive_token
-
-            def apply_inertial() -> None:
-                if token == self._drive_token:
-                    self.set(value)
-
-            self.sim.schedule(delay, apply_inertial)
+            pending = self._pending
+            if pending is not None:
+                self.sim.cancel(pending)
+                self._pending = None
+            if delay == 0:
+                self.set(value)
+                return
+            self._pending_value = 1 if value else 0
+            cell = [self._apply_cb]
         else:
-            self.sim.schedule(delay, lambda: self.set(value))
+            cell = [self._set1_cb if value else self._set0_cb]
+        sim = self.sim
+        when = sim._now + delay
+        if when < sim._horizon:
+            near = sim._near
+            bucket = near.get(when)
+            if bucket is None:
+                near[when] = cell
+                heappush(sim._times, when)
+            elif len(bucket) == 1:
+                near[when] = [1, bucket, cell]
+            else:
+                bucket.append(cell)
+        else:
+            sim._seq += 1
+            heappush(sim._far, (when, sim._seq, cell))
+        sim._live += 1
+        if inertial:
+            self._pending = cell
+
+    def _apply_pending(self) -> None:
+        # inlined ``set(self._pending_value)``; the force guard stays —
+        # a drive issued *while* forced still schedules its apply
+        self._pending = None
+        if self._forced:
+            return
+        value = self._pending_value
+        if value == self._value:
+            return
+        self._value = value
+        if value:
+            self.rising += 1
+        else:
+            self.falling += 1
+        if self.trace is not None:
+            self.trace.append((self.sim._now, value))
+        for listener in self._listeners:
+            listener(self)
+
+    def _apply_0(self) -> None:
+        self.set(0)
+
+    def _apply_1(self) -> None:
+        self.set(1)
 
     # convenience aliases ------------------------------------------------
     def pulse(self, width: int, delay: int = 0) -> None:
@@ -226,21 +330,82 @@ class Bus:
     def value(self) -> int:
         """Current integer value of the bus."""
         total = 0
-        for i, sig in enumerate(self.signals):
-            total |= sig.value << i
+        for sig in reversed(self.signals):
+            total = (total << 1) | sig._value
         return total
 
     def set(self, value: int) -> None:
-        """Apply an integer value immediately to every bit."""
+        """Apply an integer value immediately to every bit.
+
+        One pass over the bits; bits already at their target value cost
+        a slot compare, only changed bits pay the ``set`` dispatch.
+        """
         self._check(value)
         for i, sig in enumerate(self.signals):
-            sig.set((value >> i) & 1)
+            bit = (value >> i) & 1
+            if sig._value != bit:
+                sig.set(bit)
 
     def drive(self, value: int, delay: int = 0, inertial: bool = True) -> None:
-        """Schedule an integer value onto every bit after ``delay`` ps."""
+        """Schedule an integer value onto every bit after ``delay`` ps.
+
+        Every bit is driven, including bits already at their target
+        value: an inertial drive's scheduled apply re-asserts the bit at
+        maturity, which matters when another driver (a transport wire, a
+        direct ``set``) flips it in the meantime — skipping "unchanged"
+        bits would diverge from the frozen seed kernel.
+
+        The per-bit work is :meth:`Signal.drive` inlined (registers and
+        flit pipelines issue a full bus drive per clock edge, so the
+        per-bit call overhead is hot); keep it in sync with the kernel's
+        scheduler representation.
+        """
         self._check(value)
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {delay} ps into the past at "
+                f"t={self.sim.now}"
+            )
+        if delay == 0 and inertial:
+            sim = self.sim
+            for i, sig in enumerate(self.signals):
+                pending = sig._pending
+                if pending is not None:
+                    sim.cancel(pending)
+                    sig._pending = None
+                sig.set((value >> i) & 1)
+            return
+        sim = self.sim
+        when = sim._now + delay
+        near = sim._near
+        far = sim._far
+        times = sim._times
+        horizon = sim._horizon
+        live = 0
         for i, sig in enumerate(self.signals):
-            sig.drive((value >> i) & 1, delay, inertial=inertial)
+            if inertial:
+                pending = sig._pending
+                if pending is not None:
+                    sim.cancel(pending)
+                sig._pending_value = (value >> i) & 1
+                cell = [sig._apply_cb]
+                sig._pending = cell
+            else:
+                cell = [sig._set1_cb if (value >> i) & 1 else sig._set0_cb]
+            if when < horizon:
+                bucket = near.get(when)
+                if bucket is None:
+                    near[when] = cell
+                    heappush(times, when)
+                elif len(bucket) == 1:
+                    near[when] = [1, bucket, cell]
+                else:
+                    bucket.append(cell)
+            else:
+                sim._seq += 1
+                heappush(far, (when, sim._seq, cell))
+            live += 1
+        sim._live += live
 
     def _check(self, value: int) -> None:
         if value < 0 or value >= (1 << self.width):
@@ -268,7 +433,7 @@ class Bus:
     @property
     def transitions(self) -> int:
         """Total transitions across all bits (power model input)."""
-        return sum(sig.transitions for sig in self.signals)
+        return sum(sig.rising + sig.falling for sig in self.signals)
 
     def reset_activity(self) -> None:
         for sig in self.signals:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .signal import Bus, Signal
+from .signal import Signal
 
 
 class Tracer:
@@ -26,13 +26,19 @@ class Tracer:
         self.signals: list[Signal] = []
 
     def watch(self, *items: object) -> None:
-        """Start tracing the given :class:`Signal`/:class:`Bus` objects."""
+        """Start tracing the given :class:`Signal`/:class:`Bus` objects.
+
+        Duck-typed on the bus/signal shape (a bus carries ``signals``, a
+        signal carries ``enable_trace``) so nets from the frozen seed
+        kernel (:mod:`repro.sim.reference`) trace identically.
+        """
         for item in items:
-            if isinstance(item, Bus):
-                for sig in item:
+            bits = getattr(item, "signals", None)
+            if bits is not None:
+                for sig in bits:
                     sig.enable_trace()
                     self.signals.append(sig)
-            elif isinstance(item, Signal):
+            elif hasattr(item, "enable_trace"):
                 item.enable_trace()
                 self.signals.append(item)
             else:
@@ -80,12 +86,14 @@ class ActivityMonitor:
         self._baseline: Dict[int, int] = {}
 
     def add(self, group: str, *items: object) -> None:
-        """Register signals/buses under ``group``."""
+        """Register signals/buses under ``group`` (duck-typed like
+        :meth:`Tracer.watch`, so reference-kernel nets monitor too)."""
         bucket = self._groups.setdefault(group, [])
         for item in items:
-            if isinstance(item, Bus):
-                bucket.extend(item.signals)
-            elif isinstance(item, Signal):
+            bits = getattr(item, "signals", None)
+            if bits is not None:
+                bucket.extend(bits)
+            elif hasattr(item, "enable_trace"):
                 bucket.append(item)
             elif isinstance(item, Iterable):
                 for sub in item:

@@ -124,8 +124,10 @@ class TestBenchCli:
         rc = main(["bench", *TINY, "--json", str(out)])
         assert rc == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == 1
+        assert document["schema"] == 2
+        assert document["suites"] == ["noc"]
         (point,) = document["points"]
+        assert point["suite"] == "noc"
         assert point["speedup"] > 0
         assert point["stats_match"] is True
         assert "cycles/sec" in capsys.readouterr().out
@@ -222,7 +224,180 @@ class TestBenchCli:
             / "benchmarks" / "baseline_bench.json"
         )
         baseline = json.loads(baseline_path.read_text())
-        baseline_keys = {p["key"] for p in baseline["points"]}
-        expected = {p.key for p in default_points(cycles=300)}
-        assert expected == baseline_keys
+        noc_keys = {p["key"] for p in baseline["points"]
+                    if p.get("suite", "noc") == "noc"}
+        assert noc_keys == {p.key for p in default_points(cycles=300)}
+        from repro.bench import default_gate_points
+
+        gate_keys = {p["key"] for p in baseline["points"]
+                     if p.get("suite") == "gate"}
+        assert gate_keys == {
+            p.key for p in default_gate_points(scale=0.5)
+        }
         assert all(p["speedup"] is not None for p in baseline["points"])
+
+
+class TestGateSuiteHarness:
+    def test_run_gate_point_cross_checks_kernels(self):
+        from repro.bench import GateBenchPoint, run_gate_point
+
+        point = GateBenchPoint("serializer-i3", 4)
+        outcome = run_gate_point(point, reference=True, repeats=1)
+        assert outcome.optimized_eps > 0
+        assert outcome.reference_eps > 0
+        assert outcome.stats_match is True
+        assert outcome.speedup == pytest.approx(
+            outcome.reference_wall_s / outcome.optimized_wall_s
+        )
+        assert outcome.events_executed > 0
+        assert outcome.events_cancelled > 0  # inertial supersedes happen
+
+    @pytest.mark.parametrize(
+        "workload", ["serializer-i2", "fourphase-chain", "ringosc"]
+    )
+    def test_other_workloads_match_reference(self, workload):
+        from repro.bench import GateBenchPoint, run_gate_point
+
+        size = 2000 if workload == "ringosc" else 4
+        outcome = run_gate_point(
+            GateBenchPoint(workload, size), reference=True, repeats=1
+        )
+        assert outcome.stats_match is True
+
+    def test_gate_point_key_stable(self):
+        from repro.bench import GateBenchPoint
+
+        assert GateBenchPoint("serializer-i3", 24).key == \
+            "gate/serializer-i3@24"
+
+    def test_default_gate_points_cover_the_acceptance_gate(self):
+        from repro.bench import default_gate_points
+
+        points = default_gate_points()
+        assert points[0].workload == "serializer-i3"
+        assert {p.workload for p in points} == {
+            "serializer-i3", "serializer-i2", "fourphase-chain", "ringosc",
+        }
+        # --fast halves the workloads but never below the floor
+        fast = default_gate_points(scale=0.01)
+        assert all(p.size >= 4 for p in fast)
+
+    def test_unknown_workload_rejected(self):
+        from repro.bench import GateBenchPoint, run_gate_point
+
+        with pytest.raises(ValueError, match="unknown gate workload"):
+            run_gate_point(GateBenchPoint("warp-drive", 4), repeats=1)
+
+    def test_profile_gate_point_names_the_kernel(self):
+        from repro.bench import GateBenchPoint, profile_gate_point
+
+        text = profile_gate_point(GateBenchPoint("serializer-i3", 4))
+        assert "run" in text
+        assert "function calls" in text
+
+
+class TestGateSuiteCli:
+    GATE_TINY = ["--suite", "gate", "--gate-scale", "0.01", "--repeats", "1"]
+
+    def test_gate_suite_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", *self.GATE_TINY, "--json", str(out)])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["suites"] == ["gate"]
+        assert {p["suite"] for p in document["points"]} == {"gate"}
+        assert all(p["stats_match"] for p in document["points"])
+        assert "events/sec" in capsys.readouterr().out
+
+    def _easy_baseline(self, document):
+        """Drop the recorded speedups to a floor any machine clears —
+        these tests exercise the check plumbing, not timing stability
+        (micro-sized workloads are too noisy to self-gate at 30 %)."""
+        for point in document["points"]:
+            point["speedup"] = 0.01
+        return document
+
+    def test_gate_suite_self_check_passes(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(["bench", *self.GATE_TINY, "--json", str(out)]) == 0
+        baseline = self._easy_baseline(json.loads(out.read_text()))
+        out.write_text(json.dumps(baseline))
+        assert main(["bench", *self.GATE_TINY, "--check", str(out)]) == 0
+
+    def test_gate_check_skips_foreign_suite_points(self, tmp_path):
+        """A gate-only run checked against a combined baseline must not
+        flag the absent noc points (and vice versa)."""
+        out = tmp_path / "bench.json"
+        assert main(["bench", *self.GATE_TINY, "--json", str(out)]) == 0
+        combined = self._easy_baseline(json.loads(out.read_text()))
+        combined["points"].append({
+            "suite": "noc",
+            "key": "4x4@0.1/uniform/xy/vc1/I3",
+            "speedup": 99.0,  # would regress if it were checked
+            "cycles": 300,
+            "stats_match": True,
+        })
+        out.write_text(json.dumps(combined))
+        assert main(["bench", *self.GATE_TINY, "--check", str(out)]) == 0
+
+    def test_gate_check_fails_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", *self.GATE_TINY, "--json", str(out)]) == 0
+        doctored = json.loads(out.read_text())
+        for point in doctored["points"]:
+            point["speedup"] = point["speedup"] * 100
+        out.write_text(json.dumps(doctored))
+        rc = main(["bench", *self.GATE_TINY, "--check", str(out)])
+        assert rc == 1
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_suite_all_runs_both(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "bench", "--suite", "all", "--mesh", "2", "--rates", "0.1",
+            "--cycles", "40", "--gate-scale", "0.01", "--repeats", "1",
+            "--no-reference", "--json", str(out),
+        ])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["suites"] == ["noc", "gate"]
+        assert {p["suite"] for p in document["points"]} == {"noc", "gate"}
+
+    def test_gate_profile_smoke(self, capsys):
+        rc = main(["bench", *self.GATE_TINY, "--no-reference", "--profile"])
+        assert rc == 0
+        assert "cProfile of the optimized sim kernel" in capsys.readouterr().out
+
+    def test_mesh_flags_rejected_for_gate_suite(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "gate", "--mesh", "2"])
+
+    def test_bad_gate_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "gate", "--gate-scale", "0"])
+
+    def test_committed_baseline_is_schema_2_with_both_suites(self):
+        """The committed baseline must gate both kernels' speedups."""
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).resolve().parent.parent
+             / "benchmarks" / "baseline_bench.json").read_text()
+        )
+        assert baseline["schema"] == 2
+        assert set(baseline["suites"]) == {"noc", "gate"}
+        by_suite = {}
+        for point in baseline["points"]:
+            by_suite.setdefault(point["suite"], []).append(point)
+        assert len(by_suite["noc"]) == 3
+        assert len(by_suite["gate"]) == 4
+        gate_keys = {p["workload"] for p in by_suite["gate"]}
+        assert "serializer-i3" in gate_keys
+        # every committed point carries a gateable speedup + clean stats
+        for point in baseline["points"]:
+            assert point["speedup"] > 0
+            assert point["stats_match"] is True
+
+    def test_gate_scale_rejected_for_noc_suite(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "noc", "--gate-scale", "2.0"])

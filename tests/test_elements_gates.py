@@ -151,3 +151,56 @@ class TestOneHotMux:
         out = Bus(sim, 8, "out")
         with pytest.raises(ValueError):
             OneHotMux(sim, inputs, sel, out)
+
+
+class TestCompiledEvaluation:
+    """The arity-specialized eval closure must agree with a direct call
+    to the gate function over the exhaustive input truth table."""
+
+    @pytest.mark.parametrize("gate_cls", [Inverter])
+    def test_unary_truth_table(self, sim, gate_cls):
+        a = Signal(sim, "a")
+        gate = gate_cls(sim, a)
+        settle(sim)
+        for va in (0, 1):
+            a.set(va)
+            assert gate._evaluate() == (1 if gate.func(va) else 0)
+
+    @pytest.mark.parametrize("gate_cls", [And2, Or2, Nand2, Nor2, Xor2])
+    def test_binary_truth_table(self, sim, gate_cls):
+        a, b = Signal(sim, "a"), Signal(sim, "b")
+        gate = gate_cls(sim, a, b)
+        settle(sim)
+        for va in (0, 1):
+            for vb in (0, 1):
+                a.set(va)
+                b.set(vb)
+                assert gate._evaluate() == (1 if gate.func(va, vb) else 0)
+
+    def test_ternary_truth_table(self, sim):
+        a, b, s = Signal(sim, "a"), Signal(sim, "b"), Signal(sim, "s")
+        gate = Mux2(sim, a, b, s)
+        settle(sim)
+        for va in (0, 1):
+            for vb in (0, 1):
+                for vs in (0, 1):
+                    a.set(va)
+                    b.set(vb)
+                    s.set(vs)
+                    assert gate._evaluate() == (
+                        1 if gate.func(va, vb, vs) else 0
+                    )
+
+    def test_wide_gate_falls_back_to_star_args(self, sim):
+        from repro.elements.gates import Gate
+
+        ins = [Signal(sim, f"i{k}") for k in range(5)]
+        out = Signal(sim, "out")
+        gate = Gate(sim, ins, out, lambda *vs: sum(vs) % 2, delay=10,
+                    name="parity5")
+        settle(sim)
+        for pattern in range(32):
+            for k, sig in enumerate(ins):
+                sig.set((pattern >> k) & 1)
+            expect = 1 if bin(pattern).count("1") % 2 else 0
+            assert gate._evaluate() == expect

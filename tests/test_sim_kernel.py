@@ -251,3 +251,165 @@ class TestRun:
             sim.schedule(i + 1, lambda: None)
         sim.drain()
         assert sim.pending_events == 0
+
+
+class TestCancellation:
+    """True event cancellation (used by inertial drives)."""
+
+    def test_cancelled_event_never_executes(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, lambda: seen.append("dead"))
+        sim.schedule(20, lambda: seen.append("live"))
+        assert sim.cancel(handle) is True
+        assert sim.run() == 1
+        assert seen == ["live"]
+        assert sim.events_executed == 1
+        assert sim.events_cancelled == 1
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        assert sim.cancel(handle) is True
+        assert sim.cancel(handle) is False
+        assert sim.cancel(None) is False
+        assert sim.pending_events == 0
+
+    def test_cancel_after_execution_is_a_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.cancel(handle) is False
+        assert sim.events_cancelled == 0
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(10 * (i + 1), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        sim.cancel(handles[0])
+        sim.cancel(handles[3])
+        assert sim.pending_events == 3
+
+    def test_step_skips_cancelled_and_reports_empty(self):
+        sim = Simulator()
+        seen = []
+        dead = sim.schedule(10, lambda: seen.append("dead"))
+        sim.schedule(10, lambda: seen.append("live"))
+        sim.cancel(dead)
+        assert sim.step() is True
+        assert seen == ["live"]
+        assert sim.step() is False
+
+    def test_zero_or_negative_budget_trips_on_first_event(self):
+        """max_events=0 must stay a (degenerate) budget, not turn into
+        'unlimited' — seed raised after the first executed event."""
+        for budget in (0, -3):
+            sim = Simulator()
+            sim.schedule(1, lambda: None)
+            sim.schedule(2, lambda: None)
+            with pytest.raises(SimulationError, match="budget"):
+                sim.run(max_events=budget)
+            assert sim.events_executed == 1
+
+    def test_budget_ignores_cancelled_events(self):
+        """Satellite regression: a pulse-heavy net superseding hundreds
+        of drives must not spuriously trip the livelock guard."""
+        sim = Simulator()
+        seen = []
+        stale = [sim.schedule(50, lambda: seen.append("stale"))
+                 for _ in range(200)]
+        for handle in stale:
+            sim.cancel(handle)
+        sim.schedule(50, lambda: seen.append("fresh"))
+        # budget of 2 would be exhausted instantly if dead events counted
+        assert sim.run(max_events=2) == 1
+        assert seen == ["fresh"]
+
+    def test_far_band_cancellation(self):
+        sim = Simulator()
+        seen = []
+        far_delay = Simulator.NEAR_WINDOW * 3 + 17
+        handle = sim.schedule(far_delay, lambda: seen.append("far-dead"))
+        sim.schedule(far_delay + 1, lambda: seen.append("far-live"))
+        sim.cancel(handle)
+        sim.run()
+        assert seen == ["far-live"]
+        assert sim.now == far_delay + 1
+
+
+class TestTwoLevelScheduler:
+    """The near-calendar / far-heap split must be invisible."""
+
+    def test_order_preserved_across_the_horizon(self):
+        sim = Simulator()
+        order = []
+        window = Simulator.NEAR_WINDOW
+        times = [window - 2, window - 1, window, window + 1,
+                 3 * window + 5, 2 * window]
+        for t in times:
+            sim.call_at(t, lambda t=t: order.append(t))
+        sim.run()
+        assert order == sorted(times)
+
+    def test_same_timestamp_fifo_in_far_band(self):
+        sim = Simulator()
+        order = []
+        when = Simulator.NEAR_WINDOW * 2 + 100
+        for tag in "abcde":
+            sim.call_at(when, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_callbacks_scheduling_into_far_band(self):
+        sim = Simulator()
+        seen = []
+
+        def hop():
+            seen.append(sim.now)
+            if len(seen) < 5:
+                sim.schedule(Simulator.NEAR_WINDOW + 3, hop)
+
+        sim.schedule(1, hop)
+        sim.run()
+        assert seen == [1 + i * (Simulator.NEAR_WINDOW + 3)
+                        for i in range(5)]
+
+    def test_run_until_with_only_far_events(self):
+        sim = Simulator()
+        seen = []
+        when = Simulator.NEAR_WINDOW * 4
+        sim.call_at(when, lambda: seen.append(when))
+        sim.run(until=1000)
+        assert sim.now == 1000
+        assert seen == []
+        sim.run()
+        assert seen == [when]
+
+
+class TestStepTimeAdvancement:
+    def test_step_advances_time_through_trailing_cancelled_events(self):
+        """run() advances sim.now through dead buckets; step()-draining
+        the same queue must end at the same final time."""
+        def build():
+            sim = Simulator()
+            sim.schedule(100, lambda: None)
+            dead = sim.schedule(150, lambda: None)
+            sim.cancel(dead)
+            return sim
+
+        ran = build()
+        ran.run()
+        stepped = build()
+        while stepped.step():
+            pass
+        assert ran.now == stepped.now == 150
+
+    def test_step_advances_time_through_dead_multi_bucket(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        dead = [sim.schedule(90, lambda: None) for _ in range(3)]
+        for handle in dead:
+            sim.cancel(handle)
+        assert sim.step() is True
+        assert sim.step() is False
+        assert sim.now == 90

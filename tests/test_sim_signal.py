@@ -255,3 +255,114 @@ class TestForce:
         sig.on_change(lambda s: calls.append(s.value))
         sig.force(1)
         assert calls == []
+
+    def test_force_is_atomic_to_listeners(self, sim):
+        """Satellite regression: the seed cleared the force flag while
+        notifying, so listeners observed a glitch ordering (an unforced
+        net mid-force).  Listeners must see the force already applied."""
+        sig = Signal(sim, "s")
+        observed = []
+
+        def listener(s):
+            observed.append((s.value, s.is_forced))
+            # a driver reacting inside the notification must not be able
+            # to flip the net back mid-force
+            s.set(0)
+
+        sig.on_change(listener)
+        sig.force(1)
+        assert observed == [(1, True)]
+        assert sig.value == 1
+
+    def test_pending_drive_blocked_while_forced(self, sim):
+        sig = Signal(sim, "s")
+        sig.drive(1, delay=100, inertial=True)
+        sig.force(0)
+        sim.run()
+        assert sig.value == 0  # the apply matured but was force-blocked
+
+    def test_pending_drive_survives_force_released_before_maturity(self, sim):
+        """Seed semantics: a drive in flight when the net is forced must
+        still apply if the force is released before it matures."""
+        sig = Signal(sim, "s")
+        sig.drive(1, delay=100, inertial=True)
+        sim.run(until=10)
+        sig.force(0)
+        sim.run(until=50)
+        sig.release()
+        sim.run()
+        assert sig.value == 1
+
+    def test_stuck_at_fault_through_gate_chain(self, sim):
+        """Stuck-at fault injection: forcing a mid-chain net pins the
+        chain output regardless of input activity; releasing restores
+        normal propagation."""
+        from repro.elements.gates import Inverter
+
+        a = Signal(sim, "a")
+        inv1 = Inverter(sim, a, name="inv1")
+        inv2 = Inverter(sim, inv1.output, name="inv2")
+        inv3 = Inverter(sim, inv2.output, name="inv3")
+        sim.run()
+        assert inv3.output.value == 1  # three inversions of 0
+
+        inv2.output.force(0)  # stuck-at-0 on the middle net
+        a.set(1)
+        sim.run()
+        assert inv2.output.value == 0
+        assert inv3.output.value == 1  # follows the stuck net, not a
+
+        a.set(0)
+        sim.run()
+        a.set(1)
+        sim.run()
+        assert inv3.output.value == 1  # still pinned
+
+        inv2.output.release()
+        a.set(0)
+        sim.run()
+        a.set(1)
+        sim.run()
+        # normal propagation again: inv2 = not(not 1) = 1 → inv3 = 0
+        assert inv2.output.value == 1
+        assert inv3.output.value == 0
+
+
+class TestInertialCancellation:
+    """Superseded inertial drives are cancelled at kernel level."""
+
+    def test_superseded_drive_leaves_no_pending_event(self, sim):
+        sig = Signal(sim, "s")
+        sig.drive(1, delay=100, inertial=True)
+        sig.drive(0, delay=50, inertial=True)
+        assert sim.pending_events == 1  # the superseded event is gone
+        sim.run()
+        assert sim.events_executed == 1
+        assert sim.events_cancelled == 1
+
+    def test_zero_delay_inertial_cancels_pending(self, sim):
+        sig = Signal(sim, "s")
+        sig.drive(1, delay=100, inertial=True)
+        sig.drive(0, delay=0, inertial=True)  # applies now, kills pending
+        assert sim.pending_events == 0
+        sim.run()
+        assert sig.value == 0
+        assert sig.rising == 0
+
+    def test_transport_drives_not_cancelled_by_inertial(self, sim):
+        sig = Signal(sim, "s")
+        sig.drive(1, delay=50, inertial=False)
+        sig.drive(0, delay=100, inertial=True)
+        assert sim.pending_events == 2
+        sim.run()
+        assert sig.rising == 1
+        assert sig.falling == 1
+
+    def test_pulse_storm_executes_single_event(self, sim):
+        sig = Signal(sim, "s")
+        for i in range(500):
+            sig.drive(i & 1, delay=80, inertial=True)
+        assert sim.pending_events == 1
+        sim.run(max_events=3)  # only the surviving drive counts
+        assert sig.value == 1
+        assert sig.transitions == 1
