@@ -11,6 +11,13 @@ unrelated periods) and shows lossless, rate-matched delivery.
 Run:  python examples/gals_demo.py
 """
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.analysis import format_table
 from repro.link import LinkConfig, LinkTestbench, build_i3
 from repro.sim import Clock, Simulator
@@ -23,7 +30,8 @@ PAIRS = [
 ]
 
 
-def run_pair(tx_mhz, rx_mhz, n_flits=16):
+def run_pair(tx_mhz, rx_mhz, n_flits=None):
+    n_flits = n_flits or (6 if FAST else 16)
     sim = Simulator()
     tx_clock = Clock.from_mhz(sim, tx_mhz, name="txclk")
     rx_clock = Clock.from_mhz(sim, rx_mhz, name="rxclk",
@@ -58,7 +66,7 @@ def main() -> None:
              "measured (MFlit/s)", "expected bottleneck"),
             rows,
             title="I3 link between independent clock domains "
-                  "(16 worst-case flits each)",
+                  f"({6 if FAST else 16} worst-case flits each)",
         )
     )
     print()

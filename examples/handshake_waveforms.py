@@ -14,6 +14,13 @@ cycles versus four bare pulses and one acknowledge.
 Run:  python examples/handshake_waveforms.py
 """
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.link import Channel, Serializer, WordDeserializer, WordSerializer
 from repro.link.channel import ValidChannel, sink_process, source_process
 from repro.link.wiring import wire, wire_bus
@@ -32,7 +39,7 @@ def per_transfer_scene() -> str:
     spawn(sim, source_process(in_ch, [FLIT]))
     spawn(sim, sink_process(ser.out_ch, slices, count=4, ack_delay_ps=150))
     sim.run(max_events=1_000_000)
-    art = tracer.render(until_ps=sim.now + 200, step_ps=60)
+    art = tracer.render(until_ps=sim.now + 200, step_ps=180 if FAST else 60)
     return (
         f"Per-transfer (I2, Fig 6a): flit 0x{FLIT:08X} as slices "
         f"{[hex(s) for s in slices]}\n{art}"
@@ -55,7 +62,7 @@ def per_word_scene() -> str:
     spawn(sim, source_process(in_ch, [FLIT]))
     spawn(sim, sink_process(wdes.out_ch, words, count=1))
     sim.run(max_events=1_000_000)
-    art = tracer.render(until_ps=sim.now + 200, step_ps=60)
+    art = tracer.render(until_ps=sim.now + 200, step_ps=180 if FAST else 60)
     return (
         f"Per-word (I3, Fig 8a): flit 0x{FLIT:08X} reassembled as "
         f"{[hex(w) for w in words]}\n{art}"

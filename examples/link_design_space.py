@@ -18,6 +18,13 @@ Run:  python examples/link_design_space.py
 
 from dataclasses import replace
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.analysis import (
     format_table,
     per_transfer_cycle_delay,
@@ -30,7 +37,7 @@ from repro.tech import scale_technology, st012
 
 def slice_width_sweep(tech) -> str:
     rows = []
-    for slice_width in (32, 16, 8, 4, 2, 1):
+    for slice_width in ((32, 8, 1) if FAST else (32, 16, 8, 4, 2, 1)):
         n_slices = 32 // slice_width
         timings = scaled_word_timings(tech.handshake, n_slices)
         i2 = per_transfer_cycle_delay(tech.handshake, n_slices, 4)
@@ -55,7 +62,8 @@ def slice_width_sweep(tech) -> str:
 def wire_length_sweep(tech) -> str:
     """Throughput vs wire length — where Tp starts to matter."""
     rows = []
-    for length_um in (0, 500, 1000, 2000, 4000, 8000):
+    for length_um in ((0, 1000, 8000) if FAST
+                      else (0, 500, 1000, 2000, 4000, 8000)):
         tp = tech.wire_delay_ps(length_um / 5)  # per segment (5 segments)
         timings = replace(tech.handshake, t_p_per_segment=tp)
         i2 = per_transfer_cycle_delay(timings, 4, 4)

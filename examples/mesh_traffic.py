@@ -14,6 +14,13 @@ estimated link power drawn from the Fig 12/13 model.
 Run:  python examples/mesh_traffic.py
 """
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.analysis import format_table, link_power_uw
 from repro.link.behavioral import derive_link_params
 from repro.noc import Topology, run_mesh_point
@@ -26,7 +33,9 @@ RATES = (0.05, 0.15, 0.25)
 
 def run_point(kind, rate, tech):
     params = derive_link_params(tech, kind, CLOCK_MHZ)
-    point = run_mesh_point(MESH, params, injection_rate=rate, cycles=2000)
+    cycles = 300 if FAST else 2000
+    point = run_mesh_point(MESH, params, injection_rate=rate,
+                           cycles=cycles)
     return {
         "throughput": point["throughput"],
         "latency": point["mean_latency"],

@@ -9,6 +9,13 @@ circuit simulation).
 Run:  python examples/power_report.py
 """
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.analysis import (
     buffer_sweep,
     format_table,
@@ -56,7 +63,9 @@ def breakdown_table(tech) -> str:
 def activity_table() -> str:
     rows = []
     for kind in ("I1", "I2", "I3"):
-        report = measure_link_activity(kind, n_buffers=4, n_flits=16)
+        report = measure_link_activity(
+            kind, n_buffers=4, n_flits=6 if FAST else 16
+        )
         groups = sorted(report.switched_by_group)
         rows.append(
             [kind]

@@ -9,6 +9,13 @@ promises: synchronous-link throughput on a quarter of the data wires.
 Run:  python examples/quickstart.py
 """
 
+import os
+
+#: CI smoke mode: REPRO_EXAMPLES_FAST=1 shrinks the workload so every
+#: example stays runnable (and run) on every push — see the examples
+#: job in .github/workflows/ci.yml
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
+
 from repro.analysis import format_table
 from repro.link import (
     LinkConfig,
@@ -20,7 +27,8 @@ from repro.link import (
 from repro.sim import Clock, Simulator
 
 
-def measure(kind_builder, label, mhz=300.0, n_flits=24):
+def measure(kind_builder, label, mhz=300.0, n_flits=None):
+    n_flits = n_flits or (8 if FAST else 24)
     sim = Simulator()
     clock = Clock.from_mhz(sim, mhz)
     link = kind_builder(sim, clock.signal, LinkConfig(n_buffers=4))

@@ -6,6 +6,9 @@ Subpackages
 -----------
 ``repro.sim``
     Discrete-event simulation kernel (signals, processes, clocks).
+``repro.design``
+    Hierarchical design API: Component/Port instance trees,
+    kernel-agnostic elaboration, path-addressed probing.
 ``repro.tech``
     Technology models; ``st012()`` is the calibrated 0.12 um instance.
 ``repro.elements``
@@ -24,10 +27,11 @@ Subpackages
 
 __version__ = "1.0.0"
 
-from . import sim, tech, elements, link, noc, analysis, experiments  # noqa: F401
+from . import sim, design, tech, elements, link, noc, analysis, experiments  # noqa: F401
 
 __all__ = [
     "sim",
+    "design",
     "tech",
     "elements",
     "link",

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro list                      # catalogue of scenarios
     python -m repro list --tags paper         # filter by tag
+    python -m repro list --verbose            # + full typed parameter specs
+    python -m repro inspect gals-mesh --tree  # scenario's instance tree
     python -m repro run                       # every paper table/figure
     python -m repro run fig12 table1          # just these (nothing else runs)
     python -m repro run --tags ablation       # the extension studies
@@ -96,6 +98,8 @@ def _select(
 def _cmd_list(args, parser) -> int:
     registry.load_builtin()
     scenarios = registry.find(tags=_parse_tags(args.tags))
+    if args.verbose:
+        return _list_verbose(scenarios)
     rows = []
     for sc in scenarios:
         swept = [p.name for p in sc.params if p.sweep]
@@ -111,6 +115,94 @@ def _cmd_list(args, parser) -> int:
         rows,
         title=f"{len(rows)} registered scenario(s)",
     ))
+    return 0
+
+
+def _list_verbose(scenarios) -> int:
+    """Full typed ParamSpec per scenario, so sweep grids can be
+    written without reading the experiment source."""
+    for sc in scenarios:
+        extras = []
+        if sc.has_design:
+            extras.append("design tree (see: inspect)")
+        if sc.fast_skip:
+            extras.append("incompatible with --fast")
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(f"{sc.id} — {sc.description}{suffix}")
+        if sc.tags:
+            print(f"  tags: {', '.join(sorted(sc.tags))}")
+        if not sc.params:
+            print("  (no parameters)\n")
+            continue
+        rows = []
+        for spec in sc.params:
+            rows.append([
+                spec.name,
+                spec.type.__name__,
+                spec.default,
+                ",".join(str(c) for c in spec.choices or ()) or "-",
+                ",".join(str(v) for v in spec.sweep) or "-",
+                spec.help or "-",
+            ])
+        table = format_table(
+            ("param", "type", "default", "choices", "sweep axis", "help"),
+            rows,
+        )
+        print("\n".join("  " + line for line in table.splitlines()))
+        if sc.fast_params:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sc.fast_params.items()
+            )
+            print(f"  fast-mode overrides: {pairs}")
+        print()
+    print(f"{len(scenarios)} registered scenario(s)")
+    return 0
+
+
+def _cmd_inspect(args, parser) -> int:
+    registry.load_builtin()
+    try:
+        sc = registry.get(args.scenario)
+    except registry.ScenarioError as exc:
+        parser.error(str(exc))
+    if not sc.has_design:
+        with_design = [s.id for s in registry.all_scenarios()
+                       if s.has_design]
+        parser.error(
+            f"scenario {sc.id!r} exposes no design tree; scenarios "
+            f"that do: {', '.join(with_design) or 'none'}"
+        )
+    overrides = {}
+    for raw in args.set or []:
+        name, eq, value = raw.partition("=")
+        if not eq:
+            parser.error(f"--set expects name=value, got {raw!r}")
+        try:
+            overrides[name.strip()] = sc.param(name.strip()).coerce(value)
+        except registry.ScenarioError as exc:
+            parser.error(str(exc))
+    try:
+        design = sc.design_for(overrides=overrides, fast=args.fast)
+    except (registry.ScenarioError, ValueError) as exc:
+        # covers DesignError (bad fault_paths) and config validation
+        # (e.g. n_buffers=0) from the scenario's design hook
+        parser.error(str(exc))
+    from .analysis.report import render_design_summary
+
+    n_instances = len(design.instances())
+    if args.tree:
+        print(design.tree(ports=not args.no_ports))
+    else:
+        print(render_design_summary(
+            design,
+            title=f"{sc.id}: {n_instances} instance(s)",
+        ))
+    if design.is_elaborated:
+        print(f"{n_instances} instance(s), "
+              f"{len(design.sim.created_signals)} net(s)")
+    else:
+        print(f"{n_instances} instance(s) (structural view, "
+              f"not elaborated onto a simulator)")
     return 0
 
 
@@ -504,6 +596,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_list = sub.add_parser("list", help="show registered scenarios")
     p_list.add_argument("--tags", help="comma-separated tag filter")
+    p_list.add_argument(
+        "--verbose", action="store_true",
+        help="print each scenario's full typed parameter spec "
+             "(name, type, default, choices, sweep axis)",
+    )
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="print a scenario's hierarchical design tree",
+    )
+    p_inspect.add_argument("scenario", metavar="SCENARIO")
+    p_inspect.add_argument(
+        "--tree", action="store_true",
+        help="ASCII instance tree instead of the summary table",
+    )
+    p_inspect.add_argument(
+        "--no-ports", action="store_true",
+        help="omit port declarations from the tree",
+    )
+    p_inspect.add_argument(
+        "--set", action="append", metavar="NAME=VALUE",
+        help="pin a scenario parameter (repeatable)",
+    )
+    p_inspect.add_argument(
+        "--fast", action="store_true",
+        help="apply fast-mode parameter overrides",
+    )
 
     p_run = sub.add_parser("run", help="execute scenarios")
     p_run.add_argument(
@@ -664,6 +783,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
+    if args.command == "inspect":
+        return _cmd_inspect(args, parser)
     if args.command == "run":
         return _cmd_run(args, parser)
     if args.command == "diff":

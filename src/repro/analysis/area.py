@@ -138,3 +138,99 @@ def table1(tech: Technology, n_buffers: int = 4) -> dict[str, float]:
 def table2(tech: Technology, n_buffers: int = 4) -> AreaBreakdown:
     """Table 2: the module-level breakdown of implementation I2."""
     return link_area(tech, "I2", n_buffers)
+
+
+# ----------------------------------------------------------------------
+# tree-walking area (hierarchy API)
+# ----------------------------------------------------------------------
+#: canonical Table 1/2 row order per link kind, as link_area() emits it
+_CANONICAL_ORDER = {
+    "I1": ("Synchronous buffer",),
+    "I2": (
+        "Synch to Asynch interface",
+        "Asynch 32 to 8 serializer",
+        "Asynch 8 wire buffer",
+        "Asynch 8 to 32 de-serializer",
+        "Asynch to Synch interface",
+    ),
+    "I3": (
+        "Synch to Asynch interface",
+        "Asynch 32 to 8 word serializer",
+        "Inverter repeater station",
+        "Asynch 8 to 32 word de-serializer",
+        "Asynch to Synch interface",
+    ),
+}
+
+
+def _tree_classifier(tech: Technology):
+    """(component class → (module label, unit area)) for tree walking."""
+    from ..elements.fourphase import WireBufferStage
+    from ..link.async_sync import AsyncToSyncInterface
+    from ..link.serializer import Deserializer, Serializer
+    from ..link.sync_async import SyncToAsyncInterface
+    from ..link.wiring import RepeatedWireBus
+    from ..link.word_level import WordDeserializer, WordSerializer
+
+    a = tech.areas
+    return (
+        (SyncToAsyncInterface, "Synch to Asynch interface", a.sync_to_async),
+        (AsyncToSyncInterface, "Asynch to Synch interface", a.async_to_sync),
+        (Serializer, "Asynch 32 to 8 serializer", a.serializer_i2),
+        (Deserializer, "Asynch 8 to 32 de-serializer", a.deserializer_i2),
+        (WireBufferStage, "Asynch 8 wire buffer", a.wire_buffer_i2),
+        (WordSerializer, "Asynch 32 to 8 word serializer", a.serializer_i3),
+        (WordDeserializer, "Asynch 8 to 32 word de-serializer",
+         a.deserializer_i3),
+        (RepeatedWireBus, "Inverter repeater station", a.wire_buffer_i3),
+    )
+
+
+def instance_area_rows(link, tech: Technology) -> list:
+    """Per-instance (path, module label, area µm²) rows for a built link.
+
+    Walks the link's instance tree instead of consulting a
+    hand-maintained module table: every component whose class maps to a
+    Table 1/2 module contributes one row at its own instance path.  The
+    synchronous pipeline (a single component holding ``n_buffers``
+    register stages) expands to one row per stage, matching the paper's
+    per-buffer accounting.
+    """
+    from ..link.sync_link import SyncPipelineLink
+
+    classifier = _tree_classifier(tech)
+    rows = []
+    for path, comp in link.walk():
+        if isinstance(comp, SyncPipelineLink):
+            for i in range(comp.n_buffers):
+                rows.append(
+                    (f"{path}.st{i}", "Synchronous buffer",
+                     tech.areas.sync_buffer)
+                )
+            continue
+        for cls, label, area in classifier:
+            if isinstance(comp, cls):
+                rows.append((path, label, area))
+                break
+    return rows
+
+
+def link_area_from_tree(link, tech: Technology) -> AreaBreakdown:
+    """Area breakdown derived by walking a built link's instance tree.
+
+    Pins against :func:`link_area`: same module labels, quantities and
+    total — but the quantities are *counted from the structure* (how
+    many wire-buffer stages were actually built) rather than assumed.
+    """
+    modules: Dict[str, float] = {}
+    quantities: Dict[str, int] = {}
+    for _path, label, area in instance_area_rows(link, tech):
+        modules[label] = area
+        quantities[label] = quantities.get(label, 0) + 1
+    order = _CANONICAL_ORDER.get(getattr(link, "kind", "").upper())
+    if order:
+        ordered = [label for label in order if label in modules]
+        ordered += [label for label in modules if label not in ordered]
+        modules = {label: modules[label] for label in ordered}
+        quantities = {label: quantities[label] for label in ordered}
+    return AreaBreakdown(modules=modules, quantities=quantities)

@@ -193,3 +193,68 @@ def measure_link_activity(
         switched_by_group=switched,
         transitions_by_group=transitions,
     )
+
+
+# ----------------------------------------------------------------------
+# tree-walking activity (hierarchy API)
+# ----------------------------------------------------------------------
+def activity_by_instance(
+    root,
+    sim,
+    energy_per_transition_fj: float = 1.0,
+) -> list:
+    """Per-instance switched activity, walking the design tree.
+
+    Returns pre-order rows ``(path, depth, class_name, n_nets,
+    transitions, switched_fj)`` where the counts cover the nets each
+    instance *itself* created (children report their own).  Testbench
+    nets owned by no instance are appended under path ``""``.
+    """
+    from ..design.design import Design
+
+    def tally(nets):
+        transitions = sum(sig.rising + sig.falling for sig in nets)
+        switched = sum(
+            (sig.rising + sig.falling) * sig.cap_ff
+            * energy_per_transition_fj
+            for sig in nets
+        )
+        return transitions, switched
+
+    design = Design(root, sim)
+    grouped = design.nets_by_instance()
+    rows = []
+    for path, comp in root.walk():
+        nets = grouped.pop(path, [])
+        transitions, switched = tally(nets)
+        rows.append((
+            path, comp.tree_depth, type(comp).__name__,
+            len(nets), transitions, switched,
+        ))
+    leftovers = [sig for nets in grouped.values() for sig in nets]
+    if leftovers:
+        transitions, switched = tally(leftovers)
+        rows.append(
+            ("", 0, "-", len(leftovers), transitions, switched)
+        )
+    return rows
+
+
+def subtree_activity(rows: list) -> dict:
+    """Roll :func:`activity_by_instance` rows up into subtree totals.
+
+    Returns ``{path: (transitions, switched_fj)}`` where every
+    instance's total includes all of its descendants.
+    """
+    totals = {path: [0, 0.0] for path, *_rest in rows}
+    for path, _depth, _cls, _nets, transitions, switched in rows:
+        candidate = path
+        while True:
+            if candidate in totals:
+                totals[candidate][0] += transitions
+                totals[candidate][1] += switched
+            cut = candidate.rfind(".")
+            if cut < 0:
+                break
+            candidate = candidate[:cut]
+    return {path: (t, s) for path, (t, s) in totals.items()}

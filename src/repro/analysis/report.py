@@ -61,6 +61,65 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+# ----------------------------------------------------------------------
+# per-instance breakdowns (hierarchy API)
+# ----------------------------------------------------------------------
+def format_instance_breakdown(
+    rows: Sequence[Sequence[object]],
+    headers: Sequence[str],
+    title: Optional[str] = None,
+    indent_by_depth: bool = True,
+) -> str:
+    """Fixed-width per-instance table with tree indentation.
+
+    ``rows`` lead with ``(path, depth, ...)``; the path column is
+    indented two spaces per tree level so the table reads as the
+    instance hierarchy, and the depth column itself is dropped.
+    """
+    rendered = []
+    for row in rows:
+        path, depth, *rest = row
+        label = str(path) if path else "(testbench)"
+        if indent_by_depth:
+            label = "  " * int(depth) + (label.rsplit(".", 1)[-1]
+                                         if path else label)
+        rendered.append([label, *rest])
+    return format_table(headers, rendered, title=title)
+
+
+def design_summary_rows(design) -> list:
+    """(path, depth, class, children, ports, nets) rows for a design.
+
+    Works on described *and* elaborated designs (net counts are only
+    available after elaboration); duck-typed on
+    :class:`repro.design.Design`.
+    """
+    nets = design.nets_by_instance() if design.is_elaborated else {}
+    rows = []
+    for path, comp in design.top.walk():
+        ports = ", ".join(
+            f"{p.name}:{p.direction}" for p in comp.ports.values()
+        )
+        rows.append([
+            path,
+            comp.tree_depth,
+            type(comp).__name__,
+            len(comp.children),
+            ports or "-",
+            len(nets.get(path, ())) if nets else "-",
+        ])
+    return rows
+
+
+def render_design_summary(design, title: Optional[str] = None) -> str:
+    """The ``repro inspect`` table: one row per instance."""
+    return format_instance_breakdown(
+        design_summary_rows(design),
+        ("instance", "class", "children", "ports", "nets"),
+        title=title,
+    )
+
+
 def relative_error(measured: float, reference: float) -> float:
     """Signed relative error (measured - reference) / reference."""
     if reference == 0:

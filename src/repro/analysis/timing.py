@@ -147,3 +147,56 @@ def link_upper_bound_mflits(
     else:
         raise ValueError(f"unknown link kind {kind!r}")
     return min(freq_mhz, ceiling)
+
+
+# ----------------------------------------------------------------------
+# tree-walking timing (hierarchy API)
+# ----------------------------------------------------------------------
+def link_timing_from_tree(link, tech: Technology) -> ThroughputEstimate:
+    """Cycle-delay estimate with every count read off the built tree.
+
+    The analytical models take slice and buffer counts as parameters;
+    here they are *derived from the structure* — how many wire-buffer
+    stages / repeater stations the link actually instantiated, and the
+    serializer's real slicing factor — so the estimate can never drift
+    from the netlist.  The synchronous link has no serial cycle delay
+    and raises ``ValueError``.
+    """
+    from ..elements.fourphase import WireBufferStage
+    from ..link.serializer import Serializer
+    from ..link.wiring import RepeatedWireBus
+    from ..link.word_level import WordSerializer
+
+    serializer = word_serializer = None
+    n_wire_buffers = n_stations = 0
+    inverters_per_station = 2
+    for _path, comp in link.walk():
+        if isinstance(comp, Serializer):
+            serializer = comp
+        elif isinstance(comp, WordSerializer):
+            word_serializer = comp
+        elif isinstance(comp, WireBufferStage):
+            n_wire_buffers += 1
+        elif isinstance(comp, RepeatedWireBus):
+            n_stations += 1
+            inverters_per_station = comp.n_inverters
+    if word_serializer is not None:
+        timings = scaled_word_timings(
+            tech.handshake, word_serializer.n_slices
+        )
+        return per_word_cycle_delay(
+            timings,
+            n_slices=word_serializer.n_slices,
+            n_buffers=max(1, n_stations),
+            inverters_per_station=inverters_per_station,
+        )
+    if serializer is not None:
+        return per_transfer_cycle_delay(
+            tech.handshake,
+            n_slices=serializer.n_slices,
+            n_buffers=max(1, n_wire_buffers),
+        )
+    raise ValueError(
+        f"{getattr(link, 'name', link)!r} has no serializer: the "
+        "synchronous link is clock-bound (use sync_link_throughput)"
+    )

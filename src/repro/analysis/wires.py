@@ -92,3 +92,40 @@ def fig10_series(
         for b in bandwidths_mflits
     ]
     return series
+
+
+# ----------------------------------------------------------------------
+# tree-walking wire inventory (hierarchy API)
+# ----------------------------------------------------------------------
+def link_wire_count_from_tree(link) -> int:
+    """Physical switch-to-switch wires, read off the instance tree.
+
+    The serial links carry ``slice_width`` data wires plus the
+    request/valid + acknowledge pair; the synchronous pipeline carries
+    the full flit width.  Counted from the built structure (the
+    serializer's narrow output channel) rather than from the config —
+    pins against ``LinkInstance.wire_count``.
+    """
+    from ..link.serializer import Serializer
+    from ..link.sync_link import SyncPipelineLink
+    from ..link.word_level import WordSerializer
+
+    for _path, comp in link.walk():
+        if isinstance(comp, (Serializer, WordSerializer)):
+            return comp.out_ch.width + 2
+        if isinstance(comp, SyncPipelineLink):
+            return comp.width
+    raise ValueError(
+        f"no serializer or pipeline found under {link.name!r}: "
+        "not a built link tree"
+    )
+
+
+def wire_count_by_instance(root, sim) -> dict:
+    """Number of created nets per owning instance path (wire inventory)."""
+    from ..design.design import Design
+
+    return {
+        path: len(nets)
+        for path, nets in Design(root, sim).nets_by_instance().items()
+    }

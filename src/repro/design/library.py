@@ -1,0 +1,104 @@
+"""Declarative wrappers over the gate-level link library.
+
+:class:`LinkBench` is the design-API description of the paper's
+measurement setup: a switch clock (optionally a second receive-side
+clock for GALS operation) and one of the three link implementations.
+Nothing is built until :meth:`~repro.design.component.Component.elaborate`
+runs, and elaboration goes through the simulator construction factories,
+so the identical description builds bit-identically on the optimized
+kernel and on the frozen seed kernel — the differential test in
+``tests/test_design.py`` pins the traces and VCD of a design-built I3
+testbench against the legacy construction path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..link.assemblies import LinkConfig, build_i1, build_i2, build_i3
+from ..tech.st012 import st012
+from .component import Component
+from .design import Design
+
+_BUILDERS = {"I1": build_i1, "I2": build_i2, "I3": build_i3}
+
+
+class LinkBench(Component):
+    """Clock(s) + one link implementation, described declaratively.
+
+    Elaboration reproduces the legacy construction sequence exactly
+    (clock first, then the link builder under its historical instance
+    name), so a design-built link is indistinguishable — net for net,
+    event for event — from one built by calling the builders directly.
+    """
+
+    def __init__(
+        self,
+        kind: str = "I3",
+        config: Optional[LinkConfig] = None,
+        tech=None,
+        freq_mhz: float = 300.0,
+        rx_mhz: Optional[float] = None,
+        rx_start_delay_ps: int = 0,
+        clock_cls=None,
+        name: str = "tb",
+    ) -> None:
+        super().__init__(name)
+        key = kind.upper()
+        if key not in _BUILDERS:
+            raise ValueError(
+                f"unknown link kind {kind!r}; expected I1/I2/I3"
+            )
+        self.kind = key
+        self.config = config or LinkConfig()
+        self.tech = tech
+        self.freq_mhz = freq_mhz
+        self.rx_mhz = rx_mhz
+        self.rx_start_delay_ps = rx_start_delay_ps
+        self._clock_cls = clock_cls
+        self.clock = None
+        self.rx_clock = None
+        self.link = None
+
+    def build(self, sim) -> None:
+        clock_cls = self._clock_cls
+        if clock_cls is None:
+            from ..sim.clock import Clock as clock_cls  # noqa: N813
+        self.clock = clock_cls.from_mhz(sim, self.freq_mhz, "clk")
+        kwargs = {}
+        if self.rx_mhz is not None:
+            if self.kind == "I1":
+                raise ValueError(
+                    "the synchronous link I1 cannot take a second "
+                    "receive clock (GALS needs I2/I3)"
+                )
+            self.rx_clock = clock_cls.from_mhz(
+                sim, self.rx_mhz, "rxclk",
+                start_delay_ps=self.rx_start_delay_ps,
+            )
+            kwargs["rx_clk"] = self.rx_clock.signal
+        tech = self.tech or st012()
+        self.link = _BUILDERS[self.kind](
+            sim, self.clock.signal, self.config, tech, **kwargs
+        )
+        self.adopt(self.link, leaf=self.link.name)
+
+
+def link_design(
+    kind: str = "I3",
+    config: Optional[LinkConfig] = None,
+    tech=None,
+    freq_mhz: float = 300.0,
+    rx_mhz: Optional[float] = None,
+    sim=None,
+    **kwargs,
+) -> Design:
+    """Describe (and optionally elaborate) a link testbench design."""
+    bench = LinkBench(
+        kind=kind, config=config, tech=tech, freq_mhz=freq_mhz,
+        rx_mhz=rx_mhz, **kwargs,
+    )
+    design = Design(bench)
+    if sim is not None:
+        design.elaborate(sim)
+    return design

@@ -1,0 +1,158 @@
+"""Structural view of a behavioural NoC mesh: path-addressable links.
+
+The cycle-level NoC kernel (:mod:`repro.noc`) identifies a directed
+link by a raw ``((x, y), Port)`` tuple.  :class:`MeshDesign` lifts that
+namespace into the hierarchy API: every switch becomes an instance
+``node[y][x]`` and every outgoing link a leaf instance
+``node[y][x].east`` (etc.), so fault campaigns and clock-domain
+assignment can address the mesh by structural path —
+``mesh.find("node[1][2].east")`` — instead of coordinate tuples, and
+``repro inspect gals-mesh --tree`` can print the whole machine.
+
+The design is pure structure (the behavioural kernel owns the
+simulation); per-link parameter overrides attached to the tree are
+handed to ``Network(link_params_for=...)`` via
+:meth:`MeshDesign.link_params_for`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..noc.topology import Port as NocPort
+from ..noc.topology import Topology
+from .component import Component, DesignError
+
+Coord = Tuple[int, int]
+
+
+class MeshLink(Component):
+    """One directed inter-switch link (a leaf of the mesh tree)."""
+
+    def __init__(self, src: Coord, port: NocPort, dst: Coord,
+                 name: str) -> None:
+        super().__init__(name)
+        self.src = src
+        self.noc_port = port
+        self.dst = dst
+        #: behavioural parameter override (None = the mesh default)
+        self.params = None
+        #: free-form condition tag ("degraded", "cross-domain", ...)
+        self.tag: Optional[str] = None
+
+    def _label(self, ports: bool) -> str:
+        label = super()._label(ports)
+        if self.tag:
+            label += f"  [{self.tag}]"
+        return label
+
+
+class MeshNode(Component):
+    """One switch of the mesh; children are its outgoing links."""
+
+    def __init__(self, coord: Coord, name: str) -> None:
+        super().__init__(name)
+        self.x, self.y = coord
+        self.coord = coord
+        #: clock-domain label assigned by the scenario ("fast"/"slow"/...)
+        self.domain: str = "default"
+
+    def _label(self, ports: bool) -> str:
+        label = super()._label(ports)
+        if self.domain != "default":
+            label += f"  [domain: {self.domain}]"
+        return label
+
+
+class MeshDesign(Component):
+    """The instance tree of an ``NxM`` mesh over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, name: str = "mesh") -> None:
+        super().__init__(name)
+        self.topology = topology
+        self._nodes: Dict[Coord, MeshNode] = {}
+        self._links: Dict[Tuple[Coord, NocPort], MeshLink] = {}
+        for coord in topology.nodes():
+            x, y = coord
+            node = MeshNode(coord, f"node[{y}][{x}]")
+            self.add(node.name, node)
+            self._nodes[coord] = node
+        for src, port, dst in topology.links():
+            link = MeshLink(src, port, dst, port.name.lower())
+            self._nodes[src].add(link.name, link)
+            self._links[(src, port)] = link
+
+    # ------------------------------------------------------------------
+    # addressing
+    # ------------------------------------------------------------------
+    def node_at(self, coord: Coord) -> MeshNode:
+        try:
+            return self._nodes[coord]
+        except KeyError:
+            raise DesignError(
+                f"no node at {coord} in a "
+                f"{self.topology.cols}x{self.topology.rows} mesh"
+            ) from None
+
+    def link_at(self, src: Coord, port: NocPort) -> MeshLink:
+        try:
+            return self._links[(src, port)]
+        except KeyError:
+            raise DesignError(
+                f"no directed link out of {src} through {port}"
+            ) from None
+
+    def link_path(self, src: Coord, port: NocPort) -> str:
+        """The instance path of a directed link, relative to the mesh."""
+        link = self.link_at(src, port)
+        x, y = src
+        return f"node[{y}][{x}].{link.name}"
+
+    def links(self) -> Iterator[MeshLink]:
+        return iter(self._links.values())
+
+    def link_by_path(self, path: str) -> MeshLink:
+        """Resolve a relative path like ``node[1][2].east`` to its link."""
+        found = self.find(path)
+        if not isinstance(found, MeshLink):
+            raise DesignError(
+                f"{path!r} names a {type(found).__name__}, not a mesh link"
+            )
+        return found
+
+    # ------------------------------------------------------------------
+    # campaign hooks
+    # ------------------------------------------------------------------
+    def degrade(self, path: str, params, tag: str = "degraded"
+                ) -> MeshLink:
+        """Attach a behavioural override to the link at ``path``."""
+        link = self.link_by_path(path)
+        link.params = params
+        link.tag = tag
+        return link
+
+    def assign_domains(
+        self, classify: Callable[[MeshNode], str]
+    ) -> Dict[str, int]:
+        """Label every node's clock domain; returns per-domain counts."""
+        counts: Dict[str, int] = {}
+        for node in self._nodes.values():
+            node.domain = classify(node)
+            counts[node.domain] = counts.get(node.domain, 0) + 1
+        return counts
+
+    def cross_domain_links(self) -> List[MeshLink]:
+        """Links whose endpoints sit in different clock domains."""
+        return [
+            link for link in self._links.values()
+            if self._nodes[link.src].domain != self._nodes[link.dst].domain
+        ]
+
+    def link_params_for(self) -> Callable:
+        """The ``Network(link_params_for=...)`` hook reading the tree."""
+
+        def params_for(src: Coord, port: NocPort, _dst: Coord):
+            link = self._links.get((src, port))
+            return link.params if link is not None else None
+
+        return params_for

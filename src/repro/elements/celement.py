@@ -17,12 +17,13 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Signal
 from ..tech.technology import GateDelays
 
 
-class CElement:
+class CElement(Component):
     """n-input Muller C-element with optional input bubbles and reset.
 
     ``invert`` is a per-input tuple; an inverted input contributes its
@@ -44,6 +45,7 @@ class CElement:
     ) -> None:
         if not inputs:
             raise ValueError(f"C-element {name!r} needs at least one input")
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.inputs = list(inputs)
@@ -66,6 +68,11 @@ class CElement:
         if reset is not None:
             reset.on_change(self._on_reset)
         sim.schedule(0, lambda: self._on_input(self.inputs[0]))
+        for i, sig in enumerate(self.inputs):
+            self.expose(f"in{i}", sig, "in")
+        self.expose("z", self.output, "out")
+        if reset is not None:
+            self.expose("reset", reset, "in")
 
     def _effective(self) -> list[int]:
         return [

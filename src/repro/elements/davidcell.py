@@ -25,12 +25,13 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Signal
 from ..tech.technology import GateDelays
 
 
-class DavidCell:
+class DavidCell(Component):
     """Set/clear token cell with David-cell delay semantics."""
 
     def __init__(
@@ -42,6 +43,7 @@ class DavidCell:
         delays: Optional[GateDelays] = None,
         name: str = "dc",
     ) -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.set_in = set_in
@@ -52,6 +54,10 @@ class DavidCell:
         self.q_to_prev = sim.signal(f"{name}.o1", init=init)
         set_in.on_change(self._on_set)
         clear_in.on_change(self._on_clear)
+        self.expose("set", set_in, "in")
+        self.expose("clear", clear_in, "in")
+        self.expose("q", self.q, "out")
+        self.expose("o1", self.q_to_prev, "out")
 
     def _on_set(self, sig: Signal) -> None:
         # set dominates only on its rising edge while the cell is clear
@@ -65,7 +71,7 @@ class DavidCell:
             self.q_to_prev.drive(0, self.delay + 1, inertial=True)
 
 
-class OneHotSequencer:
+class OneHotSequencer(Component):
     """A ring of David cells forming a 1-hot counter.
 
     ``sel[i]`` is the token output of cell *i*; at reset the token sits in
@@ -90,6 +96,7 @@ class OneHotSequencer:
     ) -> None:
         if n < 2:
             raise ValueError(f"sequencer needs >= 2 cells, got {n}")
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.n = n
@@ -113,6 +120,9 @@ class OneHotSequencer:
         # successor activation clears predecessor
         for i in range(n):
             self.cells[i].q.on_change(self._make_clear_prev(i))
+        for cell in self.cells:
+            self.adopt(cell)
+        self.expose("advance", self.advance, "in")
 
     # ------------------------------------------------------------------
     @property

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
@@ -28,7 +29,7 @@ from .latches import LatchBus
 from .gates import Inverter
 
 
-class SimpleLatchController:
+class SimpleLatchController(Component):
     """The simple (undecoupled) four-phase latch controller.
 
     Ports follow the paper's naming: ``req_in``/``ack_out`` face the
@@ -45,6 +46,7 @@ class SimpleLatchController:
         name: str = "lc",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.req_in = req_in
@@ -72,9 +74,15 @@ class SimpleLatchController:
         self.latch_enable = sim.signal(f"{name}.le", init=1, cap_ff=8.0)
         self._inv = Inverter(sim, self.ctl, self.latch_enable, delays,
                              f"{name}.inv")
+        self.adopt(self._c)
+        self.adopt(self._inv)
+        self.expose("req_in", req_in, "in")
+        self.expose("ack_in", ack_in, "in")
+        self.expose("ctl", self.ctl, "out")
+        self.expose("latch_enable", self.latch_enable, "out")
 
 
-class WireBufferStage:
+class WireBufferStage(Component):
     """A complete buffered pipeline stage: controller + data latch.
 
     This is one ``BUF`` box of the paper's Fig 9 (I2 row): an n-bit
@@ -93,6 +101,8 @@ class WireBufferStage:
         name: str = "wbuf",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
+        self.sim = sim
         self.controller = SimpleLatchController(
             sim, req_in, ack_in, delays, ctl_delay_ps, f"{name}.lc"
         )
@@ -109,3 +119,11 @@ class WireBufferStage:
         )
         self.req_out = self.controller.req_out
         self.ack_out = self.controller.ack_out
+        self.adopt(self.controller)
+        self.adopt(self._latch)
+        self.expose("data_in", data_in, "in")
+        self.expose("req_in", req_in, "in")
+        self.expose("ack_in", ack_in, "in")
+        self.expose("data_out", self.data_out, "out")
+        self.expose("req_out", self.req_out, "out")
+        self.expose("ack_out", self.ack_out, "out")

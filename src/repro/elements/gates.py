@@ -13,12 +13,13 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
 
 
-class Gate:
+class Gate(Component):
     """Base combinational gate: output = f(inputs) after ``delay`` ps.
 
     The evaluation closure is compiled once per gate for its exact input
@@ -39,6 +40,7 @@ class Gate:
     ) -> None:
         if not inputs:
             raise ValueError(f"gate {name!r} needs at least one input")
+        Component.__init__(self, name)
         self.sim = sim
         self.inputs = list(inputs)
         self.output = output
@@ -51,6 +53,9 @@ class Gate:
             sig.on_change(on_input)
         # settle the output to match the initial inputs
         sim.schedule(0, self._on_input_initial)
+        for i, sig in enumerate(self.inputs):
+            self.expose(f"in{i}", sig, "in")
+        self.expose("out", self.output, "out")
 
     def _compile(self) -> Callable[[], int]:
         """Specialize the eval closure for this gate's input arity."""
@@ -151,7 +156,7 @@ class Mux2(Gate):
                          lambda a, b, sel: b if sel else a, delays.mux2, name)
 
 
-class OneHotMux:
+class OneHotMux(Component):
     """Word-wide one-hot multiplexer: ``out = inputs[i]`` where ``sel[i]``.
 
     This is the slice selector of the paper's serializers (Fig 6a / 8a):
@@ -179,6 +184,7 @@ class OneHotMux:
         widths = {bus.width for bus in inputs}
         if widths != {out.width}:
             raise ValueError(f"{name}: input/output widths differ: {widths}")
+        Component.__init__(self, name)
         self.sim = sim
         self.inputs = list(inputs)
         self.sel = list(sel)
@@ -192,6 +198,10 @@ class OneHotMux:
             sig.on_change(update)
         for bus in self.inputs:
             bus.on_change(update)
+        for i, (sel_sig, bus) in enumerate(zip(self.sel, self.inputs)):
+            self.expose(f"sel{i}", sel_sig, "in")
+            self.expose(f"in{i}", bus, "in")
+        self.expose("out", self.out, "out")
 
     def _update(self, _sig: Signal) -> None:
         for sel_sig, bus in self._taps:

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
 
 
-class DLatch:
+class DLatch(Component):
     """Transparent-high D latch: Q follows D while G=1, holds while G=0."""
 
     def __init__(
@@ -37,6 +38,7 @@ class DLatch:
         name: str = "lat",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.d = d
@@ -46,6 +48,9 @@ class DLatch:
         self._en_delay = delays.latch_en
         d.on_change(self._on_d)
         g.on_change(self._on_g)
+        self.expose("d", d, "in")
+        self.expose("g", g, "in")
+        self.expose("q", self.q, "out")
 
     def _on_d(self, _sig: Signal) -> None:
         if self.g._value:
@@ -56,7 +61,7 @@ class DLatch:
             self.q.drive(self.d._value, self._en_delay, inertial=True)
 
 
-class LatchBus:
+class LatchBus(Component):
     """A word of transparent-high latches sharing one enable."""
 
     def __init__(
@@ -68,6 +73,8 @@ class LatchBus:
         delays: Optional[GateDelays] = None,
         name: str = "latbus",
     ) -> None:
+        Component.__init__(self, name)
+        self.sim = sim
         self.q = q if q is not None else sim.bus(d.width, f"{name}.q")
         if self.q.width != d.width:
             raise ValueError(
@@ -77,9 +84,14 @@ class LatchBus:
             DLatch(sim, d[i], g, self.q[i], delays, f"{name}.b{i}")
             for i in range(d.width)
         ]
+        for latch in self.latches:
+            self.adopt(latch)
+        self.expose("d", d, "in")
+        self.expose("g", g, "in")
+        self.expose("q", self.q, "out")
 
 
-class DFlipFlop:
+class DFlipFlop(Component):
     """Positive-edge D flip-flop with optional asynchronous clear."""
 
     def __init__(
@@ -93,6 +105,7 @@ class DFlipFlop:
         name: str = "dff",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.d = d
@@ -103,6 +116,11 @@ class DFlipFlop:
         clk.on_change(self._on_clk)
         if clear is not None:
             clear.on_change(self._on_clear)
+        self.expose("d", d, "in")
+        self.expose("clk", clk, "in")
+        self.expose("q", self.q, "out")
+        if clear is not None:
+            self.expose("clear", clear, "in")
 
     def _on_clk(self, sig: Signal) -> None:
         if not sig._value:
@@ -116,7 +134,7 @@ class DFlipFlop:
             self.q.drive(0, self._clk_q, inertial=True)
 
 
-class RegisterBus:
+class RegisterBus(Component):
     """A word of positive-edge flip-flops with a shared write enable.
 
     Models the FIFO registers of Fig 4: on the clock edge, if
@@ -134,6 +152,7 @@ class RegisterBus:
         name: str = "reg",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.d = d
@@ -146,13 +165,17 @@ class RegisterBus:
             )
         self._clk_q = delays.dff_clk_q
         clk.on_change(self._on_clk)
+        self.expose("d", d, "in")
+        self.expose("clk", clk, "in")
+        self.expose("enable", enable, "in")
+        self.expose("q", self.q, "out")
 
     def _on_clk(self, sig: Signal) -> None:
         if sig._value and self.enable._value:
             self.q.drive(self.d.value, self._clk_q, inertial=True)
 
 
-class FlagSynchronizer:
+class FlagSynchronizer(Component):
     """The per-register flag of Fig 4 (and its mirror in Fig 5).
 
     The flag is *set* by the synchronous write (``wr_en`` sampled on the
@@ -179,6 +202,7 @@ class FlagSynchronizer:
         name: str = "flag",
     ) -> None:
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.clk = clk
@@ -190,6 +214,11 @@ class FlagSynchronizer:
         self._clk_q = delays.dff_clk_q
         clk.on_change(self._on_clk)
         clear.on_change(self._on_clear)
+        self.expose("clk", clk, "in")
+        self.expose("wr_en", wr_en, "in")
+        self.expose("clear", clear, "in")
+        self.expose("flag_a", self.flag_a, "out")
+        self.expose("flag_s", self.flag_s, "out")
 
     def _on_clk(self, sig: Signal) -> None:
         if not sig._value:

@@ -19,12 +19,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Signal
 from ..tech.technology import GateDelays
 
 
-class RingOscillator:
+class RingOscillator(Component):
     """A gated inverter-ring oscillator.
 
     Parameters
@@ -51,6 +52,7 @@ class RingOscillator:
                 f"a ring oscillator needs an odd stage count >= 3, got {stages}"
             )
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.enable = enable
@@ -68,6 +70,8 @@ class RingOscillator:
             raise ValueError("ring oscillator half period must be >= 1 ps")
         self._running = False
         enable.on_change(self._on_enable)
+        self.expose("enable", enable, "in")
+        self.expose("out", self.out, "out")
 
     @property
     def period_ps(self) -> int:

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
 
 
-class SliceShiftRegister:
+class SliceShiftRegister(Component):
     """Shifts ``slice_in`` into a ``depth``-stage word register.
 
     On each rising edge of ``shift`` every stage captures its
@@ -44,6 +45,7 @@ class SliceShiftRegister:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.slice_in = slice_in
@@ -56,6 +58,8 @@ class SliceShiftRegister:
         self._clk_q = delays.dff_clk_q
         self.pulses_seen = 0
         shift.on_change(self._on_shift)
+        self.expose("slice_in", slice_in, "in")
+        self.expose("shift", shift, "in")
 
     def _on_shift(self, sig: Signal) -> None:
         if not sig._value:
@@ -81,7 +85,7 @@ class SliceShiftRegister:
         return total
 
 
-class PulseShiftRegister:
+class PulseShiftRegister(Component):
     """The one-bit completion tracker of Fig 8b.
 
     A single '1' is injected at the head when a word transfer starts; each
@@ -102,6 +106,7 @@ class PulseShiftRegister:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.depth = depth
@@ -111,6 +116,9 @@ class PulseShiftRegister:
         self._armed = True
         shift.on_change(self._on_shift)
         clear.on_change(self._on_clear)
+        self.expose("shift", shift, "in")
+        self.expose("clear", clear, "in")
+        self.expose("done", self.done, "out")
 
     def _on_shift(self, sig: Signal) -> None:
         if not sig._value:

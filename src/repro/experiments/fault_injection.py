@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..design import Design, MeshDesign
 from ..link.behavioral import BehavioralLinkParams, derive_link_params
 from ..noc import Topology, run_mesh_point
 from ..runner.registry import ParamSpec, scenario
@@ -54,6 +55,60 @@ def pick_faulty_links(
     rng = random.Random(fault_seed)
     count = min(n_faults, len(all_links))
     return set(rng.sample(all_links, count)) if count else set()
+
+
+def pick_faulty_paths(
+    mesh: MeshDesign,
+    n_faults: int,
+    fault_seed: int,
+) -> List[str]:
+    """The seeded fault sites as instance paths (``node[y][x].east``)."""
+    faulty = pick_faulty_links(mesh.topology, n_faults, fault_seed)
+    return sorted(mesh.link_path(src, port) for src, port in faulty)
+
+
+def parse_fault_paths(raw: str) -> List[str]:
+    """Split a comma-separated ``fault_paths`` parameter value."""
+    return [p.strip() for p in str(raw).split(",") if p.strip()]
+
+
+def build_design(
+    tech: Optional[Technology] = None,
+    mesh_size: int = 4,
+    n_faults: int = 3,
+    rate_factor: float = 0.5,
+    latency_penalty: int = 4,
+    kind: str = "I3",
+    freq_mhz: float = 300.0,
+    fault_seed: int = 13,
+    fault_paths: str = "",
+    **_ignored,
+) -> Design:
+    """The campaign's structural view: a mesh tree with the degraded
+    links attached at their instance paths (the ``repro inspect
+    fault-injection --tree`` payload and the scenario's own wiring)."""
+    if not (0.0 < rate_factor <= 1.0):
+        raise ValueError(
+            f"rate_factor must be in (0, 1], got {rate_factor}"
+        )
+    if latency_penalty < 0:
+        raise ValueError(
+            f"latency_penalty must be >= 0, got {latency_penalty}"
+        )
+    tech = resolve_tech(tech)
+    mesh = MeshDesign(Topology(mesh_size, mesh_size))
+    base = derive_link_params(tech, kind, freq_mhz)
+    slow = degraded_params(base, rate_factor, latency_penalty)
+    paths = (
+        parse_fault_paths(fault_paths)
+        if fault_paths
+        else pick_faulty_paths(mesh, n_faults, fault_seed)
+    )
+    for path in paths:
+        mesh.degrade(path, slow)
+    mesh.base_params = base
+    mesh.fault_paths = paths
+    return Design(mesh)
 
 
 @scenario(
@@ -102,8 +157,15 @@ def pick_faulty_links(
         ParamSpec("seed", int, 2008),
         ParamSpec("fault_seed", int, 13,
                   help="seed of the fault-site sampler"),
+        ParamSpec(
+            "fault_paths", str, "",
+            help="explicit fault sites as comma-separated instance "
+                 "paths (node[y][x].east,...); overrides the seeded "
+                 "sampler",
+        ),
     ),
     fast_params={"cycles": 200},
+    design=build_design,
 )
 def run(
     tech: Optional[Technology] = None,
@@ -118,23 +180,23 @@ def run(
     cycles: int = 800,
     seed: int = 2008,
     fault_seed: int = 13,
+    fault_paths: str = "",
 ) -> ExperimentResult:
-    if not (0.0 < rate_factor <= 1.0):
-        raise ValueError(
-            f"rate_factor must be in (0, 1], got {rate_factor}"
-        )
-    if latency_penalty < 0:
-        raise ValueError(
-            f"latency_penalty must be >= 0, got {latency_penalty}"
-        )
-    tech = resolve_tech(tech)
-    topology = Topology(mesh_size, mesh_size)
-    base = derive_link_params(tech, kind, freq_mhz)
-    faulty = pick_faulty_links(topology, n_faults, fault_seed)
-    slow = degraded_params(base, rate_factor, latency_penalty)
-
-    def link_params_for(src, port, dst):
-        return slow if (src, port) in faulty else None
+    # the structural view owns the fault sites (build_design resolves
+    # tech and validates rate_factor/latency_penalty for both entry
+    # points): links are addressed by
+    # instance path and the kernel hook reads the tree
+    design = build_design(
+        tech=tech, mesh_size=mesh_size, n_faults=n_faults,
+        rate_factor=rate_factor, latency_penalty=latency_penalty,
+        kind=kind, freq_mhz=freq_mhz, fault_seed=fault_seed,
+        fault_paths=fault_paths,
+    )
+    mesh = design.top
+    topology = mesh.topology
+    base = mesh.base_params
+    faulty = mesh.fault_paths
+    link_params_for = mesh.link_params_for()
 
     common = dict(
         injection_rate=injection_rate,
@@ -195,6 +257,7 @@ def run(
             f"{len(faulty)} degraded link(s) "
             f"(rate x{rate_factor:g}, +{latency_penalty} cycles), "
             f"{routing} routing at {injection_rate} flit/node/cycle"
+            + (f"; fault sites: {', '.join(faulty)}" if faulty else "")
         ),
         headers=headers,
         rows=rows,

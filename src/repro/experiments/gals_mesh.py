@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from ..design import Design, MeshDesign
 from ..link.behavioral import BehavioralLinkParams, derive_link_params
 from ..noc import Topology, run_mesh_point
 from ..runner.registry import ParamSpec, scenario
@@ -35,6 +36,52 @@ from .common import Check, ExperimentResult, resolve_tech
 
 #: load axis, matching the other traffic extension sweeps
 _RATE_AXIS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+def build_design(
+    tech: Optional[Technology] = None,
+    mesh_size: int = 4,
+    kind: str = "I3",
+    fast_mhz: float = 400.0,
+    slow_mhz: float = 200.0,
+    **_ignored,
+) -> Design:
+    """The mixed-clock mesh as a structural tree: every node carries
+    its clock-domain label, every link touching the slow domain its
+    rescaled behavioural parameters (``repro inspect gals-mesh``)."""
+    if fast_mhz <= 0 or slow_mhz <= 0:
+        raise ValueError("clock frequencies must be positive")
+    tech = resolve_tech(tech)
+    mesh = MeshDesign(Topology(mesh_size, mesh_size))
+    split_col = mesh_size // 2  # nodes with x < split_col are "fast"
+    mesh.assign_domains(
+        lambda node: "slow" if node.x >= split_col else "fast"
+    )
+    base = derive_link_params(tech, kind, fast_mhz)
+    # simulation cycle = fast clock; links touching the slow domain run
+    # at the clock ratio (never above 1: a "slow" domain faster than
+    # the fast one degenerates to a uniform mesh)
+    ratio = min(1.0, slow_mhz / fast_mhz)
+    slow_params = BehavioralLinkParams(
+        kind=f"{kind}-gals",
+        latency_cycles=max(1, round(base.latency_cycles / ratio)),
+        rate_flits_per_cycle=max(
+            min(base.rate_flits_per_cycle * ratio, 1.0), 1e-3
+        ),
+        capacity_flits=base.capacity_flits,
+        wire_count=base.wire_count,
+        serial_ceiling_mflits=base.serial_ceiling_mflits,
+    )
+    for link in mesh.links():
+        src_domain = mesh.node_at(link.src).domain
+        dst_domain = mesh.node_at(link.dst).domain
+        if src_domain == "slow" or dst_domain == "slow":
+            link.params = slow_params
+            link.tag = (
+                "cross-domain" if src_domain != dst_domain else "slow"
+            )
+    mesh.base_params = base
+    return Design(mesh)
 
 
 @scenario(
@@ -68,6 +115,7 @@ _RATE_AXIS = (0.05, 0.10, 0.15, 0.20, 0.25)
         ParamSpec("seed", int, 2008),
     ),
     fast_params={"cycles": 200},
+    design=build_design,
 )
 def run(
     tech: Optional[Technology] = None,
@@ -79,39 +127,18 @@ def run(
     cycles: int = 800,
     seed: int = 2008,
 ) -> ExperimentResult:
-    if fast_mhz <= 0 or slow_mhz <= 0:
-        raise ValueError("clock frequencies must be positive")
-    tech = resolve_tech(tech)
-    topology = Topology(mesh_size, mesh_size)
-    split_col = mesh_size // 2  # nodes with x < split_col are "fast"
-    base = derive_link_params(tech, kind, fast_mhz)
-    # simulation cycle = fast clock; links touching the slow domain run
-    # at the clock ratio (never above 1: a "slow" domain faster than
-    # the fast one degenerates to a uniform mesh)
-    ratio = min(1.0, slow_mhz / fast_mhz)
-    slow_params = BehavioralLinkParams(
-        kind=f"{kind}-gals",
-        latency_cycles=max(1, round(base.latency_cycles / ratio)),
-        rate_flits_per_cycle=max(
-            min(base.rate_flits_per_cycle * ratio, 1.0), 1e-3
-        ),
-        capacity_flits=base.capacity_flits,
-        wire_count=base.wire_count,
-        serial_ceiling_mflits=base.serial_ceiling_mflits,
+    # clock domains are assigned on the structural mesh tree by node
+    # path; the kernel's per-link hook reads the tree back
+    # (build_design validates the frequencies for both entry points)
+    design = build_design(
+        tech=tech, mesh_size=mesh_size, kind=kind,
+        fast_mhz=fast_mhz, slow_mhz=slow_mhz,
     )
-
-    def in_slow_domain(node) -> bool:
-        return node[0] >= split_col
-
-    cross_domain = 0
-
-    def link_params_for(src, port, dst):
-        nonlocal cross_domain
-        if in_slow_domain(src) != in_slow_domain(dst):
-            cross_domain += 1
-        if in_slow_domain(src) or in_slow_domain(dst):
-            return slow_params
-        return None  # keep the fast-domain default
+    mesh = design.top
+    topology = mesh.topology
+    base = mesh.base_params
+    cross_domain = len(mesh.cross_domain_links())
+    link_params_for = mesh.link_params_for()
 
     point = run_mesh_point(
         topology,

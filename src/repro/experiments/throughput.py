@@ -70,10 +70,31 @@ def simulate_at_clock_mflits(
     return measurement.throughput_mflits
 
 
+def build_design(
+    tech: Optional[Technology] = None,
+    n_buffers: int = 4,
+    kind: str = "I3",
+    freq_mhz: float = 300.0,
+    **_ignored,
+):
+    """The measured link as an elaborated instance tree — the
+    gate-level netlist behind ``repro inspect throughput --tree``."""
+    from ..design import link_design
+
+    return link_design(
+        kind=kind,
+        config=LinkConfig(n_buffers=n_buffers),
+        tech=resolve_tech(tech),
+        freq_mhz=freq_mhz,
+        sim=Simulator(),
+    )
+
+
 @scenario(
     "throughput",
     description="Section V — cycle-delay equations vs gate-level throughput",
     tags=("paper", "section-v", "simulated"),
+    design=build_design,
     params=(
         ParamSpec("n_buffers", int, 4),
         ParamSpec("simulate", bool, True,

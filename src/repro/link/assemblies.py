@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..sim.trace import ActivityMonitor
@@ -60,7 +61,7 @@ class LinkConfig:
             raise ValueError("n_buffers must be >= 1")
 
 
-class LinkInstance:
+class LinkInstance(Component):
     """A built link with the uniform switch-facing port set."""
 
     def __init__(
@@ -70,7 +71,9 @@ class LinkInstance:
         config: LinkConfig,
         monitor: ActivityMonitor,
         wire_count: int,
+        name: Optional[str] = None,
     ) -> None:
+        Component.__init__(self, name or kind.lower())
         self.sim = sim
         self.kind = kind
         self.config = config
@@ -97,8 +100,12 @@ class LinkInstance:
 class _I1Link(LinkInstance):
     def __init__(self, sim: Simulator, config: LinkConfig,
                  pipeline: SyncPipelineLink, monitor: ActivityMonitor) -> None:
-        super().__init__(sim, "I1", config, monitor, pipeline.wire_count)
+        super().__init__(sim, "I1", config, monitor, pipeline.wire_count,
+                         name=pipeline.name)
         self.pipeline = pipeline
+        # the pipeline *is* the I1 link; its nets carry the link's own
+        # name prefix, so it hangs in the tree under a synthetic leaf
+        self.adopt(pipeline, leaf="pipe")
         self.flit_in = pipeline.flit_in
         self.valid_in = pipeline.valid_in
         self.stall_out = pipeline.stall_out
@@ -118,10 +125,13 @@ class _AsyncLink(LinkInstance):
 
     def __init__(self, sim: Simulator, kind: str, config: LinkConfig,
                  s2a: SyncToAsyncInterface, a2s: AsyncToSyncInterface,
-                 monitor: ActivityMonitor, wire_count: int) -> None:
-        super().__init__(sim, kind, config, monitor, wire_count)
+                 monitor: ActivityMonitor, wire_count: int,
+                 name: Optional[str] = None) -> None:
+        super().__init__(sim, kind, config, monitor, wire_count, name=name)
         self.s2a = s2a
         self.a2s = a2s
+        self.adopt(s2a)
+        self.adopt(a2s)
         self.flit_in = s2a.flit_in
         self.valid_in = s2a.valid
         self.stall_out = s2a.stall
@@ -155,7 +165,9 @@ def build_i1(
     ):
         monitor.add("buffers", data, valid)
     monitor.add("buffers", pipeline.flit_out, pipeline.valid_out)
-    return _I1Link(sim, config, pipeline, monitor)
+    link = _I1Link(sim, config, pipeline, monitor)
+    _expose_switch_ports(link)
+    return link
 
 
 def build_i2(
@@ -223,11 +235,16 @@ def build_i2(
 
     link = _AsyncLink(
         sim, "I2", config, s2a, a2s, monitor,
-        wire_count=config.slice_width + 2,
+        wire_count=config.slice_width + 2, name=name,
     )
     link.serializer = ser
     link.chain = chain
     link.deserializer = des
+    link.adopt(ser)
+    link.adopt(chain)
+    link.adopt(des_in)
+    link.adopt(des)
+    _expose_switch_ports(link)
     return link
 
 
@@ -320,11 +337,30 @@ def build_i3(
 
     link = _AsyncLink(
         sim, "I3", config, s2a, a2s, monitor,
-        wire_count=config.slice_width + 2,
+        wire_count=config.slice_width + 2, name=name,
     )
     link.serializer = wser
     link.deserializer = wdes
+    link.adopt(wser)
+    for i, (st_d, st_v) in enumerate(zip(stations_d, stations_v)):
+        station = Component(f"{name}.rep{i}")
+        station.adopt(st_d)
+        station.adopt(st_v)
+        link.adopt(station)
+    link.adopt(des_in)
+    link.adopt(wdes)
+    _expose_switch_ports(link)
     return link
+
+
+def _expose_switch_ports(link: LinkInstance) -> None:
+    """Register the uniform switch-facing port set on the link node."""
+    link.expose("flit_in", link.flit_in, "in")
+    link.expose("valid_in", link.valid_in, "in")
+    link.expose("stall_out", link.stall_out, "out")
+    link.expose("flit_out", link.flit_out, "out")
+    link.expose("valid_out", link.valid_out, "out")
+    link.expose("stall_in", link.stall_in, "in")
 
 
 # ----------------------------------------------------------------------

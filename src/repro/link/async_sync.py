@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, WaitValue, spawn
 from ..sim.signal import Bus, Signal
@@ -26,7 +27,7 @@ from ..tech.technology import GateDelays
 from .channel import Channel
 
 
-class AsyncToSyncInterface:
+class AsyncToSyncInterface(Component):
     """The FIFO of Fig 5: asynchronous writer, synchronous reader."""
 
     def __init__(
@@ -40,6 +41,7 @@ class AsyncToSyncInterface:
     ) -> None:
         if depth < 2:
             raise ValueError(f"FIFO depth must be >= 2, got {depth}")
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -68,6 +70,11 @@ class AsyncToSyncInterface:
         self.flits_read = 0
         clk.on_change(self._on_clk)
         spawn(sim, self._async_writer(), f"{name}.writer")
+        self.adopt(self.in_ch)
+        self.expose("clk", clk, "in")
+        self.expose("flit_out", self.flit_out, "out")
+        self.expose("valid", self.valid, "out")
+        self.expose("stall", self.stall, "in")
 
     # ------------------------------------------------------------------
     # asynchronous write side (LE chain + C-element handshake)

@@ -18,21 +18,26 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, WaitValue
 from ..sim.signal import Bus, Signal
 
 
-class Channel:
+class Channel(Component):
     """A four-phase bundled-data channel (DATA + REQ / ACK)."""
 
     def __init__(self, sim: Simulator, width: int, name: str = "ch") -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.width = width
         self.data = sim.bus(width, f"{name}.data")
         self.req = sim.signal(f"{name}.req")
         self.ack = sim.signal(f"{name}.ack")
+        self.expose("data", self.data)
+        self.expose("req", self.req)
+        self.expose("ack", self.ack)
 
     @property
     def wire_count(self) -> int:
@@ -46,16 +51,20 @@ class Channel:
         )
 
 
-class ValidChannel:
+class ValidChannel(Component):
     """The I3 forward path: DATA + VALID pulse train + word-level ACK."""
 
     def __init__(self, sim: Simulator, width: int, name: str = "vch") -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.width = width
         self.data = sim.bus(width, f"{name}.data")
         self.valid = sim.signal(f"{name}.valid")
         self.ack = sim.signal(f"{name}.ack")
+        self.expose("data", self.data)
+        self.expose("valid", self.valid)
+        self.expose("ack", self.ack)
 
     @property
     def wire_count(self) -> int:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, WaitValue
 from ..sim.signal import Bus, Signal
@@ -46,7 +47,7 @@ def check_slicing(word_width: int, slice_width: int) -> int:
     return word_width // slice_width
 
 
-class Serializer:
+class Serializer(Component):
     """Fig 6a: m-bit channel in, n-bit channel out, per-slice handshakes."""
 
     def __init__(
@@ -57,6 +58,7 @@ class Serializer:
         delays: Optional[GateDelays] = None,
         name: str = "ser",
     ) -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -96,6 +98,10 @@ class Serializer:
 
             wire_bus(in_ch.data, self.out_ch.data, self.delays.mux2)
         spawn(sim, self._run(), f"{name}.proc")
+        if self.sequencer is not None:
+            self.adopt(self.sequencer)
+            self.adopt(self.mux)
+        self.adopt(self.out_ch)
 
     def _run(self) -> Generator:
         d = self.delays
@@ -123,7 +129,7 @@ class Serializer:
             self.in_ch.ack.set(0)
 
 
-class Deserializer:
+class Deserializer(Component):
     """Fig 6b: n-bit channel in, m-bit channel out, mux/latch based."""
 
     def __init__(
@@ -134,6 +140,7 @@ class Deserializer:
         delays: Optional[GateDelays] = None,
         name: str = "des",
     ) -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -155,6 +162,9 @@ class Deserializer:
             else None
         )
         spawn(sim, self._run(), f"{name}.proc")
+        if self.le_sequencer is not None:
+            self.adopt(self.le_sequencer)
+        self.adopt(self.out_ch)
 
     def _run(self) -> Generator:
         d = self.delays

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, WaitValue, spawn
 from ..sim.signal import Bus, Signal
@@ -32,7 +33,7 @@ from ..elements.latches import FlagSynchronizer, RegisterBus
 from .channel import Channel
 
 
-class SyncToAsyncInterface:
+class SyncToAsyncInterface(Component):
     """The FIFO of Fig 4: synchronous writer, asynchronous reader."""
 
     def __init__(
@@ -46,6 +47,7 @@ class SyncToAsyncInterface:
     ) -> None:
         if depth < 2:
             raise ValueError(f"FIFO depth must be >= 2, got {depth}")
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -88,6 +90,15 @@ class SyncToAsyncInterface:
         self.flits_read = 0
         clk.on_change(self._on_clk)
         spawn(sim, self._async_reader(), f"{name}.reader")
+        for reg in self.registers:
+            self.adopt(reg)
+        for flag in self.flags:
+            self.adopt(flag)
+        self.adopt(self.out_ch)
+        self.expose("clk", clk, "in")
+        self.expose("flit_in", self.flit_in, "in")
+        self.expose("valid", self.valid, "in")
+        self.expose("stall", self.stall, "out")
 
     # ------------------------------------------------------------------
     # synchronous write side

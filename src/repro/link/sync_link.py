@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
 
 
-class SyncPipelineLink:
+class SyncPipelineLink(Component):
     """Clocked pipeline of ``n_buffers`` full-width register stages.
 
     Port convention (shared by all three link implementations):
@@ -42,6 +43,7 @@ class SyncPipelineLink:
     ) -> None:
         if n_buffers < 1:
             raise ValueError(f"need at least one buffer, got {n_buffers}")
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -68,6 +70,13 @@ class SyncPipelineLink:
         self.flits_written = 0
         self.flits_delivered = 0
         clk.on_change(self._on_clk)
+        self.expose("clk", clk, "in")
+        self.expose("flit_in", self.flit_in, "in")
+        self.expose("valid_in", self.valid_in, "in")
+        self.expose("stall_out", self.stall_out, "out")
+        self.expose("flit_out", self.flit_out, "out")
+        self.expose("valid_out", self.valid_out, "out")
+        self.expose("stall_in", self.stall_in, "in")
 
     @property
     def wire_count(self) -> int:

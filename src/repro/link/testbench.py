@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional, Sequence
 
+from ..design.component import Component
 from ..sim.clock import Clock
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, RisingEdge, spawn
@@ -74,12 +75,16 @@ class LinkMeasurement:
         return total / n / 1000.0
 
 
-class LinkTestbench:
+class LinkTestbench(Component):
     """Attach a source and sink to a built link and run measurements.
 
     ``rx_clock`` supports GALS links whose receiving switch runs from a
     different clock: the sink then samples on that clock while the
     source keeps pacing itself from ``clock``.
+
+    The bench roots the link's instance tree (when the link is not
+    already part of one), so path probing works from the measurement
+    harness: ``Design(bench).find("i3.s2a.stall")``.
     """
 
     def __init__(
@@ -88,7 +93,11 @@ class LinkTestbench:
         clock: Clock,
         link: LinkInstance,
         rx_clock: Optional[Clock] = None,
+        name: str = "tb",
     ) -> None:
+        Component.__init__(self, name)
+        if link.parent is None:
+            self.adopt(link, leaf=link.name)
         self.sim = sim
         self.clock = clock
         self.rx_clock = rx_clock if rx_clock is not None else clock

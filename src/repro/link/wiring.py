@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.signal import Bus, Signal
 from ..tech.technology import GateDelays
@@ -58,7 +59,7 @@ def wire_bus(src: Bus, dst: Bus, delay_ps: int = 0) -> None:
         wire(s, d, delay_ps)
 
 
-class RepeatedWireBus:
+class RepeatedWireBus(Component):
     """An inverter-repeated wire bundle (the I3 buffer replacement).
 
     ``n_inverters`` even inverters (or simple buffers) are spread along
@@ -90,6 +91,7 @@ class RepeatedWireBus:
             raise ValueError(
                 f"repeater count must be even and >= 0, got {n_inverters}"
             )
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.n_inverters = n_inverters
@@ -97,9 +99,11 @@ class RepeatedWireBus:
         self.out = sim.bus(src.width, f"{name}.out",
                        cap_ff=1.0 + self.INVERTER_NODE_CAP * n_inverters)
         wire_bus(src, self.out, self.delay_ps)
+        self.expose("src", src, "in")
+        self.expose("out", self.out, "out")
 
 
-class RepeatedWire:
+class RepeatedWire(Component):
     """Single-signal variant of :class:`RepeatedWireBus` (VALID/ACK wires)."""
 
     def __init__(
@@ -114,6 +118,7 @@ class RepeatedWire:
             raise ValueError(
                 f"repeater count must be even and >= 0, got {n_inverters}"
             )
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delay_ps = n_inverters * t_inv_ps
@@ -122,9 +127,11 @@ class RepeatedWire:
             cap_ff=1.0 + RepeatedWireBus.INVERTER_NODE_CAP * n_inverters,
         )
         wire(src, self.out, self.delay_ps)
+        self.expose("src", src, "in")
+        self.expose("out", self.out, "out")
 
 
-class AsyncWireBufferChain:
+class AsyncWireBufferChain(Component):
     """A chain of I2 wire-buffer stages with Tp wire segments between.
 
     Exposes a four-phase input (``req_in``/``ack_out``/``data_in``) and
@@ -147,6 +154,7 @@ class AsyncWireBufferChain:
         if n_buffers < 1:
             raise ValueError(f"need at least one buffer, got {n_buffers}")
         delays = delays or GateDelays()
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.n_buffers = n_buffers
@@ -182,3 +190,11 @@ class AsyncWireBufferChain:
         for i in range(n_buffers - 1):
             wire(self.stages[i + 1].ack_out, acks[i], t_p_ps)
         self.ack_out = self.stages[0].ack_out
+        for stage in self.stages:
+            self.adopt(stage)
+        self.expose("data_in", data_in, "in")
+        self.expose("req_in", req_in, "in")
+        self.expose("data_out", self.data_out, "out")
+        self.expose("req_out", self.req_out, "out")
+        self.expose("ack_in", self.ack_in, "in")
+        self.expose("ack_out", self.ack_out, "out")

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from ..design.component import Component
 from ..sim.kernel import Simulator
 from ..sim.process import Delay, WaitValue, spawn
 from ..sim.signal import Bus, Signal
@@ -33,7 +34,7 @@ from .channel import Channel, ValidChannel
 from .serializer import check_slicing
 
 
-class WordSerializer:
+class WordSerializer(Component):
     """Fig 8a: burst transmitter with ring-oscillator timing.
 
     Input: four-phase m-bit channel (from the synch/asynch interface).
@@ -51,6 +52,7 @@ class WordSerializer:
         osc_stages: int = 5,
         name: str = "wser",
     ) -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -73,6 +75,8 @@ class WordSerializer:
             name=f"{name}.osc",
         )
         spawn(sim, self._run(), f"{name}.proc")
+        self.adopt(self.osc)
+        self.adopt(self.out_ch)
 
     def _slice(self, word: int, i: int) -> int:
         mask = (1 << self.slice_width) - 1
@@ -109,7 +113,7 @@ class WordSerializer:
             yield WaitValue(self.out_ch.ack, 0)
 
 
-class WordDeserializer:
+class WordDeserializer(Component):
     """Fig 8b: shift-register receiver with single word-level ack.
 
     ``in_ch`` is the :class:`ValidChannel` arriving over the repeated
@@ -131,6 +135,7 @@ class WordDeserializer:
         timings: Optional[HandshakeTimings] = None,
         name: str = "wdes",
     ) -> None:
+        Component.__init__(self, name)
         self.sim = sim
         self.name = name
         self.delays = delays or GateDelays()
@@ -152,6 +157,10 @@ class WordDeserializer:
             f"{name}.preg",
         )
         spawn(sim, self._run(), f"{name}.proc")
+        self.adopt(self.slices)
+        self.adopt(self.pulses)
+        self.adopt(self.out_ch)
+        self.expose("ack_to_tx", self.ack_to_tx, "out")
 
     def _run(self) -> Generator:
         d = self.delays

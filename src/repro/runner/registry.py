@@ -103,6 +103,9 @@ class Scenario:
     fast_params: Dict[str, object] = field(default_factory=dict)
     #: scenario cannot produce a meaningful fast-mode result at all
     fast_skip: bool = False
+    #: optional hook ``design(tech=None, **params) -> repro.design.Design``
+    #: exposing the scenario's elaborated instance tree (CLI ``inspect``)
+    design: Optional[Callable[..., object]] = None
 
     def param(self, name: str) -> ParamSpec:
         for spec in self.params:
@@ -138,6 +141,25 @@ class Scenario:
         """Execute with resolved parameters, returning the result."""
         return self.func(tech=tech, **self.resolve_params(overrides, fast))
 
+    @property
+    def has_design(self) -> bool:
+        return self.design is not None
+
+    def design_for(
+        self,
+        tech=None,
+        overrides: Optional[Dict[str, object]] = None,
+        fast: bool = False,
+    ):
+        """Build the scenario's design tree with resolved parameters."""
+        if self.design is None:
+            raise ScenarioError(
+                f"scenario {self.id!r} exposes no design tree"
+            )
+        return self.design(
+            tech=tech, **self.resolve_params(overrides, fast)
+        )
+
 
 _REGISTRY: Dict[str, Scenario] = {}
 
@@ -150,6 +172,7 @@ def scenario(
     params: Sequence[ParamSpec] = (),
     fast_params: Optional[Dict[str, object]] = None,
     fast_skip: bool = False,
+    design: Optional[Callable[..., object]] = None,
 ) -> Callable[[Callable], Callable]:
     """Register the decorated function as a scenario; returns it unchanged."""
 
@@ -177,6 +200,7 @@ def scenario(
             params=tuple(params),
             fast_params=dict(fast_params or {}),
             fast_skip=fast_skip,
+            design=design,
         )
         return func
 

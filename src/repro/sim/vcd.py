@@ -11,13 +11,25 @@ WaveTrace) can inspect the handshakes.  Usage::
 Only single-bit signals are dumped (buses are watched bit by bit, which
 viewers regroup by name).  The writer is deliberately dependency-free
 and streams in one pass over the recorded traces.
+
+Scoping: net names in this library are hierarchy paths
+(``i3.s2a.flag0.a``), so by default every dotted prefix becomes a nested
+``$scope module`` block and the variable reference is the leaf name —
+the viewer shows the same instance tree as ``repro inspect --tree``.
+Pass ``hierarchy=False`` for the legacy single-scope layout.
+
+Identifier allocation is collision-proof in both layouts: each distinct
+watched signal object gets its own short id code (watching a signal
+twice reuses one id instead of allocating an alias), and two *different*
+nets that happen to share a (scope, name) pair get distinct reference
+names (``req``, ``req$1``, ...) so no viewer ever folds them together.
 """
 
 from __future__ import annotations
 
 import string
 from pathlib import Path
-from typing import Iterable, TextIO, Union
+from typing import Dict, Iterable, List, TextIO, Tuple, Union
 
 from .signal import Signal
 from .trace import Tracer
@@ -40,16 +52,57 @@ def _sanitize(name: str) -> str:
     return name.replace(" ", "_")
 
 
+class _Scope:
+    """One ``$scope module`` block: nested scopes + variable leaves."""
+
+    __slots__ = ("name", "children", "vars", "_taken")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: Dict[str, _Scope] = {}
+        #: (reference_name, id_code) pairs in declaration order
+        self.vars: List[Tuple[str, str]] = []
+        self._taken: set = set()
+
+    def child(self, name: str) -> "_Scope":
+        scope = self.children.get(name)
+        if scope is None:
+            scope = self.children[name] = _Scope(name)
+        return scope
+
+    def add_var(self, reference: str, ident: str) -> None:
+        # two distinct nets with the same name in one scope must not
+        # alias in the viewer: disambiguate the later arrivals
+        unique = reference
+        bump = 0
+        while unique in self._taken:
+            bump += 1
+            unique = f"{reference}${bump}"
+        self._taken.add(unique)
+        self.vars.append((unique, ident))
+
+    def write(self, out: TextIO) -> None:
+        out.write(f"$scope module {self.name} $end\n")
+        for reference, ident in self.vars:
+            out.write(f"$var wire 1 {ident} {reference} $end\n")
+        for child in self.children.values():
+            child.write(out)
+        out.write("$upscope $end\n")
+
+
 def write_vcd(
     tracer: Tracer,
     destination: Union[str, Path, TextIO],
     timescale_ps: int = 1,
     module: str = "repro",
+    hierarchy: bool = True,
 ) -> int:
     """Write all watched signals of ``tracer`` as a VCD file.
 
     Returns the number of value changes written.  ``destination`` may be
-    a path or an open text file.
+    a path or an open text file.  With ``hierarchy=True`` (default) the
+    dotted net names become nested ``$scope`` blocks; with
+    ``hierarchy=False`` everything lands flat in the top module scope.
     """
     if timescale_ps < 1:
         raise ValueError(f"timescale must be >= 1 ps, got {timescale_ps}")
@@ -57,23 +110,44 @@ def write_vcd(
         raise ValueError("tracer has no watched signals to dump")
 
     if hasattr(destination, "write"):
-        return _write(tracer, destination, timescale_ps, module)  # type: ignore[arg-type]
+        return _write(tracer, destination, timescale_ps, module,  # type: ignore[arg-type]
+                      hierarchy)
     with open(destination, "w", encoding="ascii") as handle:
-        return _write(tracer, handle, timescale_ps, module)
+        return _write(tracer, handle, timescale_ps, module, hierarchy)
 
 
-def _write(tracer: Tracer, out: TextIO, timescale_ps: int, module: str) -> int:
-    signals: Iterable[Signal] = tracer.signals
+def _unique_signals(signals: Iterable[Signal]) -> List[Signal]:
+    """Distinct signal objects, first occurrence wins (no id aliasing)."""
+    seen: set = set()
+    unique: List[Signal] = []
+    for sig in signals:
+        key = id(sig)
+        if key not in seen:
+            seen.add(key)
+            unique.append(sig)
+    return unique
+
+
+def _write(tracer: Tracer, out: TextIO, timescale_ps: int, module: str,
+           hierarchy: bool) -> int:
+    signals = _unique_signals(tracer.signals)
     ids = {id(sig): _identifier(i) for i, sig in enumerate(signals)}
+
+    top = _Scope(_sanitize(module))
+    for sig in signals:
+        name = _sanitize(sig.name)
+        scope = top
+        if hierarchy:
+            parts = name.split(".")
+            for part in parts[:-1]:
+                scope = scope.child(part)
+            name = parts[-1]
+        scope.add_var(name, ids[id(sig)])
 
     out.write("$comment repro serialized-async-link simulation $end\n")
     out.write(f"$timescale {timescale_ps} ps $end\n")
-    out.write(f"$scope module {_sanitize(module)} $end\n")
-    for sig in signals:
-        out.write(
-            f"$var wire 1 {ids[id(sig)]} {_sanitize(sig.name)} $end\n"
-        )
-    out.write("$upscope $end\n$enddefinitions $end\n")
+    top.write(out)
+    out.write("$enddefinitions $end\n")
 
     # merge all per-signal change lists into one time-ordered stream
     events: list[tuple[int, str, int]] = []

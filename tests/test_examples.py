@@ -65,6 +65,14 @@ class TestExamples:
         assert "independent clock domains" in out
         assert "600" in out  # the 8x mismatch row
 
+    def test_design_api(self, capsys):
+        load_example("design_api").main()
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "ha1 <HalfAdder>" in out
+        assert "i3.s2a.stall" in out
+        assert "Per-instance activity" in out
+
     def test_every_example_has_a_test(self):
         """Meta: any new example file must get a smoke test here."""
         example_files = {
@@ -73,7 +81,22 @@ class TestExamples:
         tested = {
             "quickstart", "mesh_traffic", "link_design_space",
             "power_report", "handshake_waveforms", "gals_demo",
+            "design_api",
         }
         assert example_files == tested, (
             f"untested examples: {example_files - tested}"
         )
+
+    def test_examples_honour_fast_mode(self, monkeypatch):
+        """The CI smoke job runs every script with
+        REPRO_EXAMPLES_FAST=1; the flag must actually shrink the
+        gate-level workloads."""
+        monkeypatch.setenv("REPRO_EXAMPLES_FAST", "1")
+        module = load_example("quickstart")
+        assert module.FAST is True
+        for name in ("mesh_traffic", "power_report", "gals_demo",
+                     "design_api", "link_design_space",
+                     "handshake_waveforms"):
+            assert load_example(name).FAST is True
+        monkeypatch.setenv("REPRO_EXAMPLES_FAST", "0")
+        assert load_example("quickstart").FAST is False

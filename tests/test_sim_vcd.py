@@ -102,6 +102,88 @@ class TestWriteVcd:
         ]
         assert len(set(idents)) == 200
 
+    def test_duplicate_leaf_names_never_alias(self, sim):
+        """Regression (satellite): two same-named nets must get distinct
+        id codes AND distinct reference names, in both layouts."""
+        a = Signal(sim, "req")
+        b = Signal(sim, "req")
+        tracer = Tracer()
+        tracer.watch(a, b)
+        for hierarchy in (True, False):
+            buf = io.StringIO()
+            write_vcd(tracer, buf, hierarchy=hierarchy)
+            var_lines = [
+                line.split()
+                for line in buf.getvalue().splitlines()
+                if line.startswith("$var")
+            ]
+            idents = [parts[3] for parts in var_lines]
+            references = [parts[4] for parts in var_lines]
+            assert len(var_lines) == 2
+            assert len(set(idents)) == 2, "VCD id aliased"
+            assert len(set(references)) == 2, "reference name aliased"
+            assert references == ["req", "req$1"]
+
+    def test_same_leaf_in_different_scopes_keeps_plain_names(self, sim):
+        """Hierarchical scopes make same-named leaves unique without
+        renaming: x.req and y.req each stay 'req' in their own scope."""
+        a = Signal(sim, "x.req")
+        b = Signal(sim, "y.req")
+        tracer = Tracer()
+        tracer.watch(a, b)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        text = buf.getvalue()
+        assert "$scope module x $end" in text
+        assert "$scope module y $end" in text
+        refs = [
+            line.split()[4]
+            for line in text.splitlines()
+            if line.startswith("$var")
+        ]
+        assert refs == ["req", "req"]  # no $1 suffix needed
+
+    def test_watching_a_signal_twice_reuses_one_identifier(self, sim):
+        """Regression (satellite): a double-watched signal used to get
+        two $var declarations through two enumerate slots; now the
+        duplicate collapses to a single variable."""
+        sig = Signal(sim, "req")
+        tracer = Tracer()
+        tracer.watch(sig, sig)
+        buf = io.StringIO()
+        write_vcd(tracer, buf)
+        var_lines = [
+            line for line in buf.getvalue().splitlines()
+            if line.startswith("$var")
+        ]
+        assert len(var_lines) == 1
+
+    def test_hierarchical_scopes_nest_by_path(self, sim):
+        sig = Signal(sim, "i3.s2a.flag0.a")
+        tracer = Tracer()
+        tracer.watch(sig)
+        buf = io.StringIO()
+        write_vcd(tracer, buf, module="top")
+        text = buf.getvalue()
+        scopes = [
+            line.split()[2]
+            for line in text.splitlines()
+            if line.startswith("$scope")
+        ]
+        assert scopes == ["top", "i3", "s2a", "flag0"]
+        assert text.count("$upscope $end") == 4
+        assert "$var wire 1" in text and " a $end" in text
+
+    def test_flat_mode_uses_single_scope(self, sim):
+        sig = Signal(sim, "i3.s2a.flag0.a")
+        tracer = Tracer()
+        tracer.watch(sig)
+        buf = io.StringIO()
+        write_vcd(tracer, buf, hierarchy=False)
+        text = buf.getvalue()
+        assert text.count("$scope") == 1
+        assert "i3.s2a.flag0.a" in text
+
     def test_full_link_dump(self, sim):
         """Dump a real I3 transfer and check the VCD is non-trivial."""
         from repro.link import LinkConfig, build_i3, measure_throughput
