@@ -1,0 +1,184 @@
+"""Bench-harness tests for the compiled suite and the schema-3 reader.
+
+Tiny workloads (milliseconds) exercise the timing/cross-check plumbing;
+the schema tests pin backward compatibility: a schema-2 baseline file
+(the shape committed before the compiled suite existed) must keep
+loading and gating, and a future schema must be refused rather than
+silently half-checked.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    CompiledBenchPoint,
+    check_against_baseline,
+    default_compiled_points,
+    load_baseline,
+    run_bench,
+    run_compiled_point,
+)
+
+TINY_BATCH = CompiledBenchPoint("fault-batch", 2)
+TINY_RING = CompiledBenchPoint("ringosc", 64)
+
+
+class TestCompiledPoints:
+    def test_fault_batch_reports_lanes_and_matching_stats(self):
+        outcome = run_compiled_point(TINY_BATCH, repeats=1)
+        assert outcome.lanes == 64
+        assert outcome.stats_match is True
+        assert outcome.speedup is not None and outcome.speedup > 0
+        assert outcome.optimized_lps > 0
+        record = outcome.to_json()
+        assert record["suite"] == "compiled"
+        assert record["key"] == "compiled/fault-batch@2"
+        assert record["cycles"] == 2
+
+    def test_ringosc_is_single_lane(self):
+        outcome = run_compiled_point(TINY_RING, repeats=1)
+        assert outcome.lanes == 1
+        assert outcome.stats_match is True
+        assert outcome.speedup is not None
+
+    def test_reference_skippable(self):
+        outcome = run_compiled_point(TINY_RING, reference=False,
+                                     repeats=1)
+        assert outcome.reference_wall_s is None
+        assert outcome.speedup is None
+        assert outcome.stats_match is None
+
+    def test_default_points_cover_the_acceptance_gates(self):
+        keys = [p.key for p in default_compiled_points()]
+        assert keys == ["compiled/fault-batch@12",
+                        "compiled/ringosc@20000"]
+        fast = [p.key for p in default_compiled_points(scale=0.5)]
+        assert fast == ["compiled/fault-batch@6",
+                        "compiled/ringosc@10000"]
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown compiled workload"):
+            run_compiled_point(CompiledBenchPoint("warp-drive", 1),
+                               repeats=1)
+
+    def test_run_bench_tags_the_suite(self):
+        document = run_bench(
+            compiled_points=[TINY_RING], reference=False, repeats=1
+        )
+        assert document["schema"] == SCHEMA == 3
+        assert document["suites"] == ["compiled"]
+        assert [p["suite"] for p in document["points"]] == ["compiled"]
+
+
+class TestSchemaCompatibility:
+    def _schema2_document(self):
+        """The exact shape committed before the compiled suite."""
+        return {
+            "schema": 2,
+            "python": "3.11.7",
+            "repeats": 5,
+            "suites": ["noc", "gate"],
+            "points": [
+                {
+                    "suite": "noc",
+                    "key": "4x4@0.1/uniform/xy/vc1/I3",
+                    "cycles": 300,
+                    "speedup": 4.9,
+                    "stats_match": True,
+                },
+                {
+                    "suite": "gate",
+                    "key": "gate/serializer-i3@12",
+                    "workload": "serializer-i3",
+                    "cycles": 12,
+                    "speedup": 2.0,
+                    "stats_match": True,
+                },
+            ],
+        }
+
+    def test_schema2_file_still_loads(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(self._schema2_document()))
+        assert load_baseline(str(path))["schema"] == 2
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": SCHEMA + 1, "points": []}))
+        with pytest.raises(ValueError, match="newer than the supported"):
+            load_baseline(str(path))
+
+    def test_compiled_only_run_checked_against_schema2_baseline(self):
+        """A schema-2 baseline has no compiled points: nothing to gate,
+        nothing to flag — old files keep working as-is."""
+        current = {
+            "schema": SCHEMA,
+            "python": "3.11.7",
+            "suites": ["compiled"],
+            "points": [{
+                "suite": "compiled",
+                "key": "compiled/ringosc@64",
+                "cycles": 64,
+                "speedup": 1.2,
+                "stats_match": True,
+            }],
+        }
+        assert check_against_baseline(
+            current, self._schema2_document()
+        ) == []
+
+    def test_schema3_baseline_gates_compiled_points(self):
+        baseline = self._schema2_document()
+        baseline["schema"] = 3
+        baseline["suites"] = ["noc", "gate", "compiled"]
+        baseline["points"].append({
+            "suite": "compiled",
+            "key": "compiled/fault-batch@6",
+            "cycles": 6,
+            "lanes": 64,
+            "speedup": 50.0,
+            "stats_match": True,
+        })
+        current = {
+            "schema": SCHEMA,
+            "python": "3.11.7",
+            "suites": ["compiled"],
+            "points": [{
+                "suite": "compiled",
+                "key": "compiled/fault-batch@6",
+                "cycles": 6,
+                "lanes": 64,
+                "speedup": 5.0,  # collapsed vs the 50x baseline
+                "stats_match": True,
+            }],
+        }
+        problems = check_against_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "fell below" in problems[0]
+
+    def test_compiled_size_mismatch_names_the_right_knob(self):
+        baseline = self._schema2_document()
+        baseline["points"].append({
+            "suite": "compiled",
+            "key": "compiled/fault-batch@6",
+            "cycles": 6,
+            "speedup": 50.0,
+            "stats_match": True,
+        })
+        current = {
+            "schema": SCHEMA,
+            "python": "3.11.7",
+            "suites": ["compiled"],
+            "points": [{
+                "suite": "compiled",
+                "key": "compiled/fault-batch@6",
+                "cycles": 99,
+                "speedup": 50.0,
+                "stats_match": True,
+            }],
+        }
+        problems = check_against_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "--compiled-scale" in problems[0]

@@ -6,6 +6,7 @@ Usage::
     python -m repro list --tags paper         # filter by tag
     python -m repro list --verbose            # + full typed parameter specs
     python -m repro inspect gals-mesh --tree  # scenario's instance tree
+    python -m repro inspect compiled-fault-campaign --compiled  # levelized stats
     python -m repro run                       # every paper table/figure
     python -m repro run fig12 table1          # just these (nothing else runs)
     python -m repro run --tags ablation       # the extension studies
@@ -19,6 +20,7 @@ Usage::
     python -m repro history runs/                           # store catalogue
     python -m repro bench --json bench.json                 # kernel cycles/sec
     python -m repro bench --fast --check benchmarks/baseline_bench.json
+    python -m repro bench --suite compiled --fast --min-compiled-speedup 4
     python -m repro bench --profile                         # cProfile hot spots
 
 ``run`` exits non-zero if any paper-vs-measured check fails, so it
@@ -203,6 +205,23 @@ def _cmd_inspect(args, parser) -> int:
     else:
         print(f"{n_instances} instance(s) (structural view, "
               f"not elaborated onto a simulator)")
+    if args.compiled:
+        from .compiled import CompileError, compile_component
+
+        print()
+        try:
+            circuit = compile_component(design)
+        except (CompileError, ValueError) as exc:
+            # a design full of coroutine processes or behavioral models
+            # is a fine design — it just has no compiled form
+            print(f"not compilable: {exc}")
+            return 0
+        print(circuit.stats().render())
+        if sc.has_batch:
+            print(
+                f"batch packing: up to {sc.batch_lanes} "
+                f"{sc.batch_axis!r}-sweep request(s) per 64-bit word"
+            )
     return 0
 
 
@@ -429,6 +448,7 @@ def _cmd_bench(args, parser) -> int:
 
     run_noc = args.suite in ("noc", "all")
     run_gate = args.suite in ("gate", "all")
+    run_compiled = args.suite in ("compiled", "all")
     if not run_noc and (args.mesh or args.rates):
         parser.error("--mesh/--rates only apply to the noc suite")
 
@@ -471,6 +491,10 @@ def _cmd_bench(args, parser) -> int:
         bench_mod.default_gate_points(scale=args.gate_scale)
         if run_gate else []
     )
+    compiled_points = (
+        bench_mod.default_compiled_points(scale=args.compiled_scale)
+        if run_compiled else []
+    )
 
     def progress(outcome):
         speed = (
@@ -482,7 +506,9 @@ def _cmd_bench(args, parser) -> int:
             match = ", stats identical"
         elif outcome.stats_match is False:
             match = ", STATS DIVERGED"
-        if hasattr(outcome, "optimized_eps"):
+        if hasattr(outcome, "optimized_lps"):
+            rate = f"{outcome.optimized_lps:,.0f} lane-steps/sec"
+        elif hasattr(outcome, "optimized_eps"):
             rate = f"{outcome.optimized_eps:,.0f} events/sec"
         else:
             rate = f"{outcome.optimized_cps:,.0f} cycles/sec"
@@ -494,6 +520,7 @@ def _cmd_bench(args, parser) -> int:
         repeats=args.repeats,
         progress=progress,
         gate_points=gate_points,
+        compiled_points=compiled_points,
     )
     if args.profile:
         if points:
@@ -525,6 +552,35 @@ def _cmd_bench(args, parser) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_compiled_speedup is not None:
+        slow = []
+        for p in document["points"]:
+            if p.get("suite") != "compiled":
+                continue
+            # the batch floor only makes sense where there is a batch:
+            # single-lane points (ringosc) must merely not lose to the
+            # event kernel
+            floor = (
+                args.min_compiled_speedup
+                if p.get("lanes", 1) > 1 else 1.0
+            )
+            speedup = p.get("speedup")
+            if speedup is None:
+                slow.append(f"{p['key']}: no speedup recorded "
+                            f"(ran with --no-reference?)")
+            elif speedup < floor:
+                slow.append(
+                    f"{p['key']}: {speedup:.2f}x below the "
+                    f"{floor:g}x floor (--min-compiled-speedup)"
+                )
+        if slow:
+            for problem in slow:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"compiled-suite speedups clear the "
+            f"{args.min_compiled_speedup:g}x batch floor (1x single-lane)"
+        )
     if args.check:
         try:
             baseline = bench_mod.load_baseline(args.check)
@@ -623,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true",
         help="apply fast-mode parameter overrides",
     )
+    p_inspect.add_argument(
+        "--compiled", action="store_true",
+        help="also levelize the design for the bit-parallel compiled "
+             "backend and print its stats (depth, gates per level, "
+             "lanes), or why it cannot be compiled",
+    )
 
     p_run = sub.add_parser("run", help="execute scenarios")
     p_run.add_argument(
@@ -693,15 +755,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure kernel throughput vs the frozen seed kernels",
     )
     p_bench.add_argument(
-        "--suite", default="noc", choices=("noc", "gate", "all"),
+        "--suite", default="noc",
+        choices=("noc", "gate", "compiled", "all"),
         help="noc = cycle-kernel cycles/sec, gate = event-kernel "
              "events/sec on serializer/four-phase/ring-oscillator "
-             "testbenches (default noc)",
+             "testbenches, compiled = bit-parallel backend aggregate "
+             "lanes/sec vs one event-kernel lane (default noc)",
     )
     p_bench.add_argument(
         "--gate-scale", type=float, default=1.0, metavar="FRAC",
         help="scale factor for the gate-suite workload sizes "
              "(default 1.0; --fast uses 0.5)",
+    )
+    p_bench.add_argument(
+        "--compiled-scale", type=float, default=1.0, metavar="FRAC",
+        help="scale factor for the compiled-suite workload sizes "
+             "(default 1.0; --fast uses 0.5)",
+    )
+    p_bench.add_argument(
+        "--min-compiled-speedup", type=float, default=None, metavar="X",
+        help="fail unless every batched compiled point reaches X times "
+             "the event kernel's aggregate lanes/sec (single-lane "
+             "points are held to 1x); the CI bench job gates at 4x",
     )
     p_bench.add_argument(
         "--mesh", metavar="N1,N2,...",
@@ -771,15 +846,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--vcs must be >= 1")
         if args.gate_scale <= 0:
             parser.error("--gate-scale must be positive")
+        if args.compiled_scale <= 0:
+            parser.error("--compiled-scale must be positive")
         if args.suite not in ("gate", "all") and args.gate_scale != 1.0:
             # checked before --fast rescales it: reject only an explicit
             # user-supplied value that the selected suite would ignore
             parser.error("--gate-scale only applies to the gate suite")
+        if (args.suite not in ("compiled", "all")
+                and args.compiled_scale != 1.0):
+            parser.error(
+                "--compiled-scale only applies to the compiled suite"
+            )
+        if (args.suite not in ("compiled", "all")
+                and args.min_compiled_speedup is not None):
+            parser.error(
+                "--min-compiled-speedup only applies to the "
+                "compiled suite"
+            )
         if args.fast:
             # short cycles only; repeats stay (best-of-N absorbs
             # scheduler noise, which dominates sub-second timings)
             args.cycles = min(args.cycles, 300)
             args.gate_scale = min(args.gate_scale, 0.5)
+            args.compiled_scale = min(args.compiled_scale, 0.5)
         return _cmd_bench(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)

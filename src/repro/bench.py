@@ -1,6 +1,6 @@
 """Kernel benchmark harness behind ``python -m repro bench``.
 
-Two suites, selected with ``--suite {noc,gate,all}``:
+Three suites, selected with ``--suite {noc,gate,compiled,all}``:
 
 * **noc** — simulated-cycles-per-second of the optimized activity-driven
   NoC cycle kernel (:mod:`repro.noc.network`) vs the frozen seed kernel
@@ -9,7 +9,13 @@ Two suites, selected with ``--suite {noc,gate,all}``:
   (:mod:`repro.sim`: calendar-queue scheduler, true inertial
   cancellation, allocation-free signal dispatch) vs the frozen seed
   kernel (:mod:`repro.sim.reference`) on serializer-link testbenches, a
-  four-phase wire-buffer chain and a free-running ring oscillator.
+  four-phase wire-buffer chain and a free-running ring oscillator;
+* **compiled** — aggregate lanes-per-second of the bit-parallel compiled
+  backend (:mod:`repro.compiled`: levelized netlist, 64 simulation
+  lanes per 64-bit word) vs the *optimized* event kernel evaluating one
+  lane of the identical workload — the ratio prices what packing a
+  Monte Carlo batch into one word buys over running its lanes one by
+  one on the incumbent kernel.
 
 Both report the speedup per point and emit a JSON document so the
 performance trajectory is recorded rather than anecdotal.
@@ -19,8 +25,9 @@ Two properties make the numbers trustworthy:
 * every timed pair also cross-checks that both kernels produced
   bit-identical results (``stats_match`` in the JSON): NetworkStats
   summaries for the noc suite, delivery timestamps / received values /
-  activity counters for the gate suite — a fast kernel that computes
-  the wrong answer fails the bench;
+  activity counters for the gate suite, lane-0 settled net values and
+  transition counters for the compiled suite — a fast kernel that
+  computes the wrong answer fails the bench;
 * regression checking (``--check``) compares the *speedup ratio*
   against a committed baseline, not absolute throughput: the ratio of
   two kernels timed on the same host in the same process is stable
@@ -63,8 +70,10 @@ from .noc.reference import ReferenceNetwork
 from .tech import st012
 
 #: bench schema version, bumped on incompatible JSON layout changes
-#: (2: added the gate-level suite; points carry a ``suite`` field)
-SCHEMA = 2
+#: (2: added the gate-level suite; points carry a ``suite`` field;
+#: 3: added the compiled suite — lane counts and wall-clock fields;
+#: readers keep accepting schema-1/2 documents unchanged)
+SCHEMA = 3
 
 #: default operating points: (mesh_size, injection_rate) — the nominal
 #: 4x4 point plus the 8x8 low-load and saturation gates from the perf
@@ -469,20 +478,276 @@ def default_gate_points(scale: float = 1.0) -> List[GateBenchPoint]:
     ]
 
 
+# ----------------------------------------------------------------------
+# bit-parallel compiled-backend suite
+# ----------------------------------------------------------------------
+#: workload ids of the compiled suite and their default sizes (the unit
+#: is stimulus vectors for the fault batch, output toggles for the
+#: free-running ring oscillator)
+COMPILED_WORKLOADS: Sequence[tuple[str, int]] = (
+    ("fault-batch", 12),
+    ("ringosc", 20_000),
+)
+
+#: fault-batch lane layout: 16 seeds x (1 golden + 3 stuck-net lanes)
+#: fill the 64-bit word exactly
+_BATCH_SEEDS = 16
+_BATCH_FAULTS = 3
+
+
+@dataclass(frozen=True)
+class CompiledBenchPoint:
+    """One timed compiled-backend workload configuration.
+
+    ``size`` is recorded as ``cycles`` in the JSON so the baseline
+    check's workload-length comparability rule applies unchanged.
+    """
+
+    workload: str
+    size: int
+
+    @property
+    def key(self) -> str:
+        return f"compiled/{self.workload}@{self.size}"
+
+
+@dataclass
+class CompiledBenchResult:
+    """Timing + lane-0 cross-check outcome of one compiled point.
+
+    ``speedup`` is *aggregate lanes per second*: the compiled run
+    evaluates ``lanes`` independent simulations per pass, the reference
+    (the optimized event kernel) evaluates exactly one of them — so the
+    ratio is ``lanes * reference_wall / compiled_wall``.
+    """
+
+    point: CompiledBenchPoint
+    lanes: int
+    compiled_wall_s: float
+    reference_wall_s: Optional[float]
+    stats_match: Optional[bool]
+    #: workload steps executed (phases for fault-batch, toggles for
+    #: ringosc) — the throughput denominator
+    steps: int
+
+    @property
+    def optimized_lps(self) -> float:
+        """Aggregate lane-steps per second of the compiled run."""
+        if not self.compiled_wall_s:
+            return 0.0
+        return self.lanes * self.steps / self.compiled_wall_s
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.reference_wall_s or not self.compiled_wall_s:
+            return None
+        return (
+            self.lanes * self.reference_wall_s / self.compiled_wall_s
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "suite": "compiled",
+            "key": self.point.key,
+            "workload": self.point.workload,
+            "cycles": self.point.size,
+            "lanes": self.lanes,
+            "compiled_lps": round(self.optimized_lps, 1),
+            "compiled_wall_s": round(self.compiled_wall_s, 6),
+            "reference_wall_s": (
+                round(self.reference_wall_s, 6)
+                if self.reference_wall_s else None
+            ),
+            "speedup": (
+                round(self.speedup, 3) if self.speedup is not None else None
+            ),
+            "stats_match": self.stats_match,
+        }
+
+
+def _compiled_fault_batch(vectors: int):
+    """64-lane fault-injection batch on the compilable i3 bench.
+
+    Returns ``(run_compiled, run_reference, check)``: the first times a
+    full 64-lane stimulus replay (16 seeds, each a golden lane plus
+    three stuck-net lanes); the second times the optimized event kernel
+    driving lane 0's projection of the identical stimulus through the
+    same circuit; the third compares lane-0 settled values and the
+    aggregate sampled-transition counters bit for bit.
+    """
+    from .compiled import (
+        LANES,
+        MASK,
+        StepOracle,
+        build_bench,
+        compile_component,
+        lane_phases,
+        stimulus_phases,
+    )
+    from .sim import Simulator
+
+    group = 1 + _BATCH_FAULTS
+    lane_seeds: List[int] = []
+    for seed in range(1, _BATCH_SEEDS + 1):
+        lane_seeds.extend([seed] * group)
+    phases = stimulus_phases("i3", lane_seeds, vectors, 32)
+
+    def build_circuit():
+        sim = Simulator()
+        bench = build_bench(sim, "i3", 32)
+        circuit = compile_component(bench.root,
+                                    forceable=bench.fault_sites)
+        for r in range(_BATCH_SEEDS):
+            for j in range(1, group):
+                site = bench.fault_sites[
+                    (r + j) % len(bench.fault_sites)
+                ]
+                circuit.force(site, (j % 2) * MASK,
+                              lanes=1 << (r * group + j))
+        return circuit
+
+    def run_compiled():
+        circuit = build_circuit()
+        t0 = time.perf_counter()
+        for phase in phases:
+            circuit.step(phase)
+        return time.perf_counter() - t0, circuit
+
+    lane0 = lane_phases(phases, 0)
+
+    def run_reference():
+        sim = Simulator()
+        bench = build_bench(sim, "i3", 32)
+        oracle = StepOracle(sim, bench.root)
+        t0 = time.perf_counter()
+        for phase in lane0:
+            oracle.step(phase)
+        return time.perf_counter() - t0, oracle
+
+    def check(circuit, oracle) -> bool:
+        counts = circuit.counts()
+        ocounts = oracle.counts()
+        return (
+            circuit.lane_values(0) == oracle.values()
+            and counts["rising0"] == ocounts["rising"]
+            and counts["falling0"] == ocounts["falling"]
+        )
+
+    return LANES, len(phases), run_compiled, run_reference, check
+
+
+def _compiled_ringosc(toggles: int):
+    """Single-lane ring oscillator: the compiled backend's worst case.
+
+    No batch to amortize over — one free-running state element ticking
+    ``toggles`` times — so the speedup here prices raw per-step
+    overhead against the event kernel (the gate is only >= 1x).
+    """
+    from .compiled import MASK, compile_component
+    from .elements.ringosc import RingOscillator
+    from .sim import Simulator
+
+    def run_compiled():
+        sim = Simulator()
+        enable = sim.signal("en")
+        osc = RingOscillator(sim, enable, stages=5)
+        circuit = compile_component(osc)
+        circuit.poke(enable, MASK)
+        circuit.settle()
+        t0 = time.perf_counter()
+        circuit.tick(toggles)
+        return time.perf_counter() - t0, (circuit, osc)
+
+    def run_reference():
+        sim = Simulator()
+        enable = sim.signal("en")
+        osc = RingOscillator(sim, enable, stages=5)
+        enable.set(1)
+        t0 = time.perf_counter()
+        sim.run(until=toggles * osc.half_period + 1)
+        return time.perf_counter() - t0, (enable, osc)
+
+    def check(compiled_art, ref_art) -> bool:
+        circuit, cosc = compiled_art
+        enable, rosc = ref_art
+        counts = circuit.counts()
+        return (
+            circuit.lane(cosc.out, 0) == rosc.out.value
+            and counts["rising0"] == enable.rising + rosc.out.rising
+            and counts["falling0"] == enable.falling + rosc.out.falling
+        )
+
+    # a single meaningful lane: the other 63 compute the same ring
+    return 1, toggles, run_compiled, run_reference, check
+
+
+def _build_compiled_workload(point: CompiledBenchPoint):
+    if point.workload == "fault-batch":
+        return _compiled_fault_batch(point.size)
+    if point.workload == "ringosc":
+        return _compiled_ringosc(point.size)
+    raise ValueError(f"unknown compiled workload {point.workload!r}")
+
+
+def run_compiled_point(
+    point: CompiledBenchPoint,
+    reference: bool = True,
+    repeats: int = 3,
+) -> CompiledBenchResult:
+    """Time one compiled workload against the optimized event kernel."""
+    lanes, steps, run_compiled, run_reference, check = (
+        _build_compiled_workload(point)
+    )
+    comp_wall = float("inf")
+    comp_art = None
+    for _ in range(repeats):
+        elapsed, comp_art = run_compiled()
+        comp_wall = min(comp_wall, elapsed)
+    ref_wall = None
+    stats_match = None
+    if reference:
+        ref_wall = float("inf")
+        ref_art = None
+        for _ in range(repeats):
+            elapsed, ref_art = run_reference()
+            ref_wall = min(ref_wall, elapsed)
+        stats_match = check(comp_art, ref_art)
+    return CompiledBenchResult(
+        point=point,
+        lanes=lanes,
+        compiled_wall_s=comp_wall,
+        reference_wall_s=ref_wall,
+        stats_match=stats_match,
+        steps=steps,
+    )
+
+
+def default_compiled_points(scale: float = 1.0
+                            ) -> List[CompiledBenchPoint]:
+    """The standard compiled-suite points, sizes scaled by ``scale``."""
+    return [
+        CompiledBenchPoint(workload, max(2, round(size * scale)))
+        for workload, size in COMPILED_WORKLOADS
+    ]
+
+
 def run_bench(
     points: Sequence[BenchPoint] = (),
     reference: bool = True,
     repeats: int = 3,
     progress=None,
     gate_points: Sequence[GateBenchPoint] = (),
+    compiled_points: Sequence[CompiledBenchPoint] = (),
 ) -> Dict[str, object]:
-    """Run every noc and gate point; return the JSON-able document."""
+    """Run every noc, gate and compiled point; return the JSON document."""
     results = []
     suites = []
     if points:
         suites.append("noc")
     if gate_points:
         suites.append("gate")
+    if compiled_points:
+        suites.append("compiled")
     for point in points:
         outcome = run_point(point, reference=reference, repeats=repeats)
         if progress is not None:
@@ -495,6 +760,13 @@ def run_bench(
         if progress is not None:
             progress(gate_outcome)
         results.append(gate_outcome.to_json())
+    for compiled_point in compiled_points:
+        compiled_outcome = run_compiled_point(
+            compiled_point, reference=reference, repeats=repeats
+        )
+        if progress is not None:
+            progress(compiled_outcome)
+        results.append(compiled_outcome.to_json())
     return {
         "schema": SCHEMA,
         "python": sys.version.split()[0],
@@ -570,6 +842,8 @@ def check_against_baseline(
             # cycle counts by --cycles — point the user at the right knob
             if base_point.get("suite") == "gate":
                 flag, unit = "--gate-scale", "workload units"
+            elif base_point.get("suite") == "compiled":
+                flag, unit = "--compiled-scale", "workload units"
             else:
                 flag, unit = "--cycles", "cycles"
             problems.append(
@@ -606,7 +880,23 @@ def default_points(cycles: int) -> List[BenchPoint]:
 
 
 def load_baseline(path: str) -> Dict[str, object]:
-    return json.loads(Path(path).read_text(encoding="utf-8"))
+    """Read a committed bench document; any schema up to ours loads.
+
+    Older documents (schema 1: no suites, schema 2: no compiled points)
+    stay readable — :func:`check_against_baseline` treats missing
+    fields as "point not benchmarked".  A *newer* schema is refused:
+    silently gating against fields this code does not understand would
+    make the check vacuous.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = document.get("schema")
+    if isinstance(schema, int) and schema > SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {schema}, newer than the "
+            f"supported schema {SCHEMA}; update the code or regenerate "
+            f"the baseline"
+        )
+    return document
 
 
 def write_json(document: Dict[str, object], path: str) -> None:

@@ -1,0 +1,54 @@
+"""Bit-parallel compiled simulation backend (third backend).
+
+Pipeline: :func:`~repro.compiled.netlist.extract` walks an elaborated
+Component tree into a whitelisted IR, :func:`~repro.compiled.levelize.levelize`
+orders the combinational gates (with loop diagnostics), and
+:func:`~repro.compiled.backend.compile_component` emits one Python
+function of 64-bit bitwise operations where bit ``k`` of every net is
+simulation lane ``k`` — 64 Monte Carlo samples per evaluation.
+
+:class:`~repro.compiled.oracle.StepOracle` runs the same circuit on an
+event kernel with the same phase discipline, which is how the
+equivalence suites pin lane 0 to the event kernels bit-for-bit.
+"""
+
+from .backend import (
+    LANES,
+    MASK,
+    CompiledCircuit,
+    CompiledStats,
+    SettleError,
+    compile_component,
+)
+from .circuits import (
+    ALL,
+    KINDS,
+    BenchCircuit,
+    build_bench,
+    lane_phases,
+    stimulus_phases,
+)
+from .levelize import CombinationalLoopError, levelize
+from .netlist import CompileError, Netlist, extract
+from .oracle import StepOracle
+
+__all__ = [
+    "ALL",
+    "LANES",
+    "MASK",
+    "KINDS",
+    "BenchCircuit",
+    "CombinationalLoopError",
+    "CompileError",
+    "CompiledCircuit",
+    "CompiledStats",
+    "Netlist",
+    "SettleError",
+    "StepOracle",
+    "build_bench",
+    "compile_component",
+    "extract",
+    "lane_phases",
+    "levelize",
+    "stimulus_phases",
+]

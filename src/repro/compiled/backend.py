@@ -1,0 +1,527 @@
+"""Bit-parallel compiled circuit: 64 simulation lanes per machine word.
+
+:func:`compile_component` turns an elaborated Component tree into one
+generated Python function of bitwise operations over 64-bit integers,
+where bit ``k`` of every net is independent simulation lane ``k``.  The
+generated code has three parts per *phase* (a phase = apply stimulus,
+then settle to quiescence — the granularity at which the event kernels
+and this backend are compared):
+
+1. the levelized combinational pass — one straight-line assignment per
+   gate, in topological order, so a single pass settles all logic;
+2. the sequential pass — every state element computes its next value
+   from *current* values (two-phase simultaneous commit, so e.g. a
+   shift register's stages all capture their predecessor's old output),
+   then commits; edge-triggered elements compare against a per-round
+   baseline so a clock poked high is seen as a rising edge and token
+   ripples propagate across rounds;
+3. transition accounting at settled-sample granularity — per phase, not
+   per event, because bitwise evaluation cannot see the inertial
+   glitches the event kernels filter anyway.
+
+Ring oscillators are free-running and would never reach quiescence, so
+they are excluded from the settle loop; :meth:`CompiledCircuit.tick`
+advances every oscillator by one half-period per call, with the loop
+*inside* the generated code so a 20k-toggle benchmark does not pay 20k
+Python function calls.
+
+Semantics contract versus the event kernels (enforced by the
+equivalence tests): stimulus is applied phase-by-phase, with clocks and
+strobes poked in their own phase so data inputs are settled before an
+edge samples them.  Under that discipline lane 0 is bit-identical to
+both event kernels on settled values and sampled transition counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from .levelize import levelize
+from .netlist import CompileError, Netlist, extract
+
+#: all 64 lanes
+MASK = (1 << 64) - 1
+LANES = 64
+
+
+class SettleError(RuntimeError):
+    """The sequential pass did not reach quiescence (runaway feedback)."""
+
+
+NetRef = Union[str, object]
+
+
+@dataclass
+class CompiledStats:
+    """Shape report for ``repro inspect`` and the benchmarks."""
+
+    n_nets: int
+    n_inputs: int
+    n_gates: int
+    n_state: int
+    depth: int
+    gates_per_level: List[int]
+    counts_by_kind: Dict[str, int]
+    lanes: int = LANES
+
+    def render(self) -> str:
+        lines = [
+            f"nets:            {self.n_nets} "
+            f"({self.n_inputs} stimulus inputs)",
+            f"comb gates:      {self.n_gates} in {self.depth} levels",
+            f"state elements:  {self.n_state}",
+            f"lanes per word:  {self.lanes}",
+        ]
+        if self.gates_per_level:
+            profile = " ".join(str(n) for n in self.gates_per_level)
+            lines.append(f"gates per level: {profile}")
+        kinds = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(self.counts_by_kind.items())
+        )
+        lines.append(f"by kind:         {kinds}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# code generation
+
+
+def _state_lines(netlist: Netlist, ei: int, state,
+                 tmp: Dict[int, str]) -> List[str]:
+    """Emit next-value temps for one state element.
+
+    Temps read only ``n*`` (current round) and ``p*`` (previous round
+    baselines) locals; the caller commits them afterwards, which is what
+    gives all elements simultaneous-update semantics.
+    """
+    idx = netlist.idx
+    pins = state.pins
+    pre = f"x{ei}"
+    out: List[str] = []
+
+    def t(sig) -> str:
+        name = f"t{idx(sig)}"
+        tmp[idx(sig)] = name
+        return name
+
+    if state.kind == "dlatch":
+        d, g, q = idx(pins["d"]), idx(pins["g"]), idx(pins["q"])
+        out.append(f"{t(pins['q'])} = (n{d} & n{g}) | (n{q} & (n{g} ^ M))")
+    elif state.kind == "dff":
+        d, clk, q = idx(pins["d"]), idx(pins["clk"]), idx(pins["q"])
+        out.append(f"{pre}c = n{clk} & (p{clk} ^ M)")
+        if pins.get("clear") is not None:
+            clr = idx(pins["clear"])
+            out.append(f"{pre}c &= n{clr} ^ M")
+            out.append(
+                f"{t(pins['q'])} = ((n{d} & {pre}c) | "
+                f"(n{q} & ({pre}c ^ M))) & (n{clr} ^ M)"
+            )
+        else:
+            out.append(
+                f"{t(pins['q'])} = (n{d} & {pre}c) | "
+                f"(n{q} & ({pre}c ^ M))"
+            )
+    elif state.kind == "regbus":
+        clk = idx(pins["clk"])
+        en = idx(pins["enable"])
+        out.append(f"{pre}c = n{clk} & (p{clk} ^ M) & n{en}")
+        for d_sig, q_sig in zip(pins["d"], pins["q"]):
+            d, q = idx(d_sig), idx(q_sig)
+            out.append(
+                f"{t(q_sig)} = (n{d} & {pre}c) | (n{q} & ({pre}c ^ M))"
+            )
+    elif state.kind == "celement":
+        q = idx(pins["q"])
+        effs = []
+        for sig, inv in zip(pins["inputs"], state.params["invert"]):
+            expr = f"(n{idx(sig)} ^ M)" if inv else f"n{idx(sig)}"
+            effs.append(expr)
+        all1 = " & ".join(effs)
+        all0 = " & ".join(f"({e} ^ M)" for e in effs)
+        out.append(f"{pre}s = {all1}")
+        out.append(f"{pre}z = {all0}")
+        tq = t(pins["q"])
+        out.append(f"{tq} = (n{q} | {pre}s) & ({pre}z ^ M)")
+        if pins.get("reset") is not None:
+            rst = idx(pins["reset"])
+            rv = "M" if state.params["reset_value"] else "0"
+            out.append(f"{tq} = ({tq} & (n{rst} ^ M)) | ({rv} & n{rst})")
+    elif state.kind == "davidcell":
+        s, clr = idx(pins["set"]), idx(pins["clear"])
+        q = idx(pins["q"])
+        out.append(f"{pre}r = n{s} & (p{s} ^ M) & (n{clr} ^ M)")
+        tq = t(pins["q"])
+        out.append(f"{tq} = (n{q} | {pre}r) & (n{clr} ^ M)")
+        out.append(f"{t(pins['o1'])} = {tq}")
+    elif state.kind == "onehotmux":
+        sels = [idx(sig) for sig in pins["sel"]]
+        for bit, q_sig in enumerate(pins["out"]):
+            q = idx(q_sig)
+            out.append(f"{pre}a = 0")
+            out.append(f"{pre}m = M")
+            for tap, sel in enumerate(sels):
+                src = idx(pins["ins"][tap][bit])
+                out.append(f"{pre}a |= n{sel} & {pre}m & n{src}")
+                out.append(f"{pre}m &= n{sel} ^ M")
+            out.append(f"{t(q_sig)} = {pre}a | ({pre}m & n{q})")
+    elif state.kind == "flagsync":
+        clk, wr = idx(pins["clk"]), idx(pins["wr_en"])
+        clr = idx(pins["clear"])
+        fa, s1 = idx(pins["flag_a"]), idx(pins["sync1"])
+        fs = idx(pins["flag_s"])
+        out.append(
+            f"{pre}c = n{clk} & (p{clk} ^ M) & (n{clr} ^ M)"
+        )
+        out.append(f"{pre}w = {pre}c & n{wr}")
+        out.append(f"{pre}h = {pre}c & (n{wr} ^ M)")
+        out.append(
+            f"{t(pins['sync1'])} = (n{s1} & ({pre}c ^ M)) | {pre}w | "
+            f"(n{fa} & {pre}h)"
+        )
+        out.append(
+            f"{t(pins['flag_s'])} = (n{fs} & ({pre}c ^ M)) | {pre}w | "
+            f"(n{s1} & {pre}h)"
+        )
+        out.append(
+            f"{t(pins['flag_a'])} = (n{fa} | {pre}w) & (n{clr} ^ M)"
+        )
+    elif state.kind == "ringosc":
+        # free-running toggle handled by tick(); inside a settle the
+        # output only reacts to the enable level (disable clears it)
+        q, en = idx(pins["out"]), idx(pins["enable"])
+        out.append(f"{t(pins['out'])} = n{q} & n{en}")
+    else:  # pragma: no cover - extraction guarantees known kinds
+        raise CompileError(f"no code template for {state.kind!r}")
+    return out
+
+
+class _Codegen:
+    def __init__(self, netlist: Netlist, levels: List[List[int]],
+                 forceable: frozenset) -> None:
+        self.netlist = netlist
+        self.levels = levels
+        self.forceable = forceable
+        self.edge_nets = sorted(
+            {netlist.idx(sig) for st in netlist.states for sig in st.edges}
+        )
+        self.osc = [
+            st for st in netlist.states if st.kind == "ringosc"
+        ]
+        # every round at least one state output must change or the loop
+        # exits; a token can ripple through every element, and each
+        # element output can both rise and fall, so 4x + slack bounds
+        # any legitimate settle
+        self.max_rounds = 4 * max(1, len(netlist.states)) + len(levels) + 8
+
+    # -- small emit helpers -------------------------------------------
+    def _force_wrap(self, i: int) -> List[str]:
+        if i in self.forceable:
+            return [f"n{i} = (n{i} & k{i}) | v{i}"]
+        return []
+
+    def _comb_lines(self) -> List[str]:
+        out: List[str] = []
+        formulas = {
+            "inv": "n{a} ^ M",
+            "and2": "n{a} & n{b}",
+            "or2": "n{a} | n{b}",
+            "nand2": "(n{a} & n{b}) ^ M",
+            "nor2": "(n{a} | n{b}) ^ M",
+            "xor2": "n{a} ^ n{b}",
+            "mux2": "(n{b} & n{s}) | (n{a} & (n{s} ^ M))",
+        }
+        idx = self.netlist.idx
+        for level in self.levels:
+            for gi in level:
+                gate = self.netlist.gates[gi]
+                ins = [idx(sig) for sig in gate.inputs]
+                o = idx(gate.output)
+                keys = dict(a=ins[0])
+                if len(ins) > 1:
+                    keys["b"] = ins[1]
+                if len(ins) > 2:
+                    keys["s"] = ins[2]
+                out.append(f"n{o} = " + formulas[gate.kind].format(**keys))
+                out.extend(self._force_wrap(o))
+        return out
+
+    def _state_block(self) -> List[str]:
+        netlist = self.netlist
+        tmp: Dict[int, str] = {}
+        lines: List[str] = []
+        for ei, state in enumerate(netlist.states):
+            lines.extend(_state_lines(netlist, ei, state, tmp))
+        lines.append("ch = 0")
+        for i in sorted(tmp):
+            if i in self.forceable:
+                lines.append(f"{tmp[i]} = ({tmp[i]} & k{i}) | v{i}")
+            lines.append(f"ch |= n{i} ^ {tmp[i]}")
+            lines.append(f"n{i} = {tmp[i]}")
+        for i in self.edge_nets:
+            lines.append(f"p{i} = n{i}")
+        return lines
+
+    def _settle_body(self) -> List[str]:
+        """The per-phase core: comb pass (+ sequential loop if needed)."""
+        comb = self._comb_lines()
+        if not self.netlist.states:
+            return comb + ["rounds = 1"]
+        body = ["rounds = 0", "while True:", "    rounds += 1",
+                f"    if rounds > {self.max_rounds}:",
+                "        raise SettleError("
+                f"'no quiescence after {self.max_rounds} rounds; "
+                "level-held feedback through state elements')"]
+        inner = comb + self._state_block() + ["if not ch:", "    break"]
+        body.extend("    " + line for line in inner)
+        return body
+
+    def _counter_lines(self) -> List[str]:
+        out: List[str] = []
+        for i in range(len(self.netlist.nets)):
+            out.append(f"dl = n{i} ^ c{i}")
+            out.append("if dl:")
+            out.append(f"    r0 += dl & n{i} & 1")
+            out.append(f"    f0 += dl & (n{i} ^ M) & 1")
+            out.append(f"    ra += bc(dl & n{i})")
+            out.append(f"    fa += bc(dl & (n{i} ^ M))")
+            out.append(f"    c{i} = n{i}")
+        return out
+
+    def _loads(self) -> List[str]:
+        n = len(self.netlist.nets)
+        out = [f"n{i} = S[{i}]" for i in range(n)]
+        out += [f"c{i} = CM[{i}]" for i in range(n)]
+        out += [f"k{i} = K[{i}]" for i in sorted(self.forceable)]
+        out += [f"v{i} = FV[{i}]" for i in sorted(self.forceable)]
+        out += [f"p{i} = c{i}" for i in self.edge_nets]
+        out += ["r0 = CT[0]", "f0 = CT[1]", "ra = CT[2]", "fa = CT[3]"]
+        return out
+
+    def _stores(self) -> List[str]:
+        n = len(self.netlist.nets)
+        out = [f"S[{i}] = n{i}" for i in range(n)]
+        out += [f"CM[{i}] = c{i}" for i in range(n)]
+        out += ["CT[0] = r0", "CT[1] = f0", "CT[2] = ra", "CT[3] = fa"]
+        return out
+
+    def _osc_toggles(self) -> List[str]:
+        out: List[str] = []
+        idx = self.netlist.idx
+        for state in self.osc:
+            o = idx(state.pins["out"])
+            en = idx(state.pins["enable"])
+            out.append(f"n{o} = (n{o} ^ M) & n{en}")
+            out.extend(self._force_wrap(o))
+        return out
+
+    def source(self) -> str:
+        lines = [
+            "# generated by repro.compiled.backend - do not edit",
+            f"M = {MASK}",
+            "bc = int.bit_count",
+            "",
+            "def settle(S, CM, K, FV, CT):",
+        ]
+        body = (
+            self._loads() + self._settle_body() + self._counter_lines()
+            + self._stores() + ["return rounds"]
+        )
+        lines.extend("    " + line for line in body)
+        lines.append("")
+        lines.append("def tick(S, CM, K, FV, CT, count):")
+        per_tick = (
+            self._osc_toggles() + self._settle_body()
+            + self._counter_lines() + ["total += rounds"]
+        )
+        body = (
+            self._loads() + ["total = 0", "for _ in range(count):"]
+            + ["    " + line for line in per_tick]
+            + self._stores() + ["return total"]
+        )
+        lines.extend("    " + line for line in body)
+        lines.append("")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the public object
+
+
+class CompiledCircuit:
+    """64-lane bit-parallel executor for one compiled Component tree."""
+
+    def __init__(self, netlist: Netlist, levels: List[List[int]],
+                 forceable: frozenset, source: str) -> None:
+        self.netlist = netlist
+        self.levels = levels
+        self.source = source
+        self._forceable = forceable
+        namespace: Dict[str, object] = {"SettleError": SettleError}
+        exec(compile(source, "<repro.compiled>", "exec"), namespace)
+        self._settle = namespace["settle"]
+        self._tick = namespace["tick"]
+        n = len(netlist.nets)
+        self.S = [MASK if sig._value else 0 for sig in netlist.nets]
+        self.CM = list(self.S)
+        self.K = [MASK] * n
+        self.FV = [0] * n
+        self.CT = [0, 0, 0, 0]
+        self._inputs = frozenset(netlist.input_nets())
+        self.last_rounds = 0
+        # construction mirrors the event kernels' t=0 settle: propagate
+        # initial values once, then start transition counts from zero
+        self.settle()
+        self.zero_counts()
+
+    # -- addressing ---------------------------------------------------
+    def _resolve(self, net: NetRef) -> int:
+        if isinstance(net, str):
+            try:
+                return self.netlist.names[net]
+            except KeyError:
+                raise ValueError(
+                    f"unknown net {net!r}; {len(self.netlist.names)} "
+                    f"nets are addressable by signal name"
+                ) from None
+        try:
+            return self.netlist.index[id(net)]
+        except KeyError:
+            raise ValueError(
+                f"signal {getattr(net, 'name', net)!r} is not part of "
+                f"this compiled circuit"
+            ) from None
+
+    # -- stimulus -----------------------------------------------------
+    def poke(self, net: NetRef, word: int) -> None:
+        """Set a stimulus net to a 64-lane word (bit k = lane k)."""
+        i = self._resolve(net)
+        if i not in self._inputs:
+            raise ValueError(
+                f"net {self.netlist.nets[i].name!r} is driven by "
+                f"{self.netlist.driver_of[i]}; only undriven stimulus "
+                f"nets can be poked (declare fault sites via forceable=)"
+            )
+        self.S[i] = ((word & MASK) & self.K[i]) | self.FV[i]
+
+    def settle(self) -> int:
+        """Run comb + sequential passes to quiescence; returns rounds."""
+        self.last_rounds = self._settle(
+            self.S, self.CM, self.K, self.FV, self.CT
+        )
+        return self.last_rounds
+
+    def step(self, pokes: Union[Mapping[NetRef, int],
+                                Iterable[Tuple[NetRef, int]]] = ()) -> int:
+        """One phase: apply pokes, then settle."""
+        items = pokes.items() if isinstance(pokes, Mapping) else pokes
+        for net, word in items:
+            self.poke(net, word)
+        return self.settle()
+
+    def tick(self, count: int = 1) -> int:
+        """Advance every ring oscillator ``count`` half-periods."""
+        return self._tick(self.S, self.CM, self.K, self.FV, self.CT,
+                          count)
+
+    # -- fault lanes --------------------------------------------------
+    def force(self, net: NetRef, value: int, lanes: int = MASK) -> None:
+        """Stick ``net`` at per-lane bits of ``value`` on ``lanes``.
+
+        Driven nets must have been declared in ``forceable=`` at
+        compile time (the override is woven into the generated code);
+        stimulus nets are always forceable.  Repeated calls merge.
+        """
+        i = self._resolve(net)
+        if i not in self._forceable and i not in self._inputs:
+            raise ValueError(
+                f"net {self.netlist.nets[i].name!r} was not declared "
+                f"forceable at compile time"
+            )
+        lanes &= MASK
+        self.K[i] &= ~lanes & MASK
+        self.FV[i] = (self.FV[i] & ~lanes) | (value & lanes)
+        self.S[i] = (self.S[i] & self.K[i]) | self.FV[i]
+
+    def release(self, net: NetRef, lanes: int = MASK) -> None:
+        i = self._resolve(net)
+        self.K[i] |= lanes & MASK
+        self.FV[i] &= ~lanes & MASK
+
+    # -- observation --------------------------------------------------
+    def peek(self, net: NetRef) -> int:
+        return self.S[self._resolve(net)]
+
+    def lane(self, net: NetRef, lane: int) -> int:
+        return (self.S[self._resolve(net)] >> lane) & 1
+
+    def values(self) -> Dict[str, int]:
+        """Settled 64-lane word of every net, by signal name."""
+        return {
+            sig.name: self.S[self.netlist.names[sig.name]]
+            for sig in self.netlist.nets
+        }
+
+    def lane_values(self, lane: int = 0) -> Dict[str, int]:
+        return {
+            name: (word >> lane) & 1
+            for name, word in self.values().items()
+        }
+
+    def counts(self) -> Dict[str, int]:
+        """Sampled transition totals: lane 0 and all-lane aggregates."""
+        return {
+            "rising0": self.CT[0],
+            "falling0": self.CT[1],
+            "rising_all": self.CT[2],
+            "falling_all": self.CT[3],
+        }
+
+    def zero_counts(self) -> None:
+        self.CT[0] = self.CT[1] = self.CT[2] = self.CT[3] = 0
+
+    # -- reporting ----------------------------------------------------
+    def stats(self) -> CompiledStats:
+        return CompiledStats(
+            n_nets=len(self.netlist.nets),
+            n_inputs=len(self._inputs),
+            n_gates=len(self.netlist.gates),
+            n_state=len(self.netlist.states),
+            depth=len(self.levels),
+            gates_per_level=[len(level) for level in self.levels],
+            counts_by_kind=self.netlist.counts_by_kind(),
+        )
+
+
+def compile_component(root, forceable: Iterable[NetRef] = ()
+                      ) -> CompiledCircuit:
+    """Compile a Component tree (or a Design) into a 64-lane executor.
+
+    ``forceable`` lists nets (signal names or Signal objects) that
+    :meth:`CompiledCircuit.force` may override per lane — fault
+    injection sites, declared up front so the override costs nothing
+    on nets that never use it.
+    """
+    root = getattr(root, "top", root)
+    netlist = extract(root)
+    levels = levelize(netlist)
+
+    def resolve(net: NetRef) -> int:
+        if isinstance(net, str):
+            if net not in netlist.names:
+                raise CompileError(
+                    f"forceable net {net!r} not found in the netlist"
+                )
+            return netlist.names[net]
+        if id(net) not in netlist.index:
+            raise CompileError(
+                f"forceable signal {getattr(net, 'name', net)!r} is "
+                f"not part of the netlist"
+            )
+        return netlist.index[id(net)]
+
+    force_set = frozenset(resolve(net) for net in forceable)
+    source = _Codegen(netlist, levels, force_set).source()
+    return CompiledCircuit(netlist, levels, force_set, source)

@@ -1,0 +1,263 @@
+"""Compilable serializer-style bench circuits (I1/I2/I3 families).
+
+The paper's three link styles are exercised across the repo by
+event-kernel testbenches with coroutine processes, which the compiled
+backend deliberately refuses.  These benches rebuild the same *flavor*
+of structure from compilable primitives only:
+
+* ``i1`` — parallel link: a 32-bit transparent latch word plus a parity
+  reduction tree (pure comb depth, the levelizer's bread and butter);
+* ``i2`` — per-transfer style: a 2-bit flip-flop counter, one-hot slice
+  decoder, OneHotMux slice steering, four RegisterBus de-serializer
+  slots and a C-element completion flag;
+* ``i3`` — per-word style: ``i2`` plus a David-cell token (set through
+  a derived clock-AND edge) and a FlagSynchronizer whose asynchronous
+  clear is the token.
+
+Every net is addressable by its signal name; :func:`stimulus_phases`
+generates the matching phase-by-phase stimulus with one independent
+random stream per lane, so the same function feeds a 64-lane compiled
+run and the single-lane event oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..design.component import Component
+from ..elements.celement import c2
+from ..elements.davidcell import DavidCell
+from ..elements.gates import And2, Inverter, OneHotMux, Xor2
+from ..elements.latches import (
+    DFlipFlop,
+    FlagSynchronizer,
+    LatchBus,
+    RegisterBus,
+)
+
+ALL = (1 << 64) - 1
+
+KINDS = ("i1", "i2", "i3")
+
+#: slices in the i2/i3 de-serializer (fixed by the 2-bit counter)
+SLOTS = 4
+
+
+@dataclass
+class BenchCircuit:
+    """A built bench: the root tree plus its net-name contract."""
+
+    kind: str
+    root: Component
+    width: int
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    fault_sites: List[str] = field(default_factory=list)
+
+
+def _parity_tree(sim, sigs, name: str, root: Component) -> str:
+    """Xor reduction; returns the final output's signal name."""
+    level = list(sigs)
+    k = 0
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            gate = Xor2(sim, level[i], level[i + 1], name=f"{name}.x{k}")
+            root.adopt(gate)
+            k += 1
+            nxt.append(gate.output)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0].name
+
+
+def _build_i1(sim, width: int) -> BenchCircuit:
+    root = Component("i1")
+    d = sim.bus(width, "i1.d")
+    g = sim.signal("i1.g")
+    lat = LatchBus(sim, d, g, name="i1.lat")
+    root.adopt(lat)
+    parity = _parity_tree(sim, lat.q.signals, "i1", root)
+    return BenchCircuit(
+        kind="i1",
+        root=root,
+        width=width,
+        inputs=[sig.name for sig in d.signals] + ["i1.g"],
+        outputs=[sig.name for sig in lat.q.signals] + [parity],
+        fault_sites=[
+            lat.q.signals[0].name,
+            lat.q.signals[width // 2].name,
+            "i1.x0.out",
+            parity,
+        ],
+    )
+
+
+def _build_i2_core(sim, name: str, width: int, root: Component) -> Dict:
+    """Counter + decoder + mux + register slots + completion flag."""
+    sw = max(1, width // SLOTS)
+    clk = sim.signal(f"{name}.clk")
+    rst = sim.signal(f"{name}.rst")
+    slices = [sim.bus(sw, f"{name}.s{t}") for t in range(SLOTS)]
+
+    # 2-bit counter: q0 toggles every edge, q1 toggles when q0 is high
+    q0 = sim.signal(f"{name}.q0")
+    q1 = sim.signal(f"{name}.q1")
+    inv_d0 = Inverter(sim, q0, name=f"{name}.invd0")
+    xor_d1 = Xor2(sim, q1, q0, name=f"{name}.xord1")
+    ff0 = DFlipFlop(sim, inv_d0.output, clk, q=q0, clear=rst,
+                    name=f"{name}.ff0")
+    ff1 = DFlipFlop(sim, xor_d1.output, clk, q=q1, clear=rst,
+                    name=f"{name}.ff1")
+
+    # one-hot slot decoder
+    nq0 = Inverter(sim, q0, name=f"{name}.nq0")
+    nq1 = Inverter(sim, q1, name=f"{name}.nq1")
+    sels = []
+    for t in range(SLOTS):
+        lo = q0 if t & 1 else nq0.output
+        hi = q1 if t & 2 else nq1.output
+        sels.append(And2(sim, hi, lo, name=f"{name}.sel{t}"))
+
+    mux_out = sim.bus(sw, f"{name}.mux")
+    mux = OneHotMux(sim, slices, [s.output for s in sels], mux_out,
+                    name=f"{name}.ohm")
+    regs = [
+        RegisterBus(sim, mux_out, clk, sels[t].output,
+                    name=f"{name}.r{t}")
+        for t in range(SLOTS)
+    ]
+    done = c2(sim, q0, q1, reset=rst, name=f"{name}.done")
+    for comp in (inv_d0, xor_d1, ff0, ff1, nq0, nq1, *sels, mux,
+                 *regs, done):
+        root.adopt(comp)
+    return {
+        "clk": clk, "rst": rst, "slices": slices, "sels": sels,
+        "regs": regs, "done": done, "slice_width": sw,
+    }
+
+
+def _core_names(name: str, core: Dict) -> Dict[str, List[str]]:
+    inputs = [f"{name}.clk", f"{name}.rst"]
+    for bus in core["slices"]:
+        inputs += [sig.name for sig in bus.signals]
+    outputs = [f"{name}.done.z"]
+    for reg in core["regs"]:
+        outputs += [sig.name for sig in reg.q.signals]
+    faults = [
+        f"{name}.sel0.out",
+        f"{name}.invd0.out",
+        f"{name}.mux[0]",
+        core["regs"][1].q.signals[0].name,
+    ]
+    return {"inputs": inputs, "outputs": outputs, "faults": faults}
+
+
+def _build_i2(sim, width: int) -> BenchCircuit:
+    root = Component("i2")
+    core = _build_i2_core(sim, "i2", width, root)
+    names = _core_names("i2", core)
+    return BenchCircuit(
+        kind="i2", root=root, width=width,
+        inputs=names["inputs"], outputs=names["outputs"],
+        fault_sites=names["faults"],
+    )
+
+
+def _build_i3(sim, width: int) -> BenchCircuit:
+    root = Component("i3")
+    core = _build_i2_core(sim, "i3", width, root)
+    tok_clr = sim.signal("i3.tokclr")
+    # token set fires on the clock edge that completes a word (done=1)
+    set_and = And2(sim, core["done"].output, core["clk"],
+                   name="i3.seta")
+    dc = DavidCell(sim, set_and.output, tok_clr, name="i3.dc")
+    flag = FlagSynchronizer(sim, core["clk"],
+                            core["sels"][SLOTS - 1].output, dc.q,
+                            name="i3.flag")
+    for comp in (set_and, dc, flag):
+        root.adopt(comp)
+    names = _core_names("i3", core)
+    return BenchCircuit(
+        kind="i3", root=root, width=width,
+        inputs=names["inputs"] + ["i3.tokclr"],
+        outputs=names["outputs"] + ["i3.dc.q", "i3.flag.a",
+                                    "i3.flag.s"],
+        fault_sites=names["faults"] + ["i3.seta.out"],
+    )
+
+
+def build_bench(sim, kind: str = "i3", width: int = 32) -> BenchCircuit:
+    """Construct one bench circuit on ``sim``; compilable as-is."""
+    if kind == "i1":
+        return _build_i1(sim, width)
+    if kind == "i2":
+        return _build_i2(sim, width)
+    if kind == "i3":
+        return _build_i3(sim, width)
+    raise ValueError(f"unknown bench kind {kind!r} (choose from {KINDS})")
+
+
+# ----------------------------------------------------------------------
+# stimulus
+
+
+def stimulus_phases(kind: str, lane_seeds: Sequence[object],
+                    vectors: int, width: int = 32
+                    ) -> List[Dict[str, int]]:
+    """Phase-by-phase stimulus, one independent stream per lane.
+
+    Returns a list of phases; each phase maps net name → 64-lane word
+    (bit ``k`` carries lane ``k``'s value).  The phase *structure* —
+    which nets are poked, in which order — depends only on
+    ``(kind, vectors, width)``, never on the seeds, which is what lets
+    requests with different seeds pack into one compiled run.  Passing
+    a single seed yields single-lane stimulus for the event oracle.
+    """
+    if kind not in KINDS:
+        raise ValueError(f"unknown bench kind {kind!r}")
+    rngs = [random.Random(f"{kind}:{seed}") for seed in lane_seeds]
+
+    def draw() -> int:
+        word = 0
+        for k, rng in enumerate(rngs):
+            word |= rng.getrandbits(1) << k
+        return word
+
+    phases: List[Dict[str, int]] = []
+    if kind == "i1":
+        for _ in range(vectors):
+            phases.append(
+                {f"i1.d[{b}]": draw() for b in range(width)}
+            )
+            phases.append({"i1.g": ALL})
+            phases.append({"i1.g": 0})
+        return phases
+
+    sw = max(1, width // SLOTS)
+    phases.append({f"{kind}.rst": ALL})
+    phases.append({f"{kind}.rst": 0})
+    for _ in range(vectors):
+        for _edge in range(SLOTS):
+            phases.append({
+                f"{kind}.s{t}[{b}]": draw()
+                for t in range(SLOTS) for b in range(sw)
+            })
+            phases.append({f"{kind}.clk": ALL})
+            phases.append({f"{kind}.clk": 0})
+        if kind == "i3":
+            phases.append({"i3.tokclr": ALL})
+            phases.append({"i3.tokclr": 0})
+    return phases
+
+
+def lane_phases(phases: List[Dict[str, int]], lane: int
+                ) -> List[Dict[str, int]]:
+    """Project 64-lane phase words down to one lane's bit stream."""
+    return [
+        {name: (word >> lane) & 1 for name, word in phase.items()}
+        for phase in phases
+    ]

@@ -1,0 +1,125 @@
+"""Levelization: order the combinational gates for single-pass evaluation.
+
+Kahn's algorithm over the gate-to-gate dependency graph (gate B depends
+on gate A when A drives one of B's input nets).  State-element outputs
+and external stimulus nets have no combinational driver, so they are
+sources; the result is a list of *levels* — every gate in level ``k``
+reads only nets driven by levels ``< k``, state elements, or inputs —
+which the code generator emits in order so one pass settles all
+combinational logic.
+
+If gates remain after Kahn's algorithm, they form at least one
+combinational cycle (feedback not broken by a latch/flip-flop/C-element).
+That is a modelling error in this backend — the event kernels resolve
+such loops by physical delay, bitwise evaluation cannot — so we raise
+:class:`CombinationalLoopError` naming the *shortest* feedback path by
+hierarchy path, found with a BFS from each remaining gate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List
+
+from .netlist import CombGate, CompileError, Netlist
+
+
+class CombinationalLoopError(CompileError):
+    """The comb netlist has gate-only feedback; ``cycle`` names it."""
+
+    def __init__(self, cycle: List[str]) -> None:
+        self.cycle = list(cycle)
+        loop = " -> ".join(self.cycle + [self.cycle[0]])
+        super().__init__(
+            f"combinational loop ({len(self.cycle)} gates): {loop}; "
+            f"break the feedback with a state element (DLatch, "
+            f"DFlipFlop, CElement, DavidCell) or restructure the logic"
+        )
+
+
+def _gate_deps(netlist: Netlist) -> List[List[int]]:
+    """``deps[i]`` = indices of gates whose output gate ``i`` reads."""
+    comb_driver: Dict[int, int] = {}
+    for gi, gate in enumerate(netlist.gates):
+        comb_driver[netlist.idx(gate.output)] = gi
+    deps: List[List[int]] = []
+    for gate in netlist.gates:
+        row = []
+        for sig in gate.inputs:
+            src = comb_driver.get(netlist.idx(sig))
+            if src is not None:
+                row.append(src)
+        deps.append(row)
+    return deps
+
+
+def _shortest_cycle(deps: List[List[int]], members: List[int],
+                    gates: List[CombGate]) -> List[str]:
+    """Shortest gate cycle among ``members``, as hierarchy paths.
+
+    BFS from each member along dependency edges until the start gate
+    reappears; the globally shortest such loop is the most readable
+    diagnostic (a 2-gate cross-coupled pair is reported as 2 gates, not
+    as the 40-gate strongly-connected blob it might sit inside).
+    """
+    member_set = set(members)
+    best: List[int] = []
+    for start in members:
+        # parent links let us reconstruct the path start -> ... -> start
+        parent: Dict[int, int] = {}
+        queue = deque([start])
+        seen = {start}
+        found = None
+        while queue and found is None:
+            node = queue.popleft()
+            for dep in deps[node]:
+                if dep not in member_set:
+                    continue
+                if dep == start:
+                    found = node
+                    break
+                if dep not in seen:
+                    seen.add(dep)
+                    parent[dep] = node
+                    queue.append(dep)
+        if found is None:
+            continue
+        path = [found]
+        while path[-1] != start:
+            path.append(parent[path[-1]])
+        path.reverse()
+        if not best or len(path) < len(best):
+            best = path
+    # `best` lists gates in dependency order (each reads the previous);
+    # present it signal-flow first
+    return [gates[gi].path for gi in best]
+
+
+def levelize(netlist: Netlist) -> List[List[int]]:
+    """Topological levels of gate indices; raises on comb feedback."""
+    deps = _gate_deps(netlist)
+    fanout: List[List[int]] = [[] for _ in netlist.gates]
+    missing = []
+    for gi, row in enumerate(deps):
+        missing.append(len(row))
+        for src in row:
+            fanout[src].append(gi)
+    levels: List[List[int]] = []
+    frontier = [gi for gi, count in enumerate(missing) if count == 0]
+    placed = 0
+    while frontier:
+        levels.append(sorted(frontier))
+        placed += len(frontier)
+        next_frontier: List[int] = []
+        for gi in frontier:
+            for dst in fanout[gi]:
+                missing[dst] -= 1
+                if missing[dst] == 0:
+                    next_frontier.append(dst)
+        frontier = next_frontier
+    if placed != len(netlist.gates):
+        leftover = [gi for gi, count in enumerate(missing) if count > 0]
+        raise CombinationalLoopError(
+            _shortest_cycle(deps, leftover, netlist.gates)
+        )
+    return levels

@@ -1,0 +1,390 @@
+"""Netlist extraction: an elaborated Component tree → bit-parallel IR.
+
+The compiled backend does not interpret events; it *compiles* the
+structure that :meth:`repro.design.component.Component.elaborate` (or
+the eager constructors) produced.  Extraction walks the instance tree
+and maps every element onto one of two intermediate forms:
+
+* :class:`CombGate` — a pure function of its input nets (the
+  ``Inverter``/``And2``/…/``Mux2`` family).  These are levelized into a
+  topological evaluation order by :mod:`repro.compiled.levelize`.
+* :class:`StateElement` — anything that holds state or reacts to edges
+  (latches, flip-flops, C-elements, David cells, one-hot mux keepers,
+  flag synchronizers, ring oscillators).  These are evaluated in a
+  sequential update phase with two-phase (read-all-then-commit)
+  semantics, which is what breaks feedback through storage.
+
+The supported family is a whitelist: a component type the extractor
+does not know is a hard :class:`CompileError` naming the instance path,
+never a silent approximation.  Components whose behaviour lives in
+Python callbacks or coroutine processes (the link serializers, the
+one-hot sequencer glue) are explicitly rejected — the event kernels
+remain the home of those models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..design.component import Component
+from ..elements.celement import CElement
+from ..elements.davidcell import DavidCell, OneHotSequencer
+from ..elements.fourphase import SimpleLatchController, WireBufferStage
+from ..elements.gates import (
+    And2,
+    Gate,
+    Inverter,
+    Mux2,
+    Nand2,
+    Nor2,
+    OneHotMux,
+    Or2,
+    Xor2,
+)
+from ..elements.latches import (
+    DFlipFlop,
+    DLatch,
+    FlagSynchronizer,
+    LatchBus,
+    RegisterBus,
+)
+from ..elements.ringosc import RingOscillator
+from ..elements.shiftreg import PulseShiftRegister, SliceShiftRegister
+from ..link.serializer import Deserializer, Serializer
+from ..link.wiring import AsyncWireBufferChain
+
+
+class CompileError(ValueError):
+    """The design cannot be compiled; the message names the instance."""
+
+
+#: comb gate type → (kind tag, expected input arity)
+_COMB_KINDS = {
+    Inverter: ("inv", 1),
+    And2: ("and2", 2),
+    Or2: ("or2", 2),
+    Nand2: ("nand2", 2),
+    Nor2: ("nor2", 2),
+    Xor2: ("xor2", 2),
+    Mux2: ("mux2", 3),
+}
+
+#: container types that carry no behaviour of their own — their
+#: children are the circuit (the base Component is always a container)
+_CONTAINERS = (LatchBus, SimpleLatchController, WireBufferStage)
+
+#: types whose behaviour lives outside the structural netlist (Python
+#: callbacks, coroutine processes, transport wires) — rejected with an
+#: explanation instead of the generic unknown-type error
+_REJECTED: Dict[type, str] = {
+    OneHotSequencer: (
+        "its token-advance glue lives in Python callbacks, not in the "
+        "netlist; build the ring from DavidCell + gates instead"
+    ),
+    Serializer: (
+        "its slice engine is a coroutine process the structural walk "
+        "cannot see; use the event kernels for link serializers"
+    ),
+    Deserializer: (
+        "its assembly engine is a coroutine process the structural "
+        "walk cannot see; use the event kernels for link deserializers"
+    ),
+    AsyncWireBufferChain: (
+        "its repeater stages are transport wire() listeners, invisible "
+        "to the structural walk"
+    ),
+    SliceShiftRegister: (
+        "its stages shift inside a Python edge callback over Bus "
+        "state; model the register from RegisterBus stages instead"
+    ),
+    PulseShiftRegister: (
+        "its completion bit lives in a Python list updated by edge "
+        "callbacks; model it from DFlipFlop stages instead"
+    ),
+}
+
+
+@dataclass
+class CombGate:
+    """One levelizable gate: ``output = kind(inputs)``."""
+
+    path: str
+    kind: str
+    inputs: Tuple[object, ...]
+    output: object
+
+    def reads(self) -> Tuple[object, ...]:
+        return self.inputs
+
+    def drives(self) -> Tuple[object, ...]:
+        return (self.output,)
+
+
+@dataclass
+class StateElement:
+    """One sequential-phase element.
+
+    ``pins`` maps role names (kind-specific: ``d``, ``g``, ``q``,
+    ``clk``, …) to Signal objects or tuples of Signals;  ``params``
+    carries plain values (invert flags, reset polarity).  ``edges``
+    lists the nets whose rising edges the element watches — the
+    backend keeps a per-round previous-value baseline for each.
+    """
+
+    path: str
+    kind: str
+    pins: Dict[str, object] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+    edges: Tuple[object, ...] = ()
+
+    def _flat(self, names: Sequence[str]) -> List[object]:
+        out: List[object] = []
+        for name in names:
+            pin = self.pins.get(name)
+            if pin is None:
+                continue
+            stack = [pin]
+            while stack:
+                item = stack.pop(0)
+                if isinstance(item, (tuple, list)):
+                    stack[:0] = list(item)
+                else:
+                    out.append(item)
+        return out
+
+    def reads(self) -> List[object]:
+        return self._flat(_STATE_READS[self.kind])
+
+    def drives(self) -> List[object]:
+        return self._flat(_STATE_DRIVES[self.kind])
+
+
+_STATE_READS = {
+    "dlatch": ("d", "g"),
+    "dff": ("d", "clk", "clear"),
+    "regbus": ("d", "clk", "enable"),
+    "celement": ("inputs", "reset"),
+    "davidcell": ("set", "clear"),
+    "onehotmux": ("sel", "ins"),
+    "flagsync": ("clk", "wr_en", "clear"),
+    "ringosc": ("enable",),
+}
+_STATE_DRIVES = {
+    "dlatch": ("q",),
+    "dff": ("q",),
+    "regbus": ("q",),
+    "celement": ("q",),
+    "davidcell": ("q", "o1"),
+    "onehotmux": ("out",),
+    "flagsync": ("flag_a", "sync1", "flag_s"),
+    "ringosc": ("out",),
+}
+
+
+@dataclass
+class Netlist:
+    """Extraction result: nets, comb gates, state elements."""
+
+    nets: List[object]
+    index: Dict[int, int]  # id(Signal) → net index
+    names: Dict[str, int]  # Signal.name → net index (first wins)
+    gates: List[CombGate]
+    states: List[StateElement]
+    driver_of: Dict[int, str]  # net index → driving element path
+
+    def idx(self, sig) -> int:
+        return self.index[id(sig)]
+
+    def input_nets(self) -> List[int]:
+        """Net indices nothing in the netlist drives (stimulus points)."""
+        return [
+            i for i in range(len(self.nets)) if i not in self.driver_of
+        ]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        for state in self.states:
+            counts[state.kind] = counts.get(state.kind, 0) + 1
+        return counts
+
+
+def _state_record(comp: Component, path: str) -> Optional[StateElement]:
+    """Map a supported sequential element to its IR record."""
+    if isinstance(comp, DLatch):
+        return StateElement(
+            path, "dlatch",
+            pins={"d": comp.d, "g": comp.g, "q": comp.q},
+        )
+    if isinstance(comp, DFlipFlop):
+        return StateElement(
+            path, "dff",
+            pins={"d": comp.d, "clk": comp.clk, "q": comp.q,
+                  "clear": comp.clear},
+            edges=(comp.clk,),
+        )
+    if isinstance(comp, RegisterBus):
+        return StateElement(
+            path, "regbus",
+            pins={
+                "d": tuple(comp.d.signals),
+                "clk": comp.clk,
+                "enable": comp.enable,
+                "q": tuple(comp.q.signals),
+            },
+            edges=(comp.clk,),
+        )
+    if isinstance(comp, CElement):
+        return StateElement(
+            path, "celement",
+            pins={"inputs": tuple(comp.inputs), "q": comp.output,
+                  "reset": comp.reset},
+            params={"invert": tuple(bool(v) for v in comp.invert),
+                    "reset_value": comp.reset_value},
+        )
+    if isinstance(comp, DavidCell):
+        return StateElement(
+            path, "davidcell",
+            pins={"set": comp.set_in, "clear": comp.clear_in,
+                  "q": comp.q, "o1": comp.q_to_prev},
+            edges=(comp.set_in,),
+        )
+    if isinstance(comp, OneHotMux):
+        return StateElement(
+            path, "onehotmux",
+            pins={
+                "sel": tuple(comp.sel),
+                "ins": tuple(
+                    tuple(bus.signals) for bus in comp.inputs
+                ),
+                "out": tuple(comp.out.signals),
+            },
+        )
+    if isinstance(comp, FlagSynchronizer):
+        return StateElement(
+            path, "flagsync",
+            pins={"clk": comp.clk, "wr_en": comp.wr_en,
+                  "clear": comp.clear, "flag_a": comp.flag_a,
+                  "sync1": comp._sync1, "flag_s": comp.flag_s},
+            edges=(comp.clk,),
+        )
+    if isinstance(comp, RingOscillator):
+        return StateElement(
+            path, "ringosc",
+            pins={"enable": comp.enable, "out": comp.out},
+            params={"half_period": comp.half_period},
+        )
+    return None
+
+
+def _visit(comp: Component, path: str, gates: List[CombGate],
+           states: List[StateElement]) -> None:
+    for cls, reason in _REJECTED.items():
+        if isinstance(comp, cls):
+            raise CompileError(
+                f"cannot compile {path!r} ({type(comp).__name__}): "
+                f"{reason}"
+            )
+    kind = _COMB_KINDS.get(type(comp))
+    if kind is not None:
+        tag, arity = kind
+        if len(comp.inputs) != arity:
+            raise CompileError(
+                f"{path!r}: {tag} gate with {len(comp.inputs)} inputs"
+            )
+        gates.append(
+            CombGate(path, tag, tuple(comp.inputs), comp.output)
+        )
+        return
+    if isinstance(comp, Gate):
+        # a Gate subclass (or raw Gate) outside the table carries an
+        # arbitrary Python func the compiler cannot translate
+        raise CompileError(
+            f"cannot compile {path!r}: generic Gate with an opaque "
+            f"evaluation function; use the named gate classes "
+            f"({', '.join(c.__name__ for c in _COMB_KINDS)})"
+        )
+    state = _state_record(comp, path)
+    if state is not None:
+        states.append(state)
+        for leaf, child in comp.children.items():
+            _visit(child, f"{path}.{leaf}", gates, states)
+        return
+    if isinstance(comp, _CONTAINERS) or type(comp) is Component \
+            or comp.children or type(comp).build is not Component.build \
+            or comp.ports:
+        # structural containers: anything whose circuit is entirely its
+        # children.  Declarative subclasses land here too — whatever
+        # their build() placed is in the tree; a build() that spawned a
+        # process instead placed nothing compilable, and the resulting
+        # empty netlist (or the equivalence machinery) makes that loud.
+        for leaf, child in comp.children.items():
+            _visit(child, f"{path}.{leaf}", gates, states)
+        return
+    raise CompileError(
+        f"cannot compile {path!r}: unsupported component type "
+        f"{type(comp).__name__} (supported primitives: "
+        f"{', '.join(sorted(_supported_names()))})"
+    )
+
+
+def _supported_names() -> List[str]:
+    names = [cls.__name__ for cls in _COMB_KINDS]
+    names += ["DLatch", "LatchBus", "DFlipFlop", "RegisterBus",
+              "CElement", "DavidCell", "OneHotMux", "FlagSynchronizer",
+              "RingOscillator"]
+    return names
+
+
+def extract(root: Component) -> Netlist:
+    """Build the compiled IR for the subtree rooted at ``root``.
+
+    Raises :class:`CompileError` on unsupported component types and on
+    nets with more than one structural driver.
+    """
+    gates: List[CombGate] = []
+    states: List[StateElement] = []
+    _visit(root, root.path, gates, states)
+    if not gates and not states:
+        raise CompileError(
+            f"{root.path!r} contains nothing compilable — no supported "
+            f"gates or state elements were found in the tree"
+        )
+
+    nets: List[object] = []
+    index: Dict[int, int] = {}
+    names: Dict[str, int] = {}
+
+    def intern(sig) -> int:
+        if sig is None:
+            raise CompileError("internal: attempted to intern None net")
+        key = id(sig)
+        if key not in index:
+            index[key] = len(nets)
+            nets.append(sig)
+            names.setdefault(sig.name, index[key])
+        return index[key]
+
+    driver_of: Dict[int, str] = {}
+    for element in [*gates, *states]:
+        for sig in element.reads():
+            intern(sig)
+        for sig in element.drives():
+            i = intern(sig)
+            other = driver_of.get(i)
+            if other is not None:
+                raise CompileError(
+                    f"net {nets[i].name!r} has two structural drivers: "
+                    f"{other} and {element.path}"
+                )
+            driver_of[i] = element.path
+    return Netlist(
+        nets=nets,
+        index=index,
+        names=names,
+        gates=gates,
+        states=states,
+        driver_of=driver_of,
+    )

@@ -1,0 +1,100 @@
+"""Event-kernel oracle for the compiled backend's equivalence contract.
+
+The compiled backend evaluates *phases*: apply stimulus, settle to
+quiescence, sample.  :class:`StepOracle` drives the very same circuit on
+an event kernel (either ``repro.sim`` or the frozen ``repro.sim.reference``)
+with the same phase discipline — set the poked signals, run the event
+queue dry, sample every net — so the two backends produce directly
+comparable streams:
+
+* per-phase settled values for every net in the extracted netlist;
+* transition counters at *sampled* granularity (a net that glitches
+  within a phase but settles back does not count — the compiled backend
+  cannot see sub-phase activity, so the contract is defined at the
+  granularity both sides share).
+
+The oracle reuses :func:`repro.compiled.netlist.extract` for its net
+enumeration, which guarantees both sides sample the same signals under
+the same names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from .netlist import extract
+
+NetRef = Union[str, object]
+
+
+class StepOracle:
+    """Phase-by-phase event-kernel execution of a compiled circuit."""
+
+    def __init__(self, sim, root) -> None:
+        self.sim = sim
+        self.root = getattr(root, "top", root)
+        self.netlist = extract(self.root)
+        self._by_name = {
+            sig.name: sig for sig in self.netlist.nets
+        }
+        # t=0 settle, mirroring CompiledCircuit construction; counters
+        # start from the settled state
+        self.sim.run()
+        self._prev = {
+            sig.name: sig._value for sig in self.netlist.nets
+        }
+        self.rising = 0
+        self.falling = 0
+
+    def _signal(self, net: NetRef):
+        if isinstance(net, str):
+            try:
+                return self._by_name[net]
+            except KeyError:
+                raise ValueError(f"unknown net {net!r}") from None
+        return net
+
+    # -- stimulus -----------------------------------------------------
+    def poke(self, net: NetRef, value: int) -> None:
+        self._signal(net).set(1 if value & 1 else 0)
+
+    def settle(self) -> None:
+        """Drain the event queue, then account sampled transitions."""
+        self.sim.run()
+        for sig in self.netlist.nets:
+            new = sig._value
+            old = self._prev[sig.name]
+            if new != old:
+                if new:
+                    self.rising += 1
+                else:
+                    self.falling += 1
+                self._prev[sig.name] = new
+
+    def step(self, pokes: Union[Mapping[NetRef, int],
+                                Iterable[Tuple[NetRef, int]]] = ()) -> None:
+        items = pokes.items() if isinstance(pokes, Mapping) else pokes
+        for net, value in items:
+            self.poke(net, value)
+        self.settle()
+
+    # -- fault lanes --------------------------------------------------
+    def force(self, net: NetRef, value: int) -> None:
+        self._signal(net).force(1 if value & 1 else 0)
+
+    def release(self, net: NetRef) -> None:
+        self._signal(net).release()
+
+    # -- observation --------------------------------------------------
+    def peek(self, net: NetRef) -> int:
+        return self._signal(net)._value
+
+    def values(self) -> Dict[str, int]:
+        return {sig.name: sig._value for sig in self.netlist.nets}
+
+    def counts(self) -> Dict[str, int]:
+        return {"rising": self.rising, "falling": self.falling}
+
+    def zero_counts(self) -> None:
+        self.rising = 0
+        self.falling = 0

@@ -84,6 +84,99 @@ def _execute_one(request: RunRequest) -> RunOutcome:
         return RunOutcome(request=request, error=traceback.format_exc())
 
 
+def _batch_key(request: RunRequest, axis: str) -> Tuple:
+    """Grouping identity: everything about the request except the axis."""
+    return (
+        request.scenario_id,
+        request.fast,
+        tuple(kv for kv in request.params if kv[0] != axis),
+    )
+
+
+def _execute_batch(requests: Sequence[RunRequest]) -> list[RunOutcome]:
+    """Run a packed group through the scenario's batch hook.
+
+    The hook receives every request's resolved parameters at once (the
+    compiled backend maps them onto bit-parallel lanes) and must return
+    one result per request, each identical to what a solo run would
+    have produced.  A raising hook fails the whole group — per-request
+    outcomes all carry the same traceback.
+    """
+    registry.load_builtin()
+    from ..noc import reset_packet_ids
+
+    reset_packet_ids()
+    sc = registry.get(requests[0].scenario_id)
+    try:
+        resolved = [
+            sc.resolve_params(r.params_dict(), fast=r.fast)
+            for r in requests
+        ]
+        results = sc.batch(
+            tech=None, param_sets=[dict(p) for p in resolved]
+        )
+        if results is None or len(results) != len(requests):
+            raise RuntimeError(
+                f"batch hook of {sc.id!r} returned "
+                f"{0 if results is None else len(results)} results "
+                f"for {len(requests)} requests"
+            )
+        return [
+            RunOutcome(request=r, result=res, resolved_params=p)
+            for r, res, p in zip(requests, results, resolved)
+        ]
+    except Exception:
+        error = traceback.format_exc()
+        return [RunOutcome(request=r, error=error) for r in requests]
+
+
+#: one unit of pool work: a solo request or a packed group
+_WorkItem = Tuple[str, object]
+
+
+def _execute_item(item: _WorkItem) -> list[RunOutcome]:
+    kind, payload = item
+    if kind == "one":
+        return [_execute_one(payload)]
+    return _execute_batch(payload)
+
+
+def _plan(requests: Sequence[RunRequest]) -> list[_WorkItem]:
+    """Pack contiguous batchable requests into groups.
+
+    Only *adjacent* requests sharing everything but the batch axis are
+    grouped (capped at the scenario's ``batch_lanes``), which keeps
+    outcome streaming strictly in request order — a group completes as
+    a block exactly where its members sat in the sequence.
+    """
+    items: list[_WorkItem] = []
+    i = 0
+    while i < len(requests):
+        request = requests[i]
+        sc = registry.get(request.scenario_id)
+        if not sc.has_batch:
+            items.append(("one", request))
+            i += 1
+            continue
+        key = _batch_key(request, sc.batch_axis)
+        group = [request]
+        j = i + 1
+        while (
+            j < len(requests)
+            and len(group) < sc.batch_lanes
+            and requests[j].scenario_id == request.scenario_id
+            and _batch_key(requests[j], sc.batch_axis) == key
+        ):
+            group.append(requests[j])
+            j += 1
+        if len(group) > 1:
+            items.append(("batch", group))
+        else:
+            items.append(("one", request))
+        i = j
+    return items
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork (where available) spares workers the re-import of the whole
     # package and keeps sys.path handling out of the picture
@@ -109,6 +202,11 @@ def execute(
     ``imap``, not all-at-the-end ``map``), so callers can journal or
     store progress incrementally: a killed sweep keeps everything that
     had finished by the time it died.
+
+    Scenarios exposing a ``batch`` hook get adjacent requests that
+    differ only in the batch axis packed into one call (up to
+    ``batch_lanes`` per group); results unpack per-request, so stores
+    and journals see exactly the outcomes a solo sweep would produce.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -116,18 +214,20 @@ def execute(
     # validate ids up front so a typo fails fast, not in a worker
     for request in requests:
         registry.get(request.scenario_id)
+    items = _plan(requests)
     outcomes: list[RunOutcome] = []
-    if jobs == 1 or len(requests) < 2:
-        for request in requests:
-            outcome = _execute_one(request)
-            if on_outcome is not None:
-                on_outcome(outcome)
-            outcomes.append(outcome)
+    if jobs == 1 or len(items) < 2:
+        for item in items:
+            for outcome in _execute_item(item):
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
         return outcomes
     ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(requests))) as pool:
-        for outcome in pool.imap(_execute_one, requests):
-            if on_outcome is not None:
-                on_outcome(outcome)
-            outcomes.append(outcome)
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        for group in pool.imap(_execute_item, items):
+            for outcome in group:
+                if on_outcome is not None:
+                    on_outcome(outcome)
+                outcomes.append(outcome)
     return outcomes

@@ -106,6 +106,16 @@ class Scenario:
     #: optional hook ``design(tech=None, **params) -> repro.design.Design``
     #: exposing the scenario's elaborated instance tree (CLI ``inspect``)
     design: Optional[Callable[..., object]] = None
+    #: optional batched executor
+    #: ``batch(tech=None, param_sets=[{...}, ...]) -> [ExperimentResult]``
+    #: — requests that differ only in ``batch_axis`` pack into one call
+    #: (the compiled backend runs them as bit-parallel lanes); must
+    #: return one result per param set, each identical to a solo run
+    batch: Optional[Callable[..., object]] = None
+    #: the parameter along which requests may be packed together
+    batch_axis: str = "seed"
+    #: maximum requests per batched call (compiled backends: lanes/word)
+    batch_lanes: int = 64
 
     def param(self, name: str) -> ParamSpec:
         for spec in self.params:
@@ -145,6 +155,10 @@ class Scenario:
     def has_design(self) -> bool:
         return self.design is not None
 
+    @property
+    def has_batch(self) -> bool:
+        return self.batch is not None
+
     def design_for(
         self,
         tech=None,
@@ -173,6 +187,9 @@ def scenario(
     fast_params: Optional[Dict[str, object]] = None,
     fast_skip: bool = False,
     design: Optional[Callable[..., object]] = None,
+    batch: Optional[Callable[..., object]] = None,
+    batch_axis: str = "seed",
+    batch_lanes: int = 64,
 ) -> Callable[[Callable], Callable]:
     """Register the decorated function as a scenario; returns it unchanged."""
 
@@ -201,6 +218,9 @@ def scenario(
             fast_params=dict(fast_params or {}),
             fast_skip=fast_skip,
             design=design,
+            batch=batch,
+            batch_axis=batch_axis,
+            batch_lanes=batch_lanes,
         )
         return func
 

@@ -124,7 +124,7 @@ class TestBenchCli:
         rc = main(["bench", *TINY, "--json", str(out)])
         assert rc == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == 2
+        assert document["schema"] == 3
         assert document["suites"] == ["noc"]
         (point,) = document["points"]
         assert point["suite"] == "noc"
@@ -351,17 +351,20 @@ class TestGateSuiteCli:
         assert rc == 1
         assert "bench regression" in capsys.readouterr().err
 
-    def test_suite_all_runs_both(self, tmp_path):
+    def test_suite_all_runs_every_suite(self, tmp_path):
         out = tmp_path / "bench.json"
         rc = main([
             "bench", "--suite", "all", "--mesh", "2", "--rates", "0.1",
-            "--cycles", "40", "--gate-scale", "0.01", "--repeats", "1",
+            "--cycles", "40", "--gate-scale", "0.01",
+            "--compiled-scale", "0.01", "--repeats", "1",
             "--no-reference", "--json", str(out),
         ])
         assert rc == 0
         document = json.loads(out.read_text())
-        assert document["suites"] == ["noc", "gate"]
-        assert {p["suite"] for p in document["points"]} == {"noc", "gate"}
+        assert document["suites"] == ["noc", "gate", "compiled"]
+        assert {p["suite"] for p in document["points"]} == {
+            "noc", "gate", "compiled",
+        }
 
     def test_gate_profile_smoke(self, capsys):
         rc = main(["bench", *self.GATE_TINY, "--no-reference", "--profile"])
@@ -376,23 +379,31 @@ class TestGateSuiteCli:
         with pytest.raises(SystemExit):
             main(["bench", "--suite", "gate", "--gate-scale", "0"])
 
-    def test_committed_baseline_is_schema_2_with_both_suites(self):
-        """The committed baseline must gate both kernels' speedups."""
+    def test_committed_baseline_is_schema_3_with_every_suite(self):
+        """The committed baseline must gate all three kernels' speedups."""
         from pathlib import Path
 
         baseline = json.loads(
             (Path(__file__).resolve().parent.parent
              / "benchmarks" / "baseline_bench.json").read_text()
         )
-        assert baseline["schema"] == 2
-        assert set(baseline["suites"]) == {"noc", "gate"}
+        assert baseline["schema"] == 3
+        assert set(baseline["suites"]) == {"noc", "gate", "compiled"}
         by_suite = {}
         for point in baseline["points"]:
             by_suite.setdefault(point["suite"], []).append(point)
         assert len(by_suite["noc"]) == 3
         assert len(by_suite["gate"]) == 4
+        assert len(by_suite["compiled"]) == 2
         gate_keys = {p["workload"] for p in by_suite["gate"]}
         assert "serializer-i3" in gate_keys
+        # the perf acceptance gates: >= 8x aggregate lanes/sec on the
+        # 64-lane fault batch, >= 1x on the single-lane ring oscillator
+        compiled = {p["workload"]: p for p in by_suite["compiled"]}
+        assert compiled["fault-batch"]["lanes"] == 64
+        assert compiled["fault-batch"]["speedup"] >= 8.0
+        assert compiled["ringosc"]["lanes"] == 1
+        assert compiled["ringosc"]["speedup"] >= 1.0
         # every committed point carries a gateable speedup + clean stats
         for point in baseline["points"]:
             assert point["speedup"] > 0
@@ -401,3 +412,72 @@ class TestGateSuiteCli:
     def test_gate_scale_rejected_for_noc_suite(self):
         with pytest.raises(SystemExit):
             main(["bench", "--suite", "noc", "--gate-scale", "2.0"])
+
+
+class TestCompiledSuiteCli:
+    COMPILED_TINY = [
+        "--suite", "compiled", "--compiled-scale", "0.005",
+        "--repeats", "1",
+    ]
+    # the gate tests need the single-lane ringosc point to clear its
+    # implicit 1.0x floor, which is timing noise at 100 toggles with a
+    # single repeat — best-of-3 keeps them deterministic under load
+    COMPILED_TINY_GATED = COMPILED_TINY[:-1] + ["3"]
+
+    def test_compiled_suite_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", *self.COMPILED_TINY, "--json", str(out)])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["suites"] == ["compiled"]
+        points = {p["workload"]: p for p in document["points"]}
+        assert set(points) == {"fault-batch", "ringosc"}
+        assert all(p["stats_match"] for p in points.values())
+        assert "lane-steps/sec" in capsys.readouterr().out
+
+    def test_min_compiled_speedup_gate_passes(self, capsys):
+        rc = main(["bench", *self.COMPILED_TINY_GATED,
+                   "--min-compiled-speedup", "0.001"])
+        assert rc == 0
+        assert "clear the 0.001x batch floor" in capsys.readouterr().out
+
+    def test_min_compiled_speedup_gate_fails(self, capsys):
+        rc = main(["bench", *self.COMPILED_TINY_GATED,
+                   "--min-compiled-speedup", "1000000"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "bench regression" in err
+        assert "fault-batch" in err
+        # the single-lane ringosc point is held to 1x, not the floor
+        assert "ringosc" not in err
+
+    def test_min_compiled_speedup_needs_a_reference(self, capsys):
+        rc = main(["bench", *self.COMPILED_TINY, "--no-reference",
+                   "--min-compiled-speedup", "4"])
+        assert rc == 1
+        assert "no speedup recorded" in capsys.readouterr().err
+
+    def test_compiled_flags_rejected_for_other_suites(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "noc", "--compiled-scale", "0.5"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "gate",
+                  "--min-compiled-speedup", "4"])
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "compiled",
+                  "--compiled-scale", "0"])
+
+    def test_mesh_flags_rejected_for_compiled_suite(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--suite", "compiled", "--mesh", "2"])
+
+    def test_fast_halves_compiled_scale(self, tmp_path):
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--suite", "compiled", "--fast",
+                   "--repeats", "1", "--no-reference",
+                   "--json", str(out)])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        keys = {p["key"] for p in document["points"]}
+        assert keys == {"compiled/fault-batch@6",
+                        "compiled/ringosc@10000"}

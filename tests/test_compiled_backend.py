@@ -1,0 +1,286 @@
+"""Unit tests for the bit-parallel compiled backend.
+
+Extraction (what compiles, what is refused and why), levelization
+(order and the combinational-loop diagnostic), and the executor's lane
+mechanics (poke/force/release, counters, ring-oscillator ticks).  The
+behavioral contract against the event kernels lives in
+``tests/test_compiled_equivalence.py``.
+"""
+
+import pytest
+
+from repro.compiled import (
+    LANES,
+    MASK,
+    CombinationalLoopError,
+    CompileError,
+    SettleError,
+    build_bench,
+    compile_component,
+    extract,
+    levelize,
+)
+from repro.design.component import Component
+from repro.elements.gates import And2, Gate, Inverter, Nor2, Xor2
+from repro.elements.latches import DLatch
+from repro.elements.ringosc import RingOscillator
+from repro.link.serializer import Serializer
+from repro.sim import Simulator
+
+ALL = (1 << 64) - 1
+
+
+def _adopted(name: str, *components) -> Component:
+    root = Component(name)
+    for comp in components:
+        root.adopt(comp)
+    return root
+
+
+class TestExtraction:
+    def test_i2_bench_netlist_inventory(self):
+        sim = Simulator()
+        bench = build_bench(sim, "i2", 16)
+        netlist = extract(bench.root)
+        kinds = netlist.counts_by_kind()
+        assert kinds["dff"] == 2
+        assert kinds["regbus"] == 4
+        assert kinds["onehotmux"] == 1
+        assert kinds["celement"] == 1
+        # slice inputs + clk + rst are undriven stimulus nets
+        inputs = {netlist.nets[i].name for i in netlist.input_nets()}
+        assert "i2.clk" in inputs and "i2.rst" in inputs
+        assert "i2.s0[0]" in inputs
+
+    def test_every_net_addressable_by_name(self):
+        sim = Simulator()
+        bench = build_bench(sim, "i1", 8)
+        netlist = extract(bench.root)
+        for name in bench.inputs + bench.outputs:
+            assert name in netlist.names
+
+    def test_multi_driver_rejected(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        b = sim.signal("b")
+        shared = sim.signal("shared")
+        root = _adopted(
+            "md",
+            Inverter(sim, a, out=shared, name="inv1"),
+            Inverter(sim, b, out=shared, name="inv2"),
+        )
+        with pytest.raises(CompileError, match="two structural drivers"):
+            extract(root)
+
+    def test_coroutine_component_rejected_with_reason(self):
+        from repro.link import Channel
+
+        sim = Simulator()
+        channel = Channel(sim, 32, name="ch")
+        ser = Serializer(sim, channel, name="ser")
+        with pytest.raises(CompileError) as err:
+            extract(_adopted("root", ser))
+        assert "Serializer" in str(err.value)
+
+    def test_generic_gate_rejected(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        out = sim.signal("out")
+        gate = Gate(sim, [a], out, lambda a: not a, delay=10, name="odd")
+        with pytest.raises(CompileError, match="opaque evaluation"):
+            extract(_adopted("root", gate))
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(CompileError, match="nothing compilable"):
+            extract(Component("hollow"))
+
+    def test_unknown_forceable_net_rejected(self):
+        sim = Simulator()
+        bench = build_bench(sim, "i1", 8)
+        with pytest.raises(CompileError, match="no.such.net"):
+            compile_component(bench.root, forceable=["no.such.net"])
+
+
+class TestLevelization:
+    def test_parity_tree_depth(self):
+        sim = Simulator()
+        bench = build_bench(sim, "i1", 8)
+        netlist = extract(bench.root)
+        levels = levelize(netlist)
+        # xor reduction of 8 latch outputs: 4 + 2 + 1 gates, 3 levels
+        assert [len(level) for level in levels] == [4, 2, 1]
+        placed = {gi for level in levels for gi in level}
+        assert placed == set(range(len(netlist.gates)))
+
+    def test_sr_latch_loop_diagnosed_by_path(self):
+        sim = Simulator()
+        s = sim.signal("s")
+        r = sim.signal("r")
+        q = sim.signal("q")
+        nq = sim.signal("nq")
+        root = _adopted(
+            "sr",
+            Nor2(sim, r, nq, out=q, name="n1"),
+            Nor2(sim, s, q, out=nq, name="n2"),
+        )
+        with pytest.raises(CombinationalLoopError) as err:
+            levelize(extract(root))
+        assert len(err.value.cycle) == 2
+        assert set(err.value.cycle) == {"sr.n1", "sr.n2"}
+        message = str(err.value)
+        assert "combinational loop (2 gates)" in message
+        assert "state element" in message  # the suggested fix
+
+    def test_loop_diagnostic_is_shortest_not_whole_blob(self):
+        sim = Simulator()
+        # a 2-gate loop feeding a 3-gate chain that loops back too:
+        # the report must name a shortest cycle, not all five gates
+        a = sim.signal("a")
+        q = sim.signal("q")
+        nq = sim.signal("nq")
+        root = Component("blob")
+        root.adopt(Nor2(sim, a, nq, out=q, name="n1"))
+        root.adopt(Nor2(sim, a, q, out=nq, name="n2"))
+        x = Inverter(sim, q, name="c1")
+        y = Inverter(sim, x.output, name="c2")
+        root.adopt(x)
+        root.adopt(y)
+        with pytest.raises(CombinationalLoopError) as err:
+            levelize(extract(root))
+        assert len(err.value.cycle) == 2
+
+
+class TestCompiledCircuit:
+    def _inv_and(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        b = sim.signal("b")
+        inv = Inverter(sim, a, name="inv")
+        gate = And2(sim, inv.output, b, name="and")
+        return compile_component(_adopted("c", inv, gate))
+
+    def test_comb_lanes_evaluate_independently(self):
+        circuit = self._inv_and()
+        circuit.step({"a": 0b0101, "b": 0b0011})
+        # out = ~a & b per lane
+        assert circuit.peek("and.out") == 0b0010
+        assert circuit.lane("and.out", 1) == 1
+        assert circuit.lane("and.out", 0) == 0
+
+    def test_poke_rejects_driven_net(self):
+        circuit = self._inv_and()
+        with pytest.raises(ValueError, match="only undriven stimulus"):
+            circuit.poke("inv.out", ALL)
+
+    def test_poke_rejects_unknown_name(self):
+        circuit = self._inv_and()
+        with pytest.raises(ValueError, match="unknown net"):
+            circuit.poke("zz.top", 1)
+
+    def test_force_requires_declaration(self):
+        circuit = self._inv_and()
+        with pytest.raises(ValueError, match="not declared forceable"):
+            circuit.force("and.out", ALL)
+
+    def test_force_and_release_act_per_lane(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        inv = Inverter(sim, a, name="inv")
+        circuit = compile_component(_adopted("c", inv),
+                                    forceable=["inv.out"])
+        circuit.step({"a": 0})
+        assert circuit.peek("inv.out") == MASK
+        circuit.force("inv.out", 0, lanes=0b1010)
+        circuit.settle()
+        assert circuit.peek("inv.out") == MASK & ~0b1010
+        # untouched lanes still follow the logic
+        circuit.step({"a": MASK})
+        assert circuit.peek("inv.out") == 0
+        circuit.release("inv.out")
+        circuit.step({"a": 0})
+        assert circuit.peek("inv.out") == MASK
+
+    def test_dlatch_transparent_then_opaque(self):
+        sim = Simulator()
+        d = sim.signal("d")
+        g = sim.signal("g")
+        lat = DLatch(sim, d, g, name="lat")
+        circuit = compile_component(_adopted("c", lat))
+        circuit.step({"d": 0b11, "g": 0b01})
+        assert circuit.peek("lat.q") == 0b01  # lane 1 gate is shut
+        circuit.step({"d": 0b00})
+        assert circuit.peek("lat.q") == 0b00 | 0  # lane 0 follows
+        circuit.step({"g": 0b10})  # open lane 1 on d=0
+        assert circuit.peek("lat.q") == 0
+
+    def test_counters_track_lane0_and_aggregate(self):
+        circuit = self._inv_and()
+        circuit.zero_counts()
+        circuit.step({"a": 0b01})  # lane0 a rises, lane0 inv.out falls
+        counts = circuit.counts()
+        assert counts["rising0"] == 1
+        assert counts["falling0"] == 1
+        assert counts["rising_all"] == 1
+        assert counts["falling_all"] == 1
+
+    def test_settle_error_on_transparent_latch_loop(self):
+        sim = Simulator()
+        g = sim.signal("g")
+        q = sim.signal("q")
+        inv = Inverter(sim, q, name="inv")
+        lat = DLatch(sim, inv.output, g, q=q, name="lat")
+        circuit = compile_component(_adopted("c", inv, lat))
+        with pytest.raises(SettleError):
+            circuit.step({"g": ALL})
+
+    def test_ringosc_tick(self):
+        sim = Simulator()
+        enable = sim.signal("en")
+        osc = RingOscillator(sim, enable, stages=5)
+        circuit = compile_component(osc)
+        circuit.step({enable: ALL})
+        before = circuit.peek(osc.out)
+        circuit.tick(1)
+        assert circuit.peek(osc.out) == before ^ MASK
+        circuit.tick(2)
+        assert circuit.peek(osc.out) == before ^ MASK
+        # disabled lanes stop toggling (and are held low)
+        circuit.step({enable: 0})
+        circuit.tick(3)
+        assert circuit.peek(osc.out) == 0
+
+    def test_stats_report(self):
+        sim = Simulator()
+        bench = build_bench(sim, "i3", 16)
+        circuit = compile_component(bench.root)
+        stats = circuit.stats()
+        assert stats.lanes == LANES == 64
+        assert stats.depth == len(circuit.levels)
+        assert sum(stats.gates_per_level) == stats.n_gates
+        rendered = stats.render()
+        assert "lanes per word" in rendered
+        assert "gates per level" in rendered
+
+    def test_generated_source_is_inspectable(self):
+        circuit = self._inv_and()
+        assert "def settle" in circuit.source
+        assert "def tick" in circuit.source
+
+
+class TestBenchCircuits:
+    @pytest.mark.parametrize("kind", ("i1", "i2", "i3"))
+    def test_declared_nets_exist_and_compile(self, kind):
+        sim = Simulator()
+        bench = build_bench(sim, kind, 16)
+        circuit = compile_component(bench.root,
+                                    forceable=bench.fault_sites)
+        for name in bench.inputs:
+            circuit.poke(name, 0)
+        for name in bench.outputs:
+            circuit.peek(name)
+        for site in bench.fault_sites:
+            circuit.force(site, 0, lanes=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench kind"):
+            build_bench(Simulator(), "i9", 8)

@@ -1,0 +1,162 @@
+"""Property tests: compiled lane 0 vs the event kernels, bit for bit.
+
+The contract (satellite of the compiled-backend PR): for any seeded
+random stimulus on the I1/I2/I3 bench circuits, lane 0 of the compiled
+evaluation must match an event-kernel simulation of the same circuit —
+settled net values after every phase AND the aggregate sampled
+transition counters — on *both* the optimized kernel (``repro.sim``)
+and the frozen seed kernel (``repro.sim.reference``).
+
+The oracle (:class:`repro.compiled.StepOracle`) mirrors the compiled
+backend's phase semantics on an event kernel: apply pokes, run the
+event queue dry, sample every net.  Transition counters are compared at
+phase granularity on both sides (within-phase glitches are invisible to
+both by construction).
+"""
+
+import pytest
+
+import repro.sim as optimized_stack
+import repro.sim.reference as reference_stack
+from repro.compiled import (
+    KINDS,
+    StepOracle,
+    build_bench,
+    compile_component,
+    lane_phases,
+    stimulus_phases,
+)
+
+#: (vectors, width) for the two stimulus scales the CLI exercises
+FAST_SCALE = (3, 8)
+FULL_SCALE = (8, 32)
+
+
+def _compiled_run(kind, seed, vectors, width):
+    sim = optimized_stack.Simulator()
+    bench = build_bench(sim, kind, width)
+    circuit = compile_component(bench.root)
+    phases = stimulus_phases(kind, [seed], vectors, width)
+    return circuit, phases
+
+
+def _oracle(stack, kind, width):
+    sim = stack.Simulator()
+    bench = build_bench(sim, kind, width)
+    return StepOracle(sim, bench.root)
+
+
+def _assert_lane0_matches(stack, kind, seed, vectors, width):
+    circuit, phases = _compiled_run(kind, seed, vectors, width)
+    oracle = _oracle(stack, kind, width)
+    for n, phase in enumerate(phases):
+        circuit.step(phase)
+        oracle.step(lane_phases([phase], 0)[0])
+        assert circuit.lane_values(0) == oracle.values(), (
+            f"{kind} seed {seed}: settled values diverged at "
+            f"phase {n}"
+        )
+    counts = circuit.counts()
+    ocounts = oracle.counts()
+    assert counts["rising0"] == ocounts["rising"]
+    assert counts["falling0"] == ocounts["falling"]
+    # a circuit that never toggled would make this test vacuous
+    assert ocounts["rising"] > 0
+
+
+class TestLane0AgainstOptimizedKernel:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", (1, 7, 2008))
+    def test_fast_scale(self, kind, seed):
+        vectors, width = FAST_SCALE
+        _assert_lane0_matches(optimized_stack, kind, seed, vectors,
+                              width)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_full_scale(self, kind):
+        vectors, width = FULL_SCALE
+        _assert_lane0_matches(optimized_stack, kind, 42, vectors, width)
+
+
+class TestLane0AgainstSeedKernel:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("seed", (3, 11))
+    def test_fast_scale(self, kind, seed):
+        vectors, width = FAST_SCALE
+        _assert_lane0_matches(reference_stack, kind, seed, vectors,
+                              width)
+
+    def test_full_scale_i3(self):
+        vectors, width = FULL_SCALE
+        _assert_lane0_matches(reference_stack, "i3", 42, vectors, width)
+
+
+class TestAllLanesIndependent:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_each_lane_matches_its_own_solo_oracle(self, kind):
+        """Lanes carry different seeds; every lane must equal a
+        single-lane event simulation of its own stimulus."""
+        vectors, width = FAST_SCALE
+        seeds = [5, 6, 7, 8]
+        sim = optimized_stack.Simulator()
+        bench = build_bench(sim, kind, width)
+        circuit = compile_component(bench.root)
+        phases = stimulus_phases(kind, seeds, vectors, width)
+        for phase in phases:
+            circuit.step(phase)
+        for lane, seed in enumerate(seeds):
+            oracle = _oracle(optimized_stack, kind, width)
+            for phase in lane_phases(phases, lane):
+                oracle.step(phase)
+            assert circuit.lane_values(lane) == oracle.values(), (
+                f"{kind}: lane {lane} (seed {seed}) diverged"
+            )
+
+    def test_forced_fault_lane_matches_forced_oracle(self):
+        vectors, width = FAST_SCALE
+        sim = optimized_stack.Simulator()
+        bench = build_bench(sim, "i3", width)
+        site = bench.fault_sites[0]
+        circuit = compile_component(bench.root, forceable=[site])
+        circuit.force(site, 0, lanes=1 << 3)
+        phases = stimulus_phases("i3", [9, 9, 9, 9], vectors, width)
+        for phase in phases:
+            circuit.step(phase)
+
+        ref = optimized_stack.Simulator()
+        obench = build_bench(ref, "i3", width)
+        oracle = StepOracle(ref, obench.root)
+        oracle.force(site, 0)
+        for phase in lane_phases(phases, 3):
+            oracle.step(phase)
+        assert circuit.lane_values(3) == oracle.values()
+        # the un-forced sibling lane still matches a clean oracle
+        clean = _oracle(optimized_stack, "i3", width)
+        for phase in lane_phases(phases, 0):
+            clean.step(phase)
+        assert circuit.lane_values(0) == clean.values()
+
+
+class TestRingOscillatorTicks:
+    @pytest.mark.parametrize("toggles", (7, 101))
+    def test_tick_matches_event_run(self, toggles):
+        from repro.elements.ringosc import RingOscillator
+
+        sim = optimized_stack.Simulator()
+        enable = sim.signal("en")
+        osc = RingOscillator(sim, enable, stages=5)
+        circuit = compile_component(osc)
+        circuit.step({enable: (1 << 64) - 1})
+        circuit.tick(toggles)
+
+        ref = optimized_stack.Simulator()
+        ren = ref.signal("en")
+        rosc = RingOscillator(ref, ren, stages=5)
+        ren.set(1)
+        # run() is exclusive of ``until``: N*half_period + 1 executes
+        # exactly N toggles
+        ref.run(until=toggles * rosc.half_period + 1)
+        assert circuit.lane(osc.out, 0) == rosc.out.value
+        counts = circuit.counts()
+        assert counts["rising0"] == ren.rising + rosc.out.rising
+        assert counts["falling0"] == ren.falling + rosc.out.falling

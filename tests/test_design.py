@@ -714,6 +714,27 @@ class TestCli:
         err = capsys.readouterr().err
         assert "no design tree" in err
 
+    def test_inspect_compiled_prints_levelized_stats(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["inspect", "compiled-fault-campaign",
+                     "--compiled", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "lanes per word:  64" in out
+        assert "gates per level" in out
+        # the scenario batches along its seed axis: the packing
+        # estimate tells a sweep author what one word can carry
+        assert "batch packing: up to 16" in out
+
+    def test_inspect_compiled_explains_uncompilable_designs(
+            self, capsys):
+        from repro.__main__ import main
+
+        assert main(["inspect", "gals-mesh", "--compiled",
+                     "--set", "mesh_size=2"]) == 0
+        out = capsys.readouterr().out
+        assert "not compilable:" in out
+
     def test_list_verbose_prints_param_specs(self, capsys):
         from repro.__main__ import main
 

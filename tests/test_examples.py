@@ -73,6 +73,14 @@ class TestExamples:
         assert "i3.s2a.stall" in out
         assert "Per-instance activity" in out
 
+    def test_compiled_batch(self, capsys):
+        load_example("compiled_batch").main()
+        out = capsys.readouterr().out
+        assert "64 bit-parallel lanes" in out
+        assert "bit-identical" in out
+        assert "aggregate lanes/sec advantage" in out
+        assert "compiled-fault-campaign" in out
+
     def test_every_example_has_a_test(self):
         """Meta: any new example file must get a smoke test here."""
         example_files = {
@@ -81,7 +89,7 @@ class TestExamples:
         tested = {
             "quickstart", "mesh_traffic", "link_design_space",
             "power_report", "handshake_waveforms", "gals_demo",
-            "design_api",
+            "design_api", "compiled_batch",
         }
         assert example_files == tested, (
             f"untested examples: {example_files - tested}"
@@ -96,7 +104,7 @@ class TestExamples:
         assert module.FAST is True
         for name in ("mesh_traffic", "power_report", "gals_demo",
                      "design_api", "link_design_space",
-                     "handshake_waveforms"):
+                     "handshake_waveforms", "compiled_batch"):
             assert load_example(name).FAST is True
         monkeypatch.setenv("REPRO_EXAMPLES_FAST", "0")
         assert load_example("quickstart").FAST is False

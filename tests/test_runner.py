@@ -55,6 +55,7 @@ class TestRegistry:
             "fig10", "fig11", "fig12", "fig13", "fig14",
             "table1", "table2", "throughput", "wirelength",
             "mesh_design_space", "gals_mesh", "fault_injection",
+            "compiled_campaign",
         )
         for name in single:
             assert counts.pop(f"repro.experiments.{name}") == 1, name
