@@ -16,6 +16,9 @@ Usage::
     python -m repro sweep mesh-design-space --param mesh_size=4,8 --set kind=I2
     python -m repro sweep mesh-design-space --resume out/   # finish a killed sweep
     python -m repro sweep traffic-hotspot --store runs/     # skip cached points
+    python -m repro sweep traffic-hotspot --progress --out out/  # live status
+    python -m repro telemetry out/                          # sweep analytics
+    python -m repro telemetry out/ --json - --csv points.csv
     python -m repro diff baseline/ out/                     # regression gate
     python -m repro history runs/                           # store catalogue
     python -m repro bench --json bench.json                 # kernel cycles/sec
@@ -47,11 +50,16 @@ seed kernel (:mod:`repro.noc.reference`) and emits a JSON record;
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from .analysis.report import format_table
+from .obs import analyze as obs_analyze
+from .obs import metrics as obs_metrics
+from .obs import progress as obs_progress
+from .obs import telemetry as obs_telemetry
 from .runner import artifacts, engine, registry, sweep
 from . import store as run_store_pkg
 from .store import diff as store_diff
@@ -120,6 +128,37 @@ def _cmd_list(args, parser) -> int:
     return 0
 
 
+def _capabilities(sc) -> List[str]:
+    """Backend capabilities of one scenario, probed, not declared.
+
+    ``batchable`` and ``design tree`` read the registration;
+    ``compilable`` actually levelizes the fast-mode design, because the
+    one authority on whether a tree survives the compiled backend is
+    the compiler itself.
+    """
+    caps: List[str] = []
+    if sc.has_batch:
+        caps.append(
+            f"batchable ({sc.batch_axis} x {sc.batch_lanes} lanes/word)"
+        )
+    if not sc.has_design:
+        return caps
+    caps.append("design tree")
+    from .compiled import CompileError, compile_component
+
+    try:
+        circuit = compile_component(sc.design_for(fast=True))
+    except (CompileError, ValueError, registry.ScenarioError):
+        caps.append("not compilable")
+    else:
+        stats = circuit.stats()
+        caps.append(
+            f"compilable (depth {stats.depth}, "
+            f"{stats.n_gates} gates)"
+        )
+    return caps
+
+
 def _list_verbose(scenarios) -> int:
     """Full typed ParamSpec per scenario, so sweep grids can be
     written without reading the experiment source."""
@@ -133,6 +172,9 @@ def _list_verbose(scenarios) -> int:
         print(f"{sc.id} — {sc.description}{suffix}")
         if sc.tags:
             print(f"  tags: {', '.join(sorted(sc.tags))}")
+        caps = _capabilities(sc)
+        if caps:
+            print(f"  capabilities: {', '.join(caps)}")
         if not sc.params:
             print("  (no parameters)\n")
             continue
@@ -243,6 +285,21 @@ def _report_outcomes(outcomes, out_dir) -> int:
     if out_dir:
         summary = artifacts.write_artifacts(outcomes, out_dir)
         print(f"artifacts written to {summary.parent}")
+        doc = {
+            "command": "run",
+            "failures": failures,
+            "points": [
+                obs_telemetry.point_record(o) for o in outcomes
+            ],
+        }
+        rollup = _counter_rollup(outcomes)
+        if rollup:
+            doc["counters"] = rollup
+        if obs_metrics.REGISTRY.enabled:
+            snap = obs_metrics.REGISTRY.snapshot()
+            if snap:
+                doc["metrics"] = snap
+        obs_telemetry.write_snapshot(out_dir, doc)
     return failures
 
 
@@ -280,6 +337,11 @@ def _cmd_run(args, parser) -> int:
 
 def _cmd_sweep(args, parser) -> int:
     registry.load_builtin()
+    if args.progress:
+        # --progress implies telemetry: the display and the stream feed
+        # from the same counters, and enable() exports REPRO_TELEMETRY
+        # so spawned worker processes collect too
+        obs_metrics.enable()
     try:
         sc = registry.get(args.scenario)
     except registry.ScenarioError as exc:
@@ -378,29 +440,72 @@ def _cmd_sweep(args, parser) -> int:
               f"{len(remaining)} to run")
 
     journal_writer = None
+    telemetry_writer = None
+    resumed_stream = False
     if out_dir:
         journal_writer = store_journal.Journal(
             store_journal.journal_path(out_dir)
         )
         if not journal_is_current:
             journal_writer.start(sc.id, fingerprint)
+        telemetry_writer = obs_telemetry.TelemetryWriter(
+            obs_telemetry.stream_path(out_dir)
+        )
+        if journal_is_current and telemetry_writer.path.exists():
+            try:
+                obs_telemetry.recover_stream(telemetry_writer.path)
+                resumed_stream = True
+            except (obs_telemetry.TelemetryError, OSError):
+                resumed_stream = False  # rewrite from scratch below
+        if not resumed_stream:
+            telemetry_writer.start(
+                sc.id, fingerprint,
+                jobs=args.jobs, total_points=len(requests),
+            )
         # points reused from the store still belong in this sweep's
-        # journal — without them a later --resume would re-run them
+        # journal — without them a later --resume would re-run them;
+        # the telemetry stream mirrors them (a resumed stream already
+        # holds the journaled points, so only store hits are new)
         for request in requests:
             outcome = completed.get(request)
-            if outcome is not None and request not in journal_completed:
+            if outcome is None:
+                continue
+            from_store = request not in journal_completed
+            if from_store:
                 journal_writer.append(outcome)
+            if from_store or not resumed_stream:
+                telemetry_writer.append_point(
+                    outcome, store_hit=from_store
+                )
+
+    progress = (
+        obs_progress.SweepProgress(len(requests))
+        if args.progress else None
+    )
+    if progress is not None:
+        for request in requests:
+            outcome = completed.get(request)
+            if outcome is not None:
+                progress.point_done(ok=outcome.ok, cached=True)
 
     def on_outcome(outcome):
         # journal/store immediately so a killed sweep loses nothing done
         if journal_writer is not None:
             journal_writer.append(outcome)
+        if telemetry_writer is not None:
+            telemetry_writer.append_point(outcome)
         if cache is not None and not outcome.error:
             cache.put(outcome)
+        if progress is not None:
+            progress.point_done(ok=outcome.ok)
 
-    executed = engine.execute(
-        remaining, jobs=args.jobs, on_outcome=on_outcome
-    )
+    try:
+        executed = engine.execute(
+            remaining, jobs=args.jobs, on_outcome=on_outcome
+        )
+    finally:
+        if progress is not None:
+            progress.close()
     by_request = dict(completed)
     by_request.update({o.request: o for o in executed})
     outcomes = [by_request[request] for request in requests]
@@ -434,11 +539,45 @@ def _cmd_sweep(args, parser) -> int:
     if out_dir:
         summary = artifacts.write_artifacts(outcomes, out_dir)
         print(f"artifacts written to {summary.parent}")
+    if telemetry_writer is not None:
+        rollup = _counter_rollup(outcomes)
+        summary_rec = {
+            "points": len(requests),
+            "executed": len(remaining),
+            "reused": len(requests) - len(remaining),
+            "store_hits": store_hits,
+            "failures": failures,
+            "jobs": args.jobs,
+        }
+        if rollup:
+            summary_rec["counters"] = rollup
+        telemetry_writer.finish(summary_rec)
+        doc = {"command": "sweep", "scenario": sc.id}
+        doc.update(summary_rec)
+        if obs_metrics.REGISTRY.enabled:
+            snap = obs_metrics.REGISTRY.snapshot()
+            if snap:
+                doc["metrics"] = snap
+        obs_telemetry.write_snapshot(out_dir, doc)
     if failures:
         print(f"{failures} check(s)/point(s) FAILED", file=sys.stderr)
         return 1
     print("all sweep points passed their checks")
     return 0
+
+
+def _counter_rollup(outcomes) -> dict:
+    """Sum the ``counter:`` metric deltas carried by outcomes.
+
+    With ``--jobs N`` the kernels count in worker processes, so the
+    parent registry stays empty — the per-outcome deltas are the one
+    place the totals survive, whatever the execution mode."""
+    rollup: dict = {}
+    for outcome in outcomes:
+        for key, value in (outcome.metrics or {}).items():
+            if key.startswith("counter:"):
+                rollup[key] = rollup.get(key, 0) + value
+    return dict(sorted(rollup.items()))
 
 
 def _cmd_bench(args, parser) -> int:
@@ -600,6 +739,33 @@ def _cmd_bench(args, parser) -> int:
     return 0
 
 
+def _cmd_telemetry(args, parser) -> int:
+    try:
+        report = obs_analyze.summarize(args.target)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    except (obs_telemetry.TelemetryError,
+            store_journal.JournalError, ValueError) as exc:
+        parser.error(f"cannot read telemetry from {args.target}: {exc}")
+    if args.json:
+        text = json.dumps(report.to_json(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n", encoding="utf-8")
+            print(f"telemetry JSON written to {args.json}")
+    if args.csv:
+        text = report.to_csv()
+        if args.csv == "-":
+            print(text, end="")
+        else:
+            Path(args.csv).write_text(text, encoding="utf-8")
+            print(f"telemetry CSV written to {args.csv}")
+    if not args.json and not args.csv:
+        print(report.render())
+    return 0
+
+
 def _cmd_diff(args, parser) -> int:
     try:
         report = store_diff.diff_trees(
@@ -728,6 +894,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", metavar="DIR",
         help="content-addressed run store: reuse identical points "
              "computed by earlier sweeps on this code, record new ones",
+    )
+    p_sweep.add_argument(
+        "--progress", action="store_true",
+        help="live one-line status on stderr (done/total, rate, eta, "
+             "failures; periodic log lines when piped) and kernel "
+             "telemetry collection, as if REPRO_TELEMETRY=1; artifacts "
+             "are byte-identical either way",
+    )
+
+    p_tele = sub.add_parser(
+        "telemetry",
+        help="analyze a sweep's telemetry stream (or its journal)",
+        description=(
+            "Summarize telemetry.jsonl from a sweep output directory: "
+            "slowest points, failure clusters, store-hit ratio, "
+            "per-job utilization and kernel counter rollups.  Falls "
+            "back to journal.jsonl (wall-clock durations, no store "
+            "info) when no stream was written."
+        ),
+    )
+    p_tele.add_argument(
+        "target", metavar="DIR_OR_FILE",
+        help="sweep output directory, telemetry.jsonl, or journal.jsonl",
+    )
+    p_tele.add_argument(
+        "--json", metavar="PATH",
+        help="write the full report as JSON to PATH ('-' for stdout)",
+    )
+    p_tele.add_argument(
+        "--csv", metavar="PATH",
+        help="write per-point rows as CSV to PATH ('-' for stdout)",
     )
 
     p_diff = sub.add_parser(
@@ -880,6 +1077,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_diff(args, parser)
     if args.command == "history":
         return _cmd_history(args, parser)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args, parser)
     return _cmd_sweep(args, parser)
 
 

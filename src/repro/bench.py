@@ -59,6 +59,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from .link.behavioral import derive_link_params
+from .obs import metrics as obs_metrics
 from .noc import (
     Network,
     Topology,
@@ -731,6 +732,44 @@ def default_compiled_points(scale: float = 1.0
     ]
 
 
+def _counter_deltas(run_fn) -> Dict[str, int]:
+    """Kernel counter deltas from one extra *untimed* instrumented run.
+
+    The timed repeats execute with metrics in whatever state the
+    process default left them (disabled, normally — the overhead bench
+    holds the disabled path to a single attribute check); the counters
+    recorded next to a timing point come from this separate replay so
+    instrumentation can never contaminate the timings it annotates.
+    """
+    with obs_metrics.collecting(reset=True) as reg:
+        run_fn()
+        snapshot = reg.snapshot()
+    return {
+        key.split(":", 1)[1]: value
+        for key, value in snapshot.items()
+        if key.startswith("counter:")
+    }
+
+
+def _noc_point_metrics(point: BenchPoint) -> Dict[str, int]:
+    network, traffic = _build(point, Network)
+    return _counter_deltas(lambda: network.run(point.cycles, traffic))
+
+
+def _gate_point_metrics(point: GateBenchPoint) -> Dict[str, int]:
+    import repro.sim as optimized_stack
+
+    _sim, run, _fp = _build_gate_workload(optimized_stack, point)
+    return _counter_deltas(run)
+
+
+def _compiled_point_metrics(point: CompiledBenchPoint) -> Dict[str, int]:
+    _lanes, _steps, run_compiled, _ref, _check = (
+        _build_compiled_workload(point)
+    )
+    return _counter_deltas(run_compiled)
+
+
 def run_bench(
     points: Sequence[BenchPoint] = (),
     reference: bool = True,
@@ -738,8 +777,15 @@ def run_bench(
     progress=None,
     gate_points: Sequence[GateBenchPoint] = (),
     compiled_points: Sequence[CompiledBenchPoint] = (),
+    collect_metrics: bool = True,
 ) -> Dict[str, object]:
-    """Run every noc, gate and compiled point; return the JSON document."""
+    """Run every noc, gate and compiled point; return the JSON document.
+
+    With ``collect_metrics`` each point's record gains a ``metrics``
+    key — kernel counter deltas (events executed, cycles simulated,
+    settle rounds, ...) from an untimed replay — additive to the
+    schema, ignored by the baseline check.
+    """
     results = []
     suites = []
     if points:
@@ -752,21 +798,30 @@ def run_bench(
         outcome = run_point(point, reference=reference, repeats=repeats)
         if progress is not None:
             progress(outcome)
-        results.append(outcome.to_json())
+        record = outcome.to_json()
+        if collect_metrics:
+            record["metrics"] = _noc_point_metrics(point)
+        results.append(record)
     for gate_point in gate_points:
         gate_outcome = run_gate_point(
             gate_point, reference=reference, repeats=repeats
         )
         if progress is not None:
             progress(gate_outcome)
-        results.append(gate_outcome.to_json())
+        record = gate_outcome.to_json()
+        if collect_metrics:
+            record["metrics"] = _gate_point_metrics(gate_point)
+        results.append(record)
     for compiled_point in compiled_points:
         compiled_outcome = run_compiled_point(
             compiled_point, reference=reference, repeats=repeats
         )
         if progress is not None:
             progress(compiled_outcome)
-        results.append(compiled_outcome.to_json())
+        record = compiled_outcome.to_json()
+        if collect_metrics:
+            record["metrics"] = _compiled_point_metrics(compiled_point)
+        results.append(record)
     return {
         "schema": SCHEMA,
         "python": sys.version.split()[0],

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
+from ..obs.metrics import REGISTRY as _OBS
 from .levelize import levelize
 from .netlist import CompileError, Netlist, extract
 
@@ -371,6 +372,15 @@ class CompiledCircuit:
         self.CT = [0, 0, 0, 0]
         self._inputs = frozenset(netlist.input_nets())
         self.last_rounds = 0
+        #: cumulative settle calls / sequential rounds (observability)
+        self.settles = 0
+        self.total_rounds = 0
+        if _OBS.enabled:
+            _OBS.counter("compiled.circuits").inc()
+            _OBS.gauge("compiled.depth").set(len(levels))
+            _OBS.gauge("compiled.gates").set(len(netlist.gates))
+            _OBS.gauge("compiled.nets").set(n)
+            _OBS.gauge("compiled.lanes").set(LANES)
         # construction mirrors the event kernels' t=0 settle: propagate
         # initial values once, then start transition counts from zero
         self.settle()
@@ -408,10 +418,16 @@ class CompiledCircuit:
 
     def settle(self) -> int:
         """Run comb + sequential passes to quiescence; returns rounds."""
-        self.last_rounds = self._settle(
-            self.S, self.CM, self.K, self.FV, self.CT
-        )
-        return self.last_rounds
+        rounds = self._settle(self.S, self.CM, self.K, self.FV, self.CT)
+        self.last_rounds = rounds
+        self.settles += 1
+        self.total_rounds += rounds
+        # one settle spans the whole generated function — coarse enough
+        # to publish directly (never inside the generated loop)
+        if _OBS.enabled:
+            _OBS.counter("compiled.settles").inc()
+            _OBS.counter("compiled.settle_rounds").inc(rounds)
+        return rounds
 
     def step(self, pokes: Union[Mapping[NetRef, int],
                                 Iterable[Tuple[NetRef, int]]] = ()) -> int:
@@ -423,8 +439,14 @@ class CompiledCircuit:
 
     def tick(self, count: int = 1) -> int:
         """Advance every ring oscillator ``count`` half-periods."""
-        return self._tick(self.S, self.CM, self.K, self.FV, self.CT,
-                          count)
+        total = self._tick(self.S, self.CM, self.K, self.FV, self.CT,
+                           count)
+        self.settles += count
+        self.total_rounds += total
+        if _OBS.enabled:
+            _OBS.counter("compiled.settles").inc(count)
+            _OBS.counter("compiled.settle_rounds").inc(total)
+        return total
 
     # -- fault lanes --------------------------------------------------
     def force(self, net: NetRef, value: int, lanes: int = MASK) -> None:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiled import ALL, build_bench, compile_component, stimulus_phases
 from ..design import Design
+from ..obs.metrics import REGISTRY as _OBS
 from ..runner.registry import ParamSpec, scenario
 from ..sim.kernel import Simulator
 from ..tech.technology import Technology
@@ -113,6 +114,10 @@ def _run_campaign(param_sets: Sequence[Dict[str, object]]
     results: List[ExperimentResult] = []
     for base in range(0, len(param_sets), per_word):
         chunk = param_sets[base:base + per_word]
+        if _OBS.enabled:
+            _OBS.histogram(
+                "compiled.lanes_packed", (1, 4, 8, 16, 32, 64)
+            ).observe(len(chunk) * group)
         sim = Simulator()
         bench = build_bench(sim, kind, width)
         circuit = compile_component(bench.root,

@@ -137,6 +137,9 @@ class TokenLink:
         self._rate = params.rate_flits_per_cycle
         self._credit_cap = 1.0 + self._rate
         self._accruals = 0
+        #: accrue_to calls that applied work (accruals / batches gives
+        #: the mean catch-up batch size the lazy-accrual scheme earns)
+        self._accrual_batches = 0
         self.flits_sent = 0
         self.flits_delivered = 0
 
@@ -154,6 +157,7 @@ class TokenLink:
         done = self._accruals
         if n_accruals <= done:
             return
+        self._accrual_batches += 1
         credit = self._rate_credit
         cap = self._credit_cap
         if credit != cap:

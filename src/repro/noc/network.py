@@ -43,6 +43,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, Iterable, Optional, Tuple
 
 from ..link.behavioral import BehavioralLinkParams, TokenLink
+from ..obs.metrics import REGISTRY as _OBS
 from .flit import Flit, Packet
 from .stats import NetworkStats
 from .switch import Switch
@@ -275,8 +276,11 @@ class Network:
         traffic: Optional[TrafficGenerator] = None,
     ) -> NetworkStats:
         """Run ``cycles`` cycles of simulation."""
+        obs_base = self._obs_totals() if _OBS.enabled else None
         for _ in range(cycles):
             self.step(traffic)
+        if obs_base is not None and _OBS.enabled:
+            self._obs_publish(obs_base, cycles)
         return self.stats
 
     def drain(self, max_cycles: int = 100_000) -> NetworkStats:
@@ -285,6 +289,7 @@ class Network:
         The loop condition reuses the pending-source set instead of
         rescanning every source queue with ``any(...)`` each cycle.
         """
+        obs_base = self._obs_totals() if _OBS.enabled else None
         waited = 0
         stats = self.stats
         while stats.in_flight_flits > 0 or self._pending_sources:
@@ -295,7 +300,49 @@ class Network:
                     f"network failed to drain within {max_cycles} cycles "
                     f"({stats.in_flight_flits} flits stuck)"
                 )
+        if obs_base is not None and _OBS.enabled:
+            self._obs_publish(obs_base, waited)
         return stats
+
+    # ------------------------------------------------------------------
+    # observability: plain-int counters summed at the coarse run/drain
+    # boundaries only — the cycle loop never touches the registry
+    # ------------------------------------------------------------------
+    _OBS_COUNTERS = (
+        "noc.arbitration_fast",
+        "noc.arbitration_conflicts",
+        "noc.flits_routed",
+        "noc.credit_accruals",
+        "noc.accrual_batches",
+        "noc.flits_delivered",
+    )
+
+    def _obs_totals(self) -> Tuple[int, ...]:
+        """Current sums of the kernel's plain-int counters, in
+        :data:`_OBS_COUNTERS` order."""
+        arb_fast = arb_conflicts = routed = 0
+        for switch in self.switches.values():
+            arb_fast += switch.arbitration_fast
+            arb_conflicts += switch.arbitration_conflicts
+            routed += switch.flits_routed
+        accruals = batches = delivered = 0
+        for link in self.links.values():
+            accruals += link._accruals
+            batches += link._accrual_batches
+            delivered += link.flits_delivered
+        return (arb_fast, arb_conflicts, routed, accruals, batches,
+                delivered)
+
+    def _obs_publish(self, base: Tuple[int, ...], cycles: int) -> None:
+        """Hand this run's counter deltas and activity levels to the
+        registry in one bulk update."""
+        for name, before, after in zip(
+            self._OBS_COUNTERS, base, self._obs_totals()
+        ):
+            _OBS.counter(name).inc(after - before)
+        _OBS.counter("noc.cycles").inc(cycles)
+        for name, value in self.active_component_counts.items():
+            _OBS.gauge(f"noc.{name}").set(value)
 
     # ------------------------------------------------------------------
     @property

@@ -126,6 +126,8 @@ class Switch:
         # statistics
         self.flits_routed = 0
         self.arbitration_conflicts = 0
+        #: outputs won uncontested (single candidate — no round-robin)
+        self.arbitration_fast = 0
 
     # ------------------------------------------------------------------
     def queue(self, port: Port, vc: int = 0) -> InputQueue:
@@ -191,6 +193,7 @@ class Switch:
             if not candidates:
                 continue
             if len(candidates) == 1:
+                self.arbitration_fast += 1
                 pick, queue = candidates[0]
             else:
                 self.arbitration_conflicts += 1

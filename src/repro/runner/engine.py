@@ -14,10 +14,13 @@ global state never leaks into the next whether they share a process
 from __future__ import annotations
 
 import multiprocessing
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from ..obs.metrics import REGISTRY as _OBS
+from ..obs.metrics import snapshot_delta
 from . import registry
 
 
@@ -54,12 +57,23 @@ class RunRequest:
 
 @dataclass
 class RunOutcome:
-    """Result (or captured failure) of one request."""
+    """Result (or captured failure) of one request.
+
+    ``duration_s``/``t_mono``/``metrics`` are observability side-band:
+    wall-clock execution time, the monotonic completion stamp, and (when
+    the metrics registry is enabled) the kernel counter deltas this
+    point caused.  They are volatile — two identical runs disagree on
+    them — so the deterministic artifact writer ignores them and the
+    journal codec quarantines them behind ``VOLATILE_FIELDS``.
+    """
 
     request: RunRequest
     result: object = None  # ExperimentResult on success
     error: str = ""
     resolved_params: Dict[str, object] = field(default_factory=dict)
+    duration_s: Optional[float] = None
+    t_mono: Optional[float] = None
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -74,14 +88,21 @@ def _execute_one(request: RunRequest) -> RunOutcome:
     from ..noc import reset_packet_ids
 
     reset_packet_ids()
+    before = _OBS.snapshot() if _OBS.enabled else None
+    t0 = time.perf_counter()
     try:
         sc = registry.get(request.scenario_id)
         resolved = sc.resolve_params(request.params_dict(), fast=request.fast)
         result = sc.func(tech=None, **resolved)
-        return RunOutcome(request=request, result=result,
-                          resolved_params=resolved)
+        outcome = RunOutcome(request=request, result=result,
+                             resolved_params=resolved)
     except Exception:
-        return RunOutcome(request=request, error=traceback.format_exc())
+        outcome = RunOutcome(request=request, error=traceback.format_exc())
+    outcome.duration_s = time.perf_counter() - t0
+    outcome.t_mono = time.monotonic()
+    if before is not None:
+        outcome.metrics = snapshot_delta(before, _OBS.snapshot())
+    return outcome
 
 
 def _batch_key(request: RunRequest, axis: str) -> Tuple:
@@ -107,6 +128,8 @@ def _execute_batch(requests: Sequence[RunRequest]) -> list[RunOutcome]:
 
     reset_packet_ids()
     sc = registry.get(requests[0].scenario_id)
+    before = _OBS.snapshot() if _OBS.enabled else None
+    t0 = time.perf_counter()
     try:
         resolved = [
             sc.resolve_params(r.params_dict(), fast=r.fast)
@@ -121,13 +144,24 @@ def _execute_batch(requests: Sequence[RunRequest]) -> list[RunOutcome]:
                 f"{0 if results is None else len(results)} results "
                 f"for {len(requests)} requests"
             )
-        return [
+        outcomes = [
             RunOutcome(request=r, result=res, resolved_params=p)
             for r, res, p in zip(requests, results, resolved)
         ]
     except Exception:
         error = traceback.format_exc()
-        return [RunOutcome(request=r, error=error) for r in requests]
+        outcomes = [RunOutcome(request=r, error=error) for r in requests]
+    # the group executed as one call: members share the wall clock
+    # evenly, and the first member carries the whole group's kernel
+    # counter delta (splitting it per-lane would invent precision)
+    wall = time.perf_counter() - t0
+    t_end = time.monotonic()
+    for outcome in outcomes:
+        outcome.duration_s = wall / len(outcomes)
+        outcome.t_mono = t_end
+    if before is not None and outcomes:
+        outcomes[0].metrics = snapshot_delta(before, _OBS.snapshot())
+    return outcomes
 
 
 #: one unit of pool work: a solo request or a packed group

@@ -40,6 +40,8 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from typing import Callable, List, Optional
 
+from ..obs.metrics import REGISTRY as _OBS
+
 #: picoseconds per nanosecond — the kernel's base unit is 1 ps.
 PS = 1
 NS = 1000
@@ -116,6 +118,7 @@ class Simulator:
         "_live",
         "_cancelled",
         "_events_executed",
+        "_migrations",
         "_running",
         "_stopped",
         "created_signals",
@@ -137,6 +140,7 @@ class Simulator:
         self._live: int = 0
         self._cancelled: int = 0
         self._events_executed: int = 0
+        self._migrations: int = 0
         self._running: bool = False
         self._stopped: bool = False
         #: every net built through the factory methods, in creation order
@@ -165,6 +169,11 @@ class Simulator:
     def events_cancelled(self) -> int:
         """Total number of events cancelled before execution."""
         return self._cancelled
+
+    @property
+    def band_migrations(self) -> int:
+        """Total events migrated far→near by horizon advances."""
+        return self._migrations
 
     # ------------------------------------------------------------------
     # scheduling
@@ -236,6 +245,7 @@ class Simulator:
         horizon = far[0][0] + self.NEAR_WINDOW
         near = self._near
         times = self._times
+        migrated = 0
         while far and far[0][0] < horizon:
             when, _seq, cell = heappop(far)
             bucket = near.get(when)
@@ -246,6 +256,8 @@ class Simulator:
                 near[when] = [1, bucket, cell]
             else:
                 bucket.append(cell)
+            migrated += 1
+        self._migrations += migrated
         self._horizon = horizon
 
     # ------------------------------------------------------------------
@@ -277,6 +289,19 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # observability: one flag check when disabled; when enabled,
+        # remember the plain-int counters so the finally block can hand
+        # the registry this call's deltas in bulk (never per event)
+        obs_base = None
+        if _OBS.enabled:
+            obs_base = (self._cancelled, self._migrations, self._live)
+            occupancy = _OBS.histogram(
+                "sim.bucket_occupancy", (1, 2, 4, 8, 16, 32)
+            )
+            for bucket in self._near.values():
+                occupancy.observe(
+                    1 if len(bucket) == 1 else len(bucket) - 1
+                )
         # -1 never equals an incrementing counter: one comparison per
         # event instead of a None check plus a comparison.  A caller's
         # non-positive budget trips on the first event (seed checked
@@ -357,6 +382,22 @@ class Simulator:
                     break
         finally:
             self._running = False
+            if obs_base is not None and _OBS.enabled:
+                cancelled0, migrations0, live0 = obs_base
+                cancelled_d = self._cancelled - cancelled0
+                _OBS.counter("sim.events_executed").inc(executed)
+                _OBS.counter("sim.events_cancelled").inc(cancelled_d)
+                # everything scheduled while running either executed,
+                # was cancelled, or is still live — no hot counter needed
+                _OBS.counter("sim.events_scheduled").inc(
+                    executed + cancelled_d + (self._live - live0)
+                )
+                _OBS.counter("sim.band_migrations").inc(
+                    self._migrations - migrations0
+                )
+                _OBS.gauge("sim.near_buckets").set(len(self._near))
+                _OBS.gauge("sim.far_events").set(len(self._far))
+                _OBS.gauge("sim.pending_events").set(self._live)
         return executed
 
     def run_ns(self, until_ns: float, max_events: Optional[int] = None) -> int:

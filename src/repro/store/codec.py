@@ -10,6 +10,13 @@ from journaled outcomes and nobody can tell from the output tree.
 Only JSON-native cell values (str/int/float/bool/None) survive
 verbatim; anything else is stringified, which is exactly what the CSV
 writer would have done to it anyway.
+
+Records also carry *volatile* observability fields — per-point wall
+duration, monotonic completion stamp, kernel counter deltas — which
+two otherwise identical runs will disagree on.  They are quarantined
+in :data:`VOLATILE_FIELDS`: readers tolerate their absence (old
+journals load fine), and :func:`strip_volatile` removes them wherever
+byte-level determinism is being compared.
 """
 
 from __future__ import annotations
@@ -21,6 +28,10 @@ from ..runner.engine import RunOutcome, RunRequest
 
 #: bump when the record layout changes incompatibly
 RECORD_VERSION = 1
+
+#: record keys that vary between identical runs (observability
+#: side-band); everything else is part of the deterministic contract
+VOLATILE_FIELDS = frozenset({"duration_s", "t_mono", "metrics"})
 
 _SCALARS = (str, int, float, bool)
 
@@ -85,7 +96,7 @@ def outcome_to_record(outcome: RunOutcome) -> Dict[str, object]:
             f"cannot encode result of type {type(result).__name__}; "
             f"scenarios must return ExperimentResult"
         )
-    return {
+    record: Dict[str, object] = {
         "version": RECORD_VERSION,
         "scenario": request.scenario_id,
         "params": [[name, value] for name, value in request.params],
@@ -97,6 +108,13 @@ def outcome_to_record(outcome: RunOutcome) -> Dict[str, object]:
         },
         "result": result_to_dict(result),
     }
+    if outcome.duration_s is not None:
+        record["duration_s"] = outcome.duration_s
+    if outcome.t_mono is not None:
+        record["t_mono"] = outcome.t_mono
+    if outcome.metrics:
+        record["metrics"] = dict(outcome.metrics)
+    return record
 
 
 def outcome_from_record(record: Dict[str, object]) -> RunOutcome:
@@ -111,9 +129,19 @@ def outcome_from_record(record: Dict[str, object]) -> RunOutcome:
         result=result_from_dict(record.get("result")),
         error=record.get("error", ""),
         resolved_params=dict(record.get("resolved_params") or {}),
+        # volatile observability fields: absent in old records
+        duration_s=record.get("duration_s"),
+        t_mono=record.get("t_mono"),
+        metrics=dict(record.get("metrics") or {}),
     )
 
 
 def record_params(record: Dict[str, object]) -> List[list]:
     """The record's raw ``[name, value]`` pairs (display helper)."""
     return [list(pair) for pair in record.get("params", [])]
+
+
+def strip_volatile(record: Dict[str, object]) -> Dict[str, object]:
+    """The record minus :data:`VOLATILE_FIELDS` — the deterministic
+    part two identical runs must agree on byte-for-byte."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}

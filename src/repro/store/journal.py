@@ -9,9 +9,16 @@ leaves a journal whose intact prefix is exactly the completed work;
 appends the rest — the finished journal and artifact tree are
 byte-identical to an uninterrupted run's.
 
-No timestamps, hostnames or durations appear in journal lines: the
-journal is part of the deterministic artifact contract, not a log for
-humans.
+Journal lines carry a small *volatile* side-band — per-point wall
+duration, monotonic completion stamp, and (when metrics are enabled)
+kernel counter deltas — so resume, ``repro telemetry`` and the live
+progress ETA all share one source of truth.  Everything else is part
+of the deterministic artifact contract: :func:`canonical_bytes`
+projects a journal onto exactly that deterministic part, and the
+byte-identity guarantees (kill-then-resume, ``--jobs N`` vs serial,
+``--progress`` on vs off) hold over that projection plus, unchanged,
+over every other file in the artifact tree.  Old journals without the
+side-band load fine (readers treat the fields as optional).
 """
 
 from __future__ import annotations
@@ -119,3 +126,33 @@ def recover(path) -> Tuple[Dict[str, object], List[RunOutcome]]:
         with path.open("r+b") as fh:
             fh.truncate(valid_bytes)
     return header, outcomes
+
+
+def canonical_bytes(path) -> bytes:
+    """The journal's deterministic projection, as bytes.
+
+    Each line is re-serialized with :data:`codec.VOLATILE_FIELDS`
+    removed, so two runs that computed the same work — whatever their
+    wall-clock weather — compare equal.  Used by the byte-identity
+    tests and ``repro diff``-style tooling; raises like :func:`load`
+    on a headerless file.
+    """
+    path = Path(path)
+    lines = []
+    with path.open("rb") as fh:
+        raw = fh.read()
+    for i, line in enumerate(raw.splitlines(keepends=True)):
+        if not line.endswith(b"\n"):
+            break
+        try:
+            entry = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            break
+        if i == 0 and entry.get("kind") != "header":
+            raise JournalError(f"{path}: first line is not a journal header")
+        lines.append(
+            json.dumps(codec.strip_volatile(entry), sort_keys=True) + "\n"
+        )
+    if not lines:
+        raise JournalError(f"{path}: empty or headerless journal")
+    return "".join(lines).encode("utf-8")

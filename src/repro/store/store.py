@@ -110,11 +110,15 @@ class RunStore:
         from ..runner.artifacts import point_slug
 
         key = self.key(outcome.request)
+        # store objects are content-addressed and compared across runs,
+        # so the volatile observability fields (durations, timestamps,
+        # counter deltas) stay out — a cache hit replays the result,
+        # not the weather of the run that produced it
         record = {
             "key": key,
             "fingerprint": self.fingerprint,
             "point": point_slug(outcome),
-            **codec.outcome_to_record(outcome),
+            **codec.strip_volatile(codec.outcome_to_record(outcome)),
         }
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
