@@ -67,7 +67,7 @@ class TestCompiledPoints:
         document = run_bench(
             compiled_points=[TINY_RING], reference=False, repeats=1
         )
-        assert document["schema"] == SCHEMA == 3
+        assert document["schema"] == SCHEMA == 4
         assert document["suites"] == ["compiled"]
         assert [p["suite"] for p in document["points"]] == ["compiled"]
 

@@ -1,0 +1,123 @@
+"""Bench-harness tests for the sweep (fabric scheduling-overhead) suite.
+
+A tiny no-op grid (milliseconds) exercises the timing harness — a real
+coordinator, a real file-lease transport and a real in-process worker —
+plus the cross-check that the fabric's outcomes canonically match the
+bare engine's.  The schema-4 gating tests pin that a sweep baseline
+point rides the same regression machinery as the other suites: missing
+points, diverged results, mismatched grid sizes and efficiency drops
+beyond tolerance all fail the check.
+"""
+
+import pytest
+
+from repro.bench import (
+    SCHEMA,
+    SweepBenchPoint,
+    check_against_baseline,
+    default_sweep_points,
+    run_bench,
+    run_sweep_point,
+)
+
+TINY_GRID = SweepBenchPoint("noop", 8)
+
+
+class TestSweepPoints:
+    def test_fabric_throughput_and_matching_results(self):
+        outcome = run_sweep_point(TINY_GRID, repeats=1)
+        assert outcome.fabric_pps > 0
+        assert outcome.engine_pps > 0
+        assert outcome.stats_match is True
+        assert outcome.speedup is not None and outcome.speedup > 0
+        record = outcome.to_json()
+        assert record["suite"] == "sweep"
+        assert record["key"] == "sweep/noop@8"
+        assert record["cycles"] == 8
+        assert record["workers"] == 1
+
+    def test_reference_skippable(self):
+        outcome = run_sweep_point(TINY_GRID, reference=False, repeats=1)
+        assert outcome.engine_pps is None
+        assert outcome.speedup is None
+        assert outcome.stats_match is None
+        assert outcome.fabric_pps > 0
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown sweep workload"):
+            run_sweep_point(SweepBenchPoint("warp-drive", 8), repeats=1)
+
+    def test_default_points_scale_with_a_floor(self):
+        assert [p.key for p in default_sweep_points()] == [
+            "sweep/noop@64"
+        ]
+        assert [p.key for p in default_sweep_points(scale=0.5)] == [
+            "sweep/noop@32"
+        ]
+        # the floor keeps a micro-scale run a real grid, not one point
+        assert default_sweep_points(scale=0.01)[0].size == 8
+
+    def test_run_bench_tags_the_suite(self):
+        document = run_bench(
+            sweep_points=[TINY_GRID], reference=False, repeats=1,
+            collect_metrics=False,
+        )
+        assert document["schema"] == SCHEMA == 4
+        assert document["suites"] == ["sweep"]
+        assert [p["suite"] for p in document["points"]] == ["sweep"]
+
+    def test_metrics_replay_counts_fabric_traffic(self):
+        document = run_bench(
+            sweep_points=[TINY_GRID], reference=False, repeats=1,
+            collect_metrics=True,
+        )
+        metrics = document["points"][0]["metrics"]
+        assert metrics["fabric.points_executed"] == 8
+        assert metrics["fabric.items_claimed"] >= 1
+        assert metrics["fabric.results"] == 8
+
+
+class TestSweepGating:
+    def _documents(self, **current_overrides):
+        base_point = {
+            "suite": "sweep", "key": "sweep/noop@32", "cycles": 32,
+            "speedup": 0.008, "stats_match": True,
+        }
+        current_point = dict(base_point)
+        current_point.update(current_overrides)
+        baseline = {
+            "schema": SCHEMA, "python": "3.11.7", "repeats": 5,
+            "suites": ["sweep"], "points": [base_point],
+        }
+        current = {
+            "schema": SCHEMA, "python": "3.11.7", "repeats": 5,
+            "suites": ["sweep"], "points": [current_point],
+        }
+        return current, baseline
+
+    def test_matching_run_passes(self):
+        current, baseline = self._documents()
+        assert check_against_baseline(current, baseline) == []
+
+    def test_efficiency_drop_beyond_tolerance_fails(self):
+        current, baseline = self._documents(speedup=0.004)
+        problems = check_against_baseline(
+            current, baseline, tolerance=0.30
+        )
+        assert len(problems) == 1
+        assert "fell below" in problems[0]
+
+    def test_grid_size_mismatch_names_the_sweep_flag(self):
+        current, baseline = self._documents(
+            key="sweep/noop@32", cycles=64
+        )
+        problems = check_against_baseline(current, baseline)
+        assert len(problems) == 1
+        assert "--sweep-scale" in problems[0]
+        assert "grid points" in problems[0]
+
+    def test_noc_only_run_skips_sweep_points(self):
+        current, baseline = self._documents()
+        current["suites"] = ["noc"]
+        current["points"] = []
+        assert check_against_baseline(current, baseline) == []

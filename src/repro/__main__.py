@@ -17,6 +17,9 @@ Usage::
     python -m repro sweep mesh-design-space --resume out/   # finish a killed sweep
     python -m repro sweep traffic-hotspot --store runs/     # skip cached points
     python -m repro sweep traffic-hotspot --progress --out out/  # live status
+    python -m repro sweep mesh-design-space --workers 2 --out out/  # fabric
+    python -m repro sweep mesh-design-space --fabric shared/ --out out/
+    python -m repro worker shared/                 # fabric worker daemon
     python -m repro telemetry out/                          # sweep analytics
     python -m repro telemetry out/ --json - --csv points.csv
     python -m repro diff baseline/ out/                     # regression gate
@@ -374,6 +377,14 @@ def _cmd_sweep(args, parser) -> int:
     except registry.ScenarioError as exc:
         parser.error(str(exc))
 
+    fabric_mode = bool(args.fabric) or args.workers > 0
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if fabric_mode and args.jobs != 1:
+        parser.error(
+            "--jobs does not apply to fabric mode; use --workers N"
+        )
+
     out_dir = args.out
     if args.resume:
         if out_dir and Path(out_dir) != Path(args.resume):
@@ -432,8 +443,12 @@ def _cmd_sweep(args, parser) -> int:
                     store_hits += 1
 
     remaining = [r for r in requests if r not in completed]
-    print(f"sweeping {sc.id}: {len(requests)} point(s), "
-          f"jobs={args.jobs}")
+    if fabric_mode:
+        print(f"sweeping {sc.id}: {len(requests)} point(s), "
+              f"fabric workers={args.workers}")
+    else:
+        print(f"sweeping {sc.id}: {len(requests)} point(s), "
+              f"jobs={args.jobs}")
     if completed:
         print(f"resuming: {len(completed) - store_hits} journaled + "
               f"{store_hits} stored point(s) reused, "
@@ -499,16 +514,30 @@ def _cmd_sweep(args, parser) -> int:
         if progress is not None:
             progress.point_done(ok=outcome.ok)
 
+    fabric_note = None
     try:
-        executed = engine.execute(
-            remaining, jobs=args.jobs, on_outcome=on_outcome
-        )
+        if fabric_mode:
+            executed, fabric_note = _run_fabric(args, parser, sc,
+                                                remaining, on_outcome)
+        else:
+            executed = engine.execute(
+                remaining, jobs=args.jobs, on_outcome=on_outcome
+            )
     finally:
         if progress is not None:
             progress.close()
+    if fabric_note:
+        print(fabric_note)
     by_request = dict(completed)
     by_request.update({o.request: o for o in executed})
     outcomes = [by_request[request] for request in requests]
+
+    if journal_writer is not None:
+        # outcomes were journaled in completion order (--jobs N and
+        # fabric workers publish as they finish); normalize the
+        # finished journal to canonical grid order so the file is
+        # byte-identical to a serial run's
+        journal_writer.rewrite(sc.id, outcomes, fingerprint)
 
     rows = []
     failures = 0
@@ -566,6 +595,61 @@ def _cmd_sweep(args, parser) -> int:
     return 0
 
 
+def _run_fabric(args, parser, sc, remaining, on_outcome):
+    """Execute the sweep's remaining points through the fabric.
+
+    ``--fabric DIR`` names the shared directory (external workers may
+    attach); with only ``--workers N`` a private temporary directory
+    is used and cleaned up afterwards.  Returns ``(outcomes, note)``.
+    """
+    import tempfile
+
+    from .fabric import FabricError, run_fabric_sweep
+
+    tmp_ctx = None
+    fabric_dir = args.fabric
+    if fabric_dir is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-fabric-")
+        fabric_dir = tmp_ctx.name
+    try:
+        result = run_fabric_sweep(
+            fabric_dir, sc.id, remaining,
+            workers=args.workers,
+            store=args.store,
+            lease_ttl=args.lease_ttl,
+            on_outcome=on_outcome,
+            timeout=args.fabric_timeout,
+        )
+    except FabricError as exc:
+        parser.error(str(exc))
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+    return result.outcomes, result.summary()
+
+
+def _cmd_worker(args, parser) -> int:
+    from .fabric import FabricError, run_worker
+
+    if args.lease_ttl <= 0:
+        parser.error("--lease-ttl must be positive")
+    try:
+        stats = run_worker(
+            args.fabric,
+            worker_id=args.id,
+            lease_ttl=args.lease_ttl,
+            poll_s=args.poll,
+            plan_timeout=args.plan_timeout,
+            once=args.once,
+            max_items=args.max_items,
+        )
+    except FabricError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return 1
+    print(stats.summary())
+    return 0
+
+
 def _counter_rollup(outcomes) -> dict:
     """Sum the ``counter:`` metric deltas carried by outcomes.
 
@@ -588,6 +672,7 @@ def _cmd_bench(args, parser) -> int:
     run_noc = args.suite in ("noc", "all")
     run_gate = args.suite in ("gate", "all")
     run_compiled = args.suite in ("compiled", "all")
+    run_sweep = args.suite in ("sweep", "all")
     if not run_noc and (args.mesh or args.rates):
         parser.error("--mesh/--rates only apply to the noc suite")
 
@@ -634,8 +719,29 @@ def _cmd_bench(args, parser) -> int:
         bench_mod.default_compiled_points(scale=args.compiled_scale)
         if run_compiled else []
     )
+    sweep_points = (
+        bench_mod.default_sweep_points(scale=args.sweep_scale)
+        if run_sweep else []
+    )
 
     def progress(outcome):
+        if hasattr(outcome, "fabric_pps"):
+            # sweep suite: the ratio is dispatch efficiency, not a
+            # kernel speedup — word it as overhead, not a win
+            eff = (
+                f"{outcome.speedup:.1%} of bare-engine throughput"
+                if outcome.speedup is not None else "reference skipped"
+            )
+            match = ""
+            if outcome.stats_match is True:
+                match = ", results identical"
+            elif outcome.stats_match is False:
+                match = ", RESULTS DIVERGED"
+            print(
+                f"{outcome.point.key}: {outcome.fabric_pps:,.0f} "
+                f"points/sec through the fabric ({eff}{match})"
+            )
+            return
         speed = (
             f"{outcome.speedup:.2f}x vs reference"
             if outcome.speedup is not None else "reference skipped"
@@ -660,6 +766,7 @@ def _cmd_bench(args, parser) -> int:
         progress=progress,
         gate_points=gate_points,
         compiled_points=compiled_points,
+        sweep_points=sweep_points,
     )
     if args.profile:
         if points:
@@ -719,6 +826,30 @@ def _cmd_bench(args, parser) -> int:
         print(
             f"compiled-suite speedups clear the "
             f"{args.min_compiled_speedup:g}x batch floor (1x single-lane)"
+        )
+    if args.min_sweep_efficiency is not None:
+        slow = []
+        for p in document["points"]:
+            if p.get("suite") != "sweep":
+                continue
+            efficiency = p.get("speedup")
+            if efficiency is None:
+                slow.append(f"{p['key']}: no efficiency recorded "
+                            f"(ran with --no-reference?)")
+            elif efficiency < args.min_sweep_efficiency:
+                slow.append(
+                    f"{p['key']}: {efficiency:.2%} of bare-engine "
+                    f"throughput, below the "
+                    f"{args.min_sweep_efficiency:.2%} floor "
+                    f"(--min-sweep-efficiency)"
+                )
+        if slow:
+            for problem in slow:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"sweep-suite dispatch efficiency clears the "
+            f"{args.min_sweep_efficiency:.2%} floor"
         )
     if args.check:
         try:
@@ -902,6 +1033,69 @@ def build_parser() -> argparse.ArgumentParser:
              "telemetry collection, as if REPRO_TELEMETRY=1; artifacts "
              "are byte-identical either way",
     )
+    p_sweep.add_argument(
+        "--fabric", metavar="DIR",
+        help="distributed mode: coordinate the sweep through a shared "
+             "fabric directory that 'repro worker DIR' daemons (local "
+             "or on other hosts via a shared mount) attach to; "
+             "artifacts stay byte-identical to --jobs 1",
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="spawn N local fabric worker processes (uses a private "
+             "temporary fabric directory unless --fabric names one)",
+    )
+    p_sweep.add_argument(
+        "--lease-ttl", type=float, default=20.0, metavar="SEC",
+        help="fabric lease heartbeat deadline; a worker silent this "
+             "long forfeits its lease and the point is re-leased "
+             "(default 20)",
+    )
+    p_sweep.add_argument(
+        "--fabric-timeout", type=float, default=None, metavar="SEC",
+        help="give up if the fabric sweep has not completed after SEC "
+             "seconds (default: wait forever)",
+    )
+
+    p_worker = sub.add_parser(
+        "worker",
+        help="attach to a fabric directory and execute leased points",
+        description=(
+            "Fabric worker daemon: waits for the coordinator's plan in "
+            "DIR, then claims work-item leases, executes them through "
+            "the ordinary engine (batch packing included), streams a "
+            "per-worker journal + telemetry segment, publishes results "
+            "and exits 0 once every planned point is published."
+        ),
+    )
+    p_worker.add_argument("fabric", metavar="DIR")
+    p_worker.add_argument(
+        "--id", default=None, metavar="NAME",
+        help="worker identity (default: generated host-pid-random id); "
+             "reusing an id resumes that worker's journal segment",
+    )
+    p_worker.add_argument(
+        "--lease-ttl", type=float, default=20.0, metavar="SEC",
+        help="lease deadline to claim and heartbeat with (default 20)",
+    )
+    p_worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SEC",
+        help="idle poll interval while other workers hold all "
+             "remaining leases (default 0.5)",
+    )
+    p_worker.add_argument(
+        "--plan-timeout", type=float, default=60.0, metavar="SEC",
+        help="give up if no plan appears in DIR (default 60)",
+    )
+    p_worker.add_argument(
+        "--once", action="store_true",
+        help="make a single claim pass and exit instead of waiting "
+             "for the plan to complete",
+    )
+    p_worker.add_argument(
+        "--max-items", type=int, default=None, metavar="N",
+        help="exit after executing N leased work items",
+    )
 
     p_tele = sub.add_parser(
         "telemetry",
@@ -953,11 +1147,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--suite", default="noc",
-        choices=("noc", "gate", "compiled", "all"),
+        choices=("noc", "gate", "compiled", "sweep", "all"),
         help="noc = cycle-kernel cycles/sec, gate = event-kernel "
              "events/sec on serializer/four-phase/ring-oscillator "
              "testbenches, compiled = bit-parallel backend aggregate "
-             "lanes/sec vs one event-kernel lane (default noc)",
+             "lanes/sec vs one event-kernel lane, sweep = fabric "
+             "scheduling overhead (no-op points/sec, coordinator vs "
+             "bare engine) (default noc)",
     )
     p_bench.add_argument(
         "--gate-scale", type=float, default=1.0, metavar="FRAC",
@@ -974,6 +1170,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail unless every batched compiled point reaches X times "
              "the event kernel's aggregate lanes/sec (single-lane "
              "points are held to 1x); the CI bench job gates at 4x",
+    )
+    p_bench.add_argument(
+        "--sweep-scale", type=float, default=1.0, metavar="FRAC",
+        help="scale factor for the sweep-suite grid sizes "
+             "(default 1.0; --fast uses 0.5)",
+    )
+    p_bench.add_argument(
+        "--min-sweep-efficiency", type=float, default=None, metavar="F",
+        help="fail unless every sweep point keeps at least fraction F "
+             "of bare-engine points/sec when dispatched through the "
+             "fabric (a scheduling-overhead ceiling)",
     )
     p_bench.add_argument(
         "--mesh", metavar="N1,N2,...",
@@ -1045,6 +1252,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--gate-scale must be positive")
         if args.compiled_scale <= 0:
             parser.error("--compiled-scale must be positive")
+        if args.sweep_scale <= 0:
+            parser.error("--sweep-scale must be positive")
         if args.suite not in ("gate", "all") and args.gate_scale != 1.0:
             # checked before --fast rescales it: reject only an explicit
             # user-supplied value that the selected suite would ignore
@@ -1060,12 +1269,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "--min-compiled-speedup only applies to the "
                 "compiled suite"
             )
+        if args.suite not in ("sweep", "all") and args.sweep_scale != 1.0:
+            parser.error("--sweep-scale only applies to the sweep suite")
+        if (args.suite not in ("sweep", "all")
+                and args.min_sweep_efficiency is not None):
+            parser.error(
+                "--min-sweep-efficiency only applies to the sweep suite"
+            )
         if args.fast:
             # short cycles only; repeats stay (best-of-N absorbs
             # scheduler noise, which dominates sub-second timings)
             args.cycles = min(args.cycles, 300)
             args.gate_scale = min(args.gate_scale, 0.5)
             args.compiled_scale = min(args.compiled_scale, 0.5)
+            args.sweep_scale = min(args.sweep_scale, 0.5)
         return _cmd_bench(args, parser)
     if args.command == "list":
         return _cmd_list(args, parser)
@@ -1079,6 +1296,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_history(args, parser)
     if args.command == "telemetry":
         return _cmd_telemetry(args, parser)
+    if args.command == "worker":
+        return _cmd_worker(args, parser)
     return _cmd_sweep(args, parser)
 
 

@@ -1,6 +1,6 @@
 """Kernel benchmark harness behind ``python -m repro bench``.
 
-Three suites, selected with ``--suite {noc,gate,compiled,all}``:
+Four suites, selected with ``--suite {noc,gate,compiled,sweep,all}``:
 
 * **noc** — simulated-cycles-per-second of the optimized activity-driven
   NoC cycle kernel (:mod:`repro.noc.network`) vs the frozen seed kernel
@@ -15,7 +15,13 @@ Three suites, selected with ``--suite {noc,gate,compiled,all}``:
   lanes per 64-bit word) vs the *optimized* event kernel evaluating one
   lane of the identical workload — the ratio prices what packing a
   Monte Carlo batch into one word buys over running its lanes one by
-  one on the incumbent kernel.
+  one on the incumbent kernel;
+* **sweep** — points-per-second of a no-op grid (``sweep-noop``, zero
+  computation per point) dispatched through the distributed sweep
+  fabric (:mod:`repro.fabric`: coordinator, file leases, a local
+  worker) vs the bare engine on the identical grid — the ratio is
+  pure scheduling overhead, and the committed baseline gates how much
+  of it the fabric may cost.
 
 Both report the speedup per point and emit a JSON document so the
 performance trajectory is recorded rather than anecdotal.
@@ -73,8 +79,9 @@ from .tech import st012
 #: bench schema version, bumped on incompatible JSON layout changes
 #: (2: added the gate-level suite; points carry a ``suite`` field;
 #: 3: added the compiled suite — lane counts and wall-clock fields;
-#: readers keep accepting schema-1/2 documents unchanged)
-SCHEMA = 3
+#: 4: added the sweep suite — fabric scheduling-overhead points;
+#: readers keep accepting schema-1/2/3 documents unchanged)
+SCHEMA = 4
 
 #: default operating points: (mesh_size, injection_rate) — the nominal
 #: 4x4 point plus the 8x8 low-load and saturation gates from the perf
@@ -732,6 +739,206 @@ def default_compiled_points(scale: float = 1.0
     ]
 
 
+# ----------------------------------------------------------------------
+# sweep-fabric scheduling-overhead suite
+# ----------------------------------------------------------------------
+#: sweep-suite workloads and their default grid sizes (points per grid);
+#: the workload is the ``sweep-noop`` scenario — zero computation, so
+#: what gets timed is purely the machinery around scenario execution
+SWEEP_WORKLOADS: Sequence[tuple[str, int]] = (("noop", 64),)
+
+#: local worker daemons (threads) serving the timed fabric runs
+_SWEEP_WORKERS = 1
+
+
+@dataclass(frozen=True)
+class SweepBenchPoint:
+    """One timed scheduling-overhead configuration.
+
+    ``size`` is the number of no-op grid points; it is recorded as
+    ``cycles`` in the JSON so the baseline check's workload-length
+    comparability rule applies unchanged.
+    """
+
+    workload: str
+    size: int
+
+    @property
+    def key(self) -> str:
+        return f"sweep/{self.workload}@{self.size}"
+
+
+@dataclass
+class SweepBenchResult:
+    """Coordinator-vs-bare-engine throughput on a no-op grid.
+
+    ``speedup`` here is a *dispatch efficiency ratio* — fabric
+    points/sec over bare-engine points/sec on the identical grid.  It
+    is necessarily below 1.0 (the fabric adds lease files, heartbeats
+    and result publication around the same zero-cost execution); the
+    committed baseline gates how far below, i.e. how much scheduling
+    overhead the fabric is allowed to cost.
+    """
+
+    point: SweepBenchPoint
+    fabric_pps: float
+    fabric_wall_s: float
+    engine_pps: Optional[float]
+    engine_wall_s: Optional[float]
+    workers: int
+    stats_match: Optional[bool]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.engine_pps or not self.fabric_pps:
+            return None
+        return self.fabric_pps / self.engine_pps
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "suite": "sweep",
+            "key": self.point.key,
+            "workload": self.point.workload,
+            "cycles": self.point.size,
+            "workers": self.workers,
+            "fabric_pps": round(self.fabric_pps, 1),
+            "fabric_wall_s": round(self.fabric_wall_s, 6),
+            "engine_pps": (
+                round(self.engine_pps, 1) if self.engine_pps else None
+            ),
+            "engine_wall_s": (
+                round(self.engine_wall_s, 6)
+                if self.engine_wall_s else None
+            ),
+            "speedup": (
+                round(self.speedup, 3) if self.speedup is not None else None
+            ),
+            "stats_match": self.stats_match,
+        }
+
+
+def _sweep_requests(point: SweepBenchPoint):
+    from .runner import engine as engine_mod
+    from .runner import registry
+
+    if point.workload != "noop":
+        raise ValueError(f"unknown sweep workload {point.workload!r}")
+    registry.load_builtin()
+    return [
+        engine_mod.RunRequest.create("sweep-noop", {"point": i})
+        for i in range(point.size)
+    ]
+
+
+def _canonical_records(outcomes) -> List[str]:
+    from .store import codec
+
+    return [
+        json.dumps(
+            codec.strip_volatile(codec.outcome_to_record(outcome)),
+            sort_keys=True,
+        )
+        for outcome in outcomes
+    ]
+
+
+def _sweep_fabric_run(requests, workers: int = _SWEEP_WORKERS):
+    """One timed coordinator+workers pass over ``requests``.
+
+    Workers run as in-process threads (the workload is no-op, so the
+    run is dominated by exactly the file-lease traffic being priced);
+    the clock covers worker startup through the coordinator seeing the
+    last published result — everything a real fabric sweep pays.
+    """
+    import tempfile
+    import threading
+
+    from .fabric import FileTransport, run_fabric_sweep, run_worker
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fabric-") as td:
+        transport = FileTransport(td)
+        threads = []
+        t0 = time.perf_counter()
+        for j in range(workers):
+            thread = threading.Thread(
+                target=run_worker,
+                kwargs=dict(
+                    fabric=transport,
+                    worker_id=f"bench-w{j}",
+                    lease_ttl=10.0,
+                    poll_s=0.01,
+                    plan_timeout=30.0,
+                ),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        result = run_fabric_sweep(
+            transport, "sweep-noop", requests,
+            workers=0, lease_ttl=10.0, poll_s=0.002, timeout=300.0,
+        )
+        wall = time.perf_counter() - t0
+        for thread in threads:
+            thread.join(timeout=10.0)
+    return wall, result.outcomes
+
+
+def run_sweep_point(
+    point: SweepBenchPoint,
+    reference: bool = True,
+    repeats: int = 3,
+    workers: int = _SWEEP_WORKERS,
+) -> SweepBenchResult:
+    """Time one no-op grid through the fabric and (optionally) the
+    bare engine; cross-check that both produced identical canonical
+    outcome records."""
+    from .runner import engine as engine_mod
+
+    requests = _sweep_requests(point)
+    fab_wall = float("inf")
+    fab_outcomes = None
+    for _ in range(repeats):
+        wall, outcomes = _sweep_fabric_run(requests, workers=workers)
+        if wall < fab_wall:
+            fab_wall = wall
+            fab_outcomes = outcomes
+    eng_wall = None
+    eng_pps = None
+    stats_match = None
+    if reference:
+        eng_wall = float("inf")
+        eng_outcomes = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            outcomes = engine_mod.execute(requests, jobs=1)
+            elapsed = time.perf_counter() - t0
+            if elapsed < eng_wall:
+                eng_wall = elapsed
+                eng_outcomes = outcomes
+        eng_pps = point.size / eng_wall if eng_wall else 0.0
+        stats_match = (
+            _canonical_records(fab_outcomes)
+            == _canonical_records(eng_outcomes)
+        )
+    return SweepBenchResult(
+        point=point,
+        fabric_pps=point.size / fab_wall if fab_wall else 0.0,
+        fabric_wall_s=fab_wall,
+        engine_pps=eng_pps,
+        engine_wall_s=eng_wall,
+        workers=workers,
+        stats_match=stats_match,
+    )
+
+
+def default_sweep_points(scale: float = 1.0) -> List[SweepBenchPoint]:
+    """The standard sweep-suite points, grid sizes scaled by ``scale``."""
+    return [
+        SweepBenchPoint(workload, max(8, round(size * scale)))
+        for workload, size in SWEEP_WORKLOADS
+    ]
+
+
 def _counter_deltas(run_fn) -> Dict[str, int]:
     """Kernel counter deltas from one extra *untimed* instrumented run.
 
@@ -770,6 +977,11 @@ def _compiled_point_metrics(point: CompiledBenchPoint) -> Dict[str, int]:
     return _counter_deltas(run_compiled)
 
 
+def _sweep_point_metrics(point: SweepBenchPoint) -> Dict[str, int]:
+    requests = _sweep_requests(point)
+    return _counter_deltas(lambda: _sweep_fabric_run(requests))
+
+
 def run_bench(
     points: Sequence[BenchPoint] = (),
     reference: bool = True,
@@ -777,9 +989,11 @@ def run_bench(
     progress=None,
     gate_points: Sequence[GateBenchPoint] = (),
     compiled_points: Sequence[CompiledBenchPoint] = (),
+    sweep_points: Sequence[SweepBenchPoint] = (),
     collect_metrics: bool = True,
 ) -> Dict[str, object]:
-    """Run every noc, gate and compiled point; return the JSON document.
+    """Run every noc, gate, compiled and sweep point; return the JSON
+    document.
 
     With ``collect_metrics`` each point's record gains a ``metrics``
     key — kernel counter deltas (events executed, cycles simulated,
@@ -794,6 +1008,8 @@ def run_bench(
         suites.append("gate")
     if compiled_points:
         suites.append("compiled")
+    if sweep_points:
+        suites.append("sweep")
     for point in points:
         outcome = run_point(point, reference=reference, repeats=repeats)
         if progress is not None:
@@ -821,6 +1037,16 @@ def run_bench(
         record = compiled_outcome.to_json()
         if collect_metrics:
             record["metrics"] = _compiled_point_metrics(compiled_point)
+        results.append(record)
+    for sweep_point in sweep_points:
+        sweep_outcome = run_sweep_point(
+            sweep_point, reference=reference, repeats=repeats
+        )
+        if progress is not None:
+            progress(sweep_outcome)
+        record = sweep_outcome.to_json()
+        if collect_metrics:
+            record["metrics"] = _sweep_point_metrics(sweep_point)
         results.append(record)
     return {
         "schema": SCHEMA,
@@ -899,6 +1125,8 @@ def check_against_baseline(
                 flag, unit = "--gate-scale", "workload units"
             elif base_point.get("suite") == "compiled":
                 flag, unit = "--compiled-scale", "workload units"
+            elif base_point.get("suite") == "sweep":
+                flag, unit = "--sweep-scale", "grid points"
             else:
                 flag, unit = "--cycles", "cycles"
             problems.append(

@@ -15,7 +15,7 @@ from .common import Check, ExperimentResult, resolve_tech
 # importing the modules is what populates the registry
 from . import ablation, fig10, fig11, fig12, fig13, fig14, table1, table2
 from . import throughput, wirelength, mesh_design_space, traffic_patterns
-from . import fault_injection, gals_mesh, compiled_campaign
+from . import fault_injection, gals_mesh, compiled_campaign, noop
 
 __all__ = [
     "Check",
@@ -36,6 +36,7 @@ __all__ = [
     "fault_injection",
     "gals_mesh",
     "compiled_campaign",
+    "noop",
     "run_all",
 ]
 

@@ -1,0 +1,366 @@
+"""The fabric coordinator: plan, lease, supervise, merge.
+
+``run_fabric_sweep`` is the whole coordinator side of a distributed
+sweep.  It seeds the shared directory with the plan (grid requests in
+canonical order plus the engine's batch-packed work items), optionally
+spawns ``repro worker`` subprocesses under a capacity-limited
+dispatcher that restarts dead workers, then sits in a monitor loop:
+
+* ingest newly published results the moment they land (the
+  ``on_outcome`` callback fires in completion order, exactly like the
+  local engine's);
+* break leases whose deadline lapsed — the owner stopped heartbeating,
+  so the item goes back in the pool for any live worker to take over;
+* salvage: before breaking a dead worker's lease, scan every worker's
+  journal segment for outcomes that were journaled but never
+  published, and publish them — work a worker finished in its last
+  instants is never re-executed;
+* export fabric gauges/counters (leased, workers alive, results,
+  expired leases, salvages) when telemetry is enabled.
+
+When every grid point has a published result, the outcomes are
+reassembled in request order and handed back; the caller (the sweep
+CLI) journals and writes artifacts through the same code path a local
+run uses, so the finished artifact tree is byte-identical to
+``repro sweep --jobs 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Union
+
+from ..obs.metrics import REGISTRY
+from ..runner import engine
+from ..runner.engine import RunOutcome, RunRequest
+from ..store import codec
+from ..store import journal as journal_mod
+from ..store.store import code_fingerprint, request_key
+from .dispatch import CapacityDispatcher, Deferred
+from .transport import (
+    FabricError,
+    FileTransport,
+    Transport,
+    encode_requests,
+)
+
+#: how many times a dead local worker is relaunched before giving up
+DEFAULT_MAX_RESTARTS = 3
+
+
+@dataclass
+class FabricSweep:
+    """What a fabric run produced and what it took to get there."""
+
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    workers_spawned: int = 0
+    worker_restarts: int = 0
+    expired_leases: int = 0
+    salvaged: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"fabric: {len(self.outcomes)} points via "
+            f"{self.workers_spawned} spawned workers "
+            f"({self.worker_restarts} restarts, "
+            f"{self.expired_leases} expired leases, "
+            f"{self.salvaged} salvaged)"
+        )
+
+
+def plan_fabric(
+    transport: Transport,
+    scenario_id: str,
+    requests: Sequence[RunRequest],
+    store: Optional[Union[str, Path]] = None,
+    fingerprint: str = "",
+) -> Dict[str, object]:
+    """Seed (or validate and reuse) the fabric plan.
+
+    The plan pins the grid in canonical order and the engine's
+    batch-packed work items, so every worker leases identical units.
+    A fabric directory that already holds a plan must hold *this*
+    plan — same scenario, fingerprint, and requests — which makes
+    re-running a coordinator against a half-finished directory a
+    resume, not a corruption.
+    """
+    requests = list(requests)
+    fingerprint = fingerprint or code_fingerprint()
+    index_of = {request: i for i, request in enumerate(requests)}
+    items = []
+    for kind, payload in engine.plan_items(requests):
+        group = [payload] if kind == "one" else list(payload)
+        items.append(
+            {"kind": kind, "indices": [index_of[r] for r in group]}
+        )
+    plan: Dict[str, object] = {
+        "kind": "fabric-plan",
+        "version": 1,
+        "scenario": scenario_id,
+        "fingerprint": fingerprint,
+        "store": str(Path(store).resolve()) if store else None,
+        "requests": encode_requests(requests),
+        "items": items,
+    }
+    existing = transport.read_plan()
+    if existing is not None:
+        for field_name in ("scenario", "fingerprint", "requests"):
+            if existing.get(field_name) != plan[field_name]:
+                raise FabricError(
+                    f"fabric directory already holds a different plan "
+                    f"({field_name} mismatch); use a fresh directory"
+                )
+        return existing
+    transport.write_plan(plan)
+    return plan
+
+
+def _worker_command(fabric_root: Path, lease_ttl: float) -> List[str]:
+    return [
+        sys.executable, "-m", "repro", "worker", str(fabric_root),
+        "--lease-ttl", str(lease_ttl),
+    ]
+
+
+def _worker_env() -> Dict[str, str]:
+    """The spawned worker's environment: ours, plus the package root on
+    ``PYTHONPATH`` so ``-m repro`` resolves even under bare pytest."""
+    env = dict(os.environ)
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH", "")
+    paths = existing.split(os.pathsep) if existing else []
+    if pkg_root not in paths:
+        env["PYTHONPATH"] = os.pathsep.join([pkg_root] + paths)
+    return env
+
+
+class _WorkerCrew:
+    """Local worker subprocesses under capacity-limited supervision."""
+
+    def __init__(self, count: int, spawn: Callable[[int], subprocess.Popen],
+                 max_restarts: int) -> None:
+        self._spawn = spawn
+        self._max_restarts = max_restarts
+        self.done = threading.Event()
+        self.restarts = 0
+        self.spawned = 0
+        self._lock = threading.Lock()
+        self._procs: Set[subprocess.Popen] = set()
+        self._dispatcher = CapacityDispatcher(
+            capacity=count, name="fabric-workers"
+        )
+        self.handles: List[Deferred] = [
+            self._dispatcher.submit(
+                self._supervise, index, label=f"worker-{index}"
+            )
+            for index in range(count)
+        ]
+
+    def _supervise(self, index: int) -> int:
+        restarts = 0
+        while not self.done.is_set():
+            proc = self._spawn(index)
+            with self._lock:
+                self.spawned += 1
+                self._procs.add(proc)
+            try:
+                rc = proc.wait()
+            finally:
+                with self._lock:
+                    self._procs.discard(proc)
+            if rc == 0 or self.done.is_set():
+                return rc
+            restarts += 1
+            with self._lock:
+                self.restarts += 1
+            if REGISTRY.enabled:
+                REGISTRY.counter("fabric.worker_restarts").inc()
+            if restarts > self._max_restarts:
+                raise FabricError(
+                    f"fabric worker {index} died {restarts} times "
+                    f"(last exit code {rc}); giving up on this slot"
+                )
+        return 0
+
+    def all_exited(self) -> bool:
+        return all(handle.done for handle in self.handles)
+
+    def first_failure(self) -> Optional[BaseException]:
+        for handle in self.handles:
+            if handle.done and handle.exception is not None:
+                return handle.exception
+        return None
+
+    def shutdown(self) -> None:
+        self.done.set()
+        with self._lock:
+            procs = list(self._procs)
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        self._dispatcher.drain(timeout=10.0)
+
+
+def _salvage(
+    transport: FileTransport,
+    key_to_index: Dict[str, int],
+    have: Set[int],
+) -> int:
+    """Publish journaled-but-unpublished outcomes from worker segments.
+
+    A worker killed between its journal append and its publish left a
+    durable record of finished work; re-publishing it here means the
+    re-leased item never re-executes those points.  Publication stays
+    idempotent, so racing an actually-alive worker is harmless.
+    """
+    salvaged = 0
+    merged = journal_mod.merge_segments(transport.segment_journals())
+    for key, outcome in merged.items():
+        index = key_to_index.get(key)
+        if index is None or index in have:
+            continue
+        record = codec.outcome_to_record(outcome)
+        record["key"] = key
+        record["worker"] = "salvage"
+        if transport.publish_result(index, record):
+            salvaged += 1
+    return salvaged
+
+
+def run_fabric_sweep(
+    fabric: Union[str, Path, Transport],
+    scenario_id: str,
+    requests: Sequence[RunRequest],
+    workers: int = 0,
+    store: Optional[Union[str, Path]] = None,
+    lease_ttl: float = 20.0,
+    poll_s: float = 0.25,
+    on_outcome: Optional[Callable[[RunOutcome], None]] = None,
+    timeout: Optional[float] = None,
+    max_restarts: int = DEFAULT_MAX_RESTARTS,
+    spawn: Optional[Callable[[int], subprocess.Popen]] = None,
+) -> FabricSweep:
+    """Run ``requests`` through the fabric; outcomes in request order.
+
+    ``workers > 0`` spawns that many local ``repro worker`` daemons
+    (restarted on death up to ``max_restarts`` times each); with
+    ``workers == 0`` the coordinator only plans and monitors, and
+    externally attached workers — other hosts on a shared mount —
+    do the executing.  ``spawn`` overrides how a worker subprocess is
+    launched (tests use it to inject crashing workers).
+    """
+    if isinstance(fabric, Transport):
+        transport = fabric
+    else:
+        transport = FileTransport(fabric)
+    if not isinstance(transport, FileTransport):
+        raise FabricError(
+            "run_fabric_sweep currently requires a FileTransport"
+        )
+    requests = list(requests)
+    sweep = FabricSweep()
+    if not requests:
+        return sweep
+    plan_fabric(transport, scenario_id, requests, store=store)
+    key_to_index = {
+        request_key(request): i for i, request in enumerate(requests)
+    }
+    total = len(requests)
+    by_index: Dict[int, RunOutcome] = {}
+
+    crew: Optional[_WorkerCrew] = None
+    if workers > 0:
+        if spawn is None:
+            command = _worker_command(transport.root, lease_ttl)
+            env = _worker_env()
+
+            def spawn(index: int) -> subprocess.Popen:  # noqa: F811
+                return subprocess.Popen(
+                    command, env=env, stdout=subprocess.DEVNULL
+                )
+
+        crew = _WorkerCrew(workers, spawn, max_restarts)
+
+    start = time.monotonic()
+    try:
+        while True:
+            fresh = transport.result_indices() - by_index.keys()
+            for index in sorted(fresh):
+                record = transport.read_result(index)
+                if record is None:
+                    continue
+                outcome = codec.outcome_from_record(record)
+                by_index[index] = outcome
+                if REGISTRY.enabled:
+                    REGISTRY.counter("fabric.results").inc()
+                if on_outcome is not None:
+                    on_outcome(outcome)
+            if len(by_index) >= total:
+                break
+
+            leases = transport.leases()
+            now = time.time()
+            expired = [
+                lease for lease in leases.values() if lease.expired(now)
+            ]
+            if expired:
+                # the owners went quiet: rescue their journaled work,
+                # then free the items for takeover
+                sweep.salvaged += _salvage(
+                    transport, key_to_index, set(by_index)
+                )
+                for lease in expired:
+                    if transport.break_lease(lease.item):
+                        sweep.expired_leases += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter(
+                                "fabric.expired_leases"
+                            ).inc()
+            if REGISTRY.enabled:
+                REGISTRY.gauge("fabric.leased").set(len(leases))
+                REGISTRY.gauge("fabric.completed").set(len(by_index))
+                REGISTRY.gauge("fabric.workers_alive").set(
+                    len(transport.alive_workers(lease_ttl * 2))
+                )
+
+            if crew is not None:
+                failure = crew.first_failure()
+                if failure is not None:
+                    raise failure
+                if crew.all_exited():
+                    # one more ingest pass: they may have published
+                    # everything and exited cleanly between our scans
+                    if transport.result_indices() >= set(
+                        range(total)
+                    ):
+                        continue
+                    raise FabricError(
+                        "every fabric worker exited but "
+                        f"{total - len(by_index)} points remain "
+                        "unpublished"
+                    )
+            if timeout is not None and time.monotonic() - start > timeout:
+                raise FabricError(
+                    f"fabric sweep incomplete after {timeout:.0f}s: "
+                    f"{len(by_index)}/{total} points published"
+                )
+            time.sleep(poll_s)
+    finally:
+        if crew is not None:
+            crew.shutdown()
+            sweep.workers_spawned = crew.spawned
+            sweep.worker_restarts = crew.restarts
+
+    sweep.outcomes = [by_index[i] for i in range(total)]
+    return sweep

@@ -1,0 +1,186 @@
+"""Capacity-limited deferred dispatch.
+
+The coordinator must keep many things in flight — worker subprocesses
+to supervise, stale leases to break, results to ingest — without ever
+running more than a bounded number of them at once.  The shape is the
+``cs/later.py`` pattern: *submit* returns immediately with a handle,
+at most ``capacity`` submitted callables execute concurrently, and
+everything beyond capacity queues FIFO until a slot frees.
+
+Unlike a fixed worker pool, submission is cheap and unbounded: the
+queue holds thunks, not threads, so seeding ten thousand dispatch
+tasks costs ten thousand list entries.  Threads are created per
+*running* callable only (the work here is subprocess supervision and
+file I/O — GIL-friendly; CPU-bound scenario execution stays in the
+engine's process pool or in worker daemons).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+
+class Deferred:
+    """Handle for one submitted callable: result-or-exception, later.
+
+    ``wait`` blocks until completion; ``result()`` re-raises whatever
+    the callable raised.  Completion callbacks added after completion
+    fire immediately (no lost-wakeup window).
+    """
+
+    __slots__ = ("label", "_event", "_result", "_exception", "_callbacks",
+                 "_lock")
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self._event = threading.Event()
+        self._result: object = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Deferred"], None]] = []
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> object:
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"deferred {self.label or '<anonymous>'} still pending "
+                f"after {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def add_done_callback(
+        self, callback: Callable[["Deferred"], None]
+    ) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    # ------------------------------------------------------------------
+    def _complete(self, result: object,
+                  exception: Optional[BaseException]) -> None:
+        with self._lock:
+            self._result = result
+            self._exception = exception
+            callbacks = self._callbacks
+            self._callbacks = []
+            self._event.set()
+        for callback in callbacks:
+            callback(self)
+
+
+class CapacityDispatcher:
+    """Run submitted callables with bounded concurrency, FIFO overflow.
+
+    ``capacity`` slots; a submission beyond capacity waits in a deque
+    and is started the moment a running callable finishes.  Exceptions
+    are captured on the :class:`Deferred` (a raising task never kills
+    the dispatcher).  ``drain`` waits for everything submitted so far;
+    ``close`` rejects new work and drains.
+    """
+
+    def __init__(self, capacity: int, name: str = "dispatch") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._running = 0
+        self._pending: Deque[tuple] = deque()
+        self._all: List[Deferred] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> int:
+        with self._lock:
+            return self._running
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, func: Callable[..., object], *args,
+               label: str = "") -> Deferred:
+        """Queue ``func(*args)``; it runs when a capacity slot frees."""
+        deferred = Deferred(label=label or getattr(func, "__name__", ""))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    f"dispatcher {self.name!r} is closed"
+                )
+            self._all.append(deferred)
+            if self._running < self.capacity:
+                self._running += 1
+                self._start(func, args, deferred)
+            else:
+                self._pending.append((func, args, deferred))
+        return deferred
+
+    def _start(self, func, args, deferred: Deferred) -> None:
+        thread = threading.Thread(
+            target=self._run, args=(func, args, deferred),
+            name=f"{self.name}:{deferred.label}", daemon=True,
+        )
+        thread.start()
+
+    def _run(self, func, args, deferred: Deferred) -> None:
+        try:
+            result = func(*args)
+        except BaseException as exc:  # captured, reported via the handle
+            deferred._complete(None, exc)
+        else:
+            deferred._complete(result, None)
+        with self._lock:
+            if self._pending:
+                nfunc, nargs, ndeferred = self._pending.popleft()
+                self._start(nfunc, nargs, ndeferred)
+            else:
+                self._running -= 1
+                if self._running == 0:
+                    self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until every submission so far has completed."""
+        with self._lock:
+            snapshot = list(self._all)
+        deadline = None if timeout is None else (
+            _monotonic() + timeout
+        )
+        for deferred in snapshot:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - _monotonic())
+            if not deferred.wait(remaining):
+                return False
+        return True
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new submissions, then drain what is in flight."""
+        with self._lock:
+            self._closed = True
+        return self.drain(timeout)
+
+
+def _monotonic() -> float:
+    import time
+
+    return time.monotonic()

@@ -1,0 +1,402 @@
+"""Lease protocol and the shared-directory transport.
+
+The fabric's control plane is four tiny record kinds:
+
+* the **plan** — one document naming the scenario, the code
+  fingerprint, every grid request in canonical order, and the work
+  items (solo requests or batch-packed groups) the engine planned;
+* **leases** — one record per in-flight work item: owner, deadline,
+  attempt count.  A worker that stops heartbeating lets its deadline
+  lapse; anyone may then take the lease over (attempt + 1);
+* **results** — one published record per completed grid point, keyed
+  by the point's index in the plan.  Publishing is idempotent: the
+  first record wins, duplicates are dropped (two workers racing the
+  same re-leased point compute canonically identical records anyway —
+  the store content key pins that);
+* **worker heartbeats** — liveness beacons the coordinator turns into
+  gauges.
+
+:class:`Transport` is the abstract surface; :class:`FileTransport`
+implements it over a shared directory with the repo's usual atomicity
+discipline (exclusive create for claims, write-temp-then-rename for
+everything else), so the fabric works across processes — and across
+machines sharing a mount — with no daemon in the middle.  A socket
+transport can slot in behind the same surface later.
+
+Layout::
+
+    <fabric>/
+      plan.json                     # the grid + work items
+      leases/item-000007.json       # one lease per claimed work item
+      results/000042.json           # one record per completed point
+      workers/<id>/heartbeat.json   # liveness beacon
+      workers/<id>/journal.jsonl    # per-worker journal segment
+      workers/<id>/telemetry.jsonl  # per-worker telemetry segment
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..runner.engine import RunRequest
+
+PLAN_FILENAME = "plan.json"
+PLAN_VERSION = 1
+
+#: extra slack beyond the lease deadline before anyone may take over —
+#: absorbs clock skew between hosts sharing a mount
+EXPIRY_GRACE_S = 1.0
+
+
+class FabricError(RuntimeError):
+    """Fabric misuse: missing plan, plan mismatch, worker exhaustion."""
+
+
+def worker_identity(prefix: str = "wk") -> str:
+    """A collision-safe worker id: host, pid, and a random suffix.
+
+    Owner equality is what the lease protocol trusts, so two workers
+    must never share an identity — not even a respawned worker on the
+    same host reusing a pid.
+    """
+    return (
+        f"{prefix}-{socket.gethostname()}-{os.getpid()}"
+        f"-{uuid.uuid4().hex[:6]}"
+    )
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One work item's ownership claim."""
+
+    item: str
+    owner: str
+    deadline: float  # unix epoch seconds
+    attempt: int = 1
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if now is None:
+            now = time.time()
+        return now > self.deadline + EXPIRY_GRACE_S
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "item": self.item,
+            "owner": self.owner,
+            "deadline": self.deadline,
+            "attempt": self.attempt,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "LeaseRecord":
+        return cls(
+            item=str(data["item"]),
+            owner=str(data["owner"]),
+            deadline=float(data["deadline"]),
+            attempt=int(data.get("attempt", 1)),
+        )
+
+
+def item_id(index: int) -> str:
+    """Stable lease id of the ``index``-th planned work item."""
+    return f"item-{index:06d}"
+
+
+def encode_requests(requests: Sequence[RunRequest]) -> List[dict]:
+    """Plan-document encoding of the grid, in canonical order."""
+    return [
+        {
+            "params": [[name, value] for name, value in r.params],
+            "fast": r.fast,
+        }
+        for r in requests
+    ]
+
+
+def decode_requests(plan: Dict[str, object]) -> List[RunRequest]:
+    """Rebuild the grid requests exactly as the coordinator planned them.
+
+    Values were coerced before planning and JSON round-trips every
+    coerced type loss-free, so the rebuilt requests hash — and content-
+    address — identically to the originals.
+    """
+    scenario_id = str(plan["scenario"])
+    return [
+        RunRequest(
+            scenario_id=scenario_id,
+            params=tuple((name, value) for name, value in r["params"]),
+            fast=bool(r["fast"]),
+        )
+        for r in plan["requests"]
+    ]
+
+
+class Transport(abc.ABC):
+    """The fabric control-plane surface.
+
+    Everything the coordinator and workers say to each other goes
+    through these calls; swapping the shared directory for a socket
+    protocol means implementing exactly this class.
+    """
+
+    # -- plan ----------------------------------------------------------
+    @abc.abstractmethod
+    def read_plan(self) -> Optional[Dict[str, object]]:
+        """The current plan document, or ``None`` before seeding."""
+
+    @abc.abstractmethod
+    def write_plan(self, plan: Dict[str, object]) -> None:
+        """Atomically publish the plan document."""
+
+    # -- leases --------------------------------------------------------
+    @abc.abstractmethod
+    def try_claim(self, item: str, owner: str,
+                  ttl: float) -> Optional[LeaseRecord]:
+        """Claim an unleased (or expired) item; ``None`` if lost."""
+
+    @abc.abstractmethod
+    def renew(self, item: str, owner: str, ttl: float) -> bool:
+        """Heartbeat an owned lease; ``False`` if ownership was lost."""
+
+    @abc.abstractmethod
+    def release(self, item: str, owner: str) -> None:
+        """Drop an owned lease (after its results are published)."""
+
+    @abc.abstractmethod
+    def lease(self, item: str) -> Optional[LeaseRecord]:
+        """The item's current lease record, if any."""
+
+    @abc.abstractmethod
+    def leases(self) -> Dict[str, LeaseRecord]:
+        """Every live lease record by item id."""
+
+    @abc.abstractmethod
+    def break_lease(self, item: str) -> bool:
+        """Coordinator-side: delete a lease so the item is claimable."""
+
+    # -- results -------------------------------------------------------
+    @abc.abstractmethod
+    def publish_result(self, index: int,
+                       record: Dict[str, object]) -> bool:
+        """Idempotently publish one point; ``False`` if already there."""
+
+    @abc.abstractmethod
+    def read_result(self, index: int) -> Optional[Dict[str, object]]:
+        """The published record for one point, if any."""
+
+    @abc.abstractmethod
+    def result_indices(self) -> Set[int]:
+        """Indices of every published point."""
+
+    # -- workers -------------------------------------------------------
+    @abc.abstractmethod
+    def heartbeat(self, worker_id: str) -> None:
+        """Record that ``worker_id`` is alive right now."""
+
+    @abc.abstractmethod
+    def worker_ids(self) -> List[str]:
+        """Every worker that ever attached, sorted."""
+
+    @abc.abstractmethod
+    def alive_workers(self, ttl: float) -> List[str]:
+        """Workers whose heartbeat is fresher than ``ttl`` seconds."""
+
+
+class FileTransport(Transport):
+    """The shared-directory transport (see the module docstring)."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def plan_path(self) -> Path:
+        return self.root / PLAN_FILENAME
+
+    def _lease_path(self, item: str) -> Path:
+        return self.root / "leases" / f"{item}.json"
+
+    def _result_path(self, index: int) -> Path:
+        return self.root / "results" / f"{index:06d}.json"
+
+    def worker_dir(self, worker_id: str) -> Path:
+        """Per-worker segment directory (journal + telemetry live here)."""
+        path = self.root / "workers" / worker_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def segment_journals(self) -> List[Path]:
+        """Every worker's journal segment, sorted by worker id."""
+        workers = self.root / "workers"
+        if not workers.is_dir():
+            return []
+        return sorted(workers.glob("*/journal.jsonl"))
+
+    def segment_streams(self) -> List[Path]:
+        """Every worker's telemetry segment, sorted by worker id."""
+        workers = self.root / "workers"
+        if not workers.is_dir():
+            return []
+        return sorted(workers.glob("*/telemetry.jsonl"))
+
+    # ------------------------------------------------------------------
+    def _write_atomic(self, path: Path, payload: Dict[str, object]) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{uuid.uuid4().hex[:6]}.tmp"
+        )
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[Dict[str, object]]:
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            # a reader racing os.replace never sees half a file, but a
+            # crashed writer's debris (or a foreign file) reads as "not
+            # a record" rather than an exception
+            return None
+
+    # -- plan ----------------------------------------------------------
+    def read_plan(self) -> Optional[Dict[str, object]]:
+        return self._read_json(self.plan_path)
+
+    def write_plan(self, plan: Dict[str, object]) -> None:
+        self._write_atomic(self.plan_path, plan)
+
+    # -- leases --------------------------------------------------------
+    def try_claim(self, item: str, owner: str,
+                  ttl: float) -> Optional[LeaseRecord]:
+        now = time.time()
+        path = self._lease_path(item)
+        record = LeaseRecord(item=item, owner=owner,
+                             deadline=now + ttl, attempt=1)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            existing = self.lease(item)
+            if existing is not None and not existing.expired(now):
+                return None
+            # stale takeover: replace the record, then read back — the
+            # last writer wins and only the winner sees itself as owner.
+            # An unreadable record (a writer died mid-write) is stale
+            # too: leaving it in place would block the item forever.
+            attempt = existing.attempt + 1 if existing else 1
+            record = LeaseRecord(item=item, owner=owner,
+                                 deadline=now + ttl,
+                                 attempt=attempt)
+            self._write_atomic(path, record.to_json())
+            current = self.lease(item)
+            if (current is not None and current.owner == owner
+                    and current.deadline == record.deadline):
+                return record
+            return None
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        return record
+
+    def renew(self, item: str, owner: str, ttl: float) -> bool:
+        path = self._lease_path(item)
+        existing = self.lease(item)
+        if existing is None or existing.owner != owner:
+            return False
+        renewed = LeaseRecord(item=item, owner=owner,
+                              deadline=time.time() + ttl,
+                              attempt=existing.attempt)
+        self._write_atomic(path, renewed.to_json())
+        return True
+
+    def release(self, item: str, owner: str) -> None:
+        existing = self.lease(item)
+        if existing is not None and existing.owner == owner:
+            self._lease_path(item).unlink(missing_ok=True)
+
+    def lease(self, item: str) -> Optional[LeaseRecord]:
+        data = self._read_json(self._lease_path(item))
+        if data is None:
+            return None
+        try:
+            return LeaseRecord.from_json(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def leases(self) -> Dict[str, LeaseRecord]:
+        leases_dir = self.root / "leases"
+        out: Dict[str, LeaseRecord] = {}
+        if not leases_dir.is_dir():
+            return out
+        for path in sorted(leases_dir.glob("item-*.json")):
+            record = self.lease(path.stem)
+            if record is not None:
+                out[record.item] = record
+        return out
+
+    def break_lease(self, item: str) -> bool:
+        path = self._lease_path(item)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    # -- results -------------------------------------------------------
+    def publish_result(self, index: int,
+                       record: Dict[str, object]) -> bool:
+        path = self._result_path(index)
+        if path.exists():
+            return False
+        self._write_atomic(path, record)
+        return True
+
+    def read_result(self, index: int) -> Optional[Dict[str, object]]:
+        return self._read_json(self._result_path(index))
+
+    def result_indices(self) -> Set[int]:
+        results = self.root / "results"
+        if not results.is_dir():
+            return set()
+        out: Set[int] = set()
+        for path in results.glob("*.json"):
+            try:
+                out.add(int(path.stem))
+            except ValueError:
+                continue
+        return out
+
+    # -- workers -------------------------------------------------------
+    def heartbeat(self, worker_id: str) -> None:
+        self._write_atomic(
+            self.worker_dir(worker_id) / "heartbeat.json",
+            {"worker": worker_id, "t": time.time(), "pid": os.getpid()},
+        )
+
+    def worker_ids(self) -> List[str]:
+        workers = self.root / "workers"
+        if not workers.is_dir():
+            return []
+        return sorted(p.name for p in workers.iterdir() if p.is_dir())
+
+    def alive_workers(self, ttl: float) -> List[str]:
+        now = time.time()
+        alive = []
+        for worker_id in self.worker_ids():
+            data = self._read_json(
+                self.root / "workers" / worker_id / "heartbeat.json"
+            )
+            if data and now - float(data.get("t", 0.0)) <= ttl:
+                alive.append(worker_id)
+        return alive

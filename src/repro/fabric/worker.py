@@ -1,0 +1,268 @@
+"""The fabric worker loop: claim a lease, execute, publish, repeat.
+
+A worker attaches to a fabric directory, waits for the coordinator's
+plan, then scans for work items whose results are not yet published.
+For each one it wins a lease on, it executes the item through the
+ordinary sweep engine — a batch-packed item runs through the compiled
+backend's lane packing exactly as ``--jobs 1`` would — while a
+background thread renews the lease so a *live* worker never loses it.
+Every outcome is appended to the worker's own journal segment (durable
+before publication: a worker killed between append and publish leaves
+a salvageable record), streamed to the worker's telemetry segment,
+published into the shared results, and written to the content-addressed
+run store when one is configured.
+
+Publication is idempotent, so a worker that takes over an expired
+lease and re-executes a point another worker already half-finished is
+harmless: the first published record wins and both are canonically
+identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..runner import engine, registry
+from ..store import codec
+from ..store import journal as journal_mod
+from ..store.journal import Journal
+from ..store.store import RunStore, code_fingerprint, request_key
+from ..obs.metrics import REGISTRY
+from ..obs.telemetry import TelemetryWriter
+from .transport import (
+    FabricError,
+    FileTransport,
+    Transport,
+    decode_requests,
+    item_id,
+    worker_identity,
+)
+
+
+@dataclass
+class WorkerStats:
+    """What one worker run did, for logs and tests."""
+
+    worker_id: str
+    claimed: int = 0
+    takeovers: int = 0
+    executed_points: int = 0
+    published: int = 0
+    duplicate_results: int = 0
+    errors: int = 0
+    scenario: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"worker {self.worker_id}: {self.claimed} leases "
+            f"({self.takeovers} takeovers), {self.executed_points} points, "
+            f"{self.published} published, "
+            f"{self.duplicate_results} duplicates, {self.errors} errors"
+        )
+
+
+def _result_record(outcome: engine.RunOutcome,
+                   worker_id: str) -> Dict[str, object]:
+    """The published form of one outcome: codec record + key + worker."""
+    record = codec.outcome_to_record(outcome)
+    record["key"] = request_key(outcome.request)
+    record["worker"] = worker_id
+    return record
+
+
+class _LeaseRenewer:
+    """Background heartbeat for one held lease."""
+
+    def __init__(self, transport: Transport, item: str, owner: str,
+                 ttl: float) -> None:
+        self._transport = transport
+        self._item = item
+        self._owner = owner
+        self._ttl = ttl
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"lease-renew:{item}", daemon=True
+        )
+
+    def _loop(self) -> None:
+        interval = max(0.05, self._ttl / 3.0)
+        while not self._stop.wait(interval):
+            if not self._transport.renew(self._item, self._owner, self._ttl):
+                return  # ownership lost; stop renewing, executor finishes
+        # one final renewal is pointless: the executor releases next
+
+    def __enter__(self) -> "_LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _open_segments(
+    transport: FileTransport, worker_id: str, scenario_id: str,
+    fingerprint: str
+) -> tuple[Journal, TelemetryWriter]:
+    """Per-worker journal + telemetry segments, resumable after a crash."""
+    seg_dir = transport.worker_dir(worker_id)
+    journal = Journal(seg_dir / "journal.jsonl")
+    if journal.path.exists():
+        # same worker id re-attached (restart): drop any torn tail,
+        # then keep appending
+        journal_mod.recover(journal.path)
+    else:
+        journal.start(scenario_id, fingerprint)
+    telemetry = TelemetryWriter(seg_dir / "telemetry.jsonl")
+    if not telemetry.path.exists():
+        telemetry.start(scenario_id, fingerprint, jobs=1)
+    return journal, telemetry
+
+
+def run_worker(
+    fabric: Union[str, Path, Transport],
+    worker_id: Optional[str] = None,
+    lease_ttl: float = 20.0,
+    poll_s: float = 0.5,
+    plan_timeout: float = 60.0,
+    once: bool = False,
+    max_items: Optional[int] = None,
+    store: Optional[RunStore] = None,
+) -> WorkerStats:
+    """Attach to a fabric and execute leased work until the plan is done.
+
+    ``once`` makes a single claim pass and returns (tests and cron-style
+    drivers); ``max_items`` caps how many leases this worker will
+    execute (the dead-worker tests use ``max_items=1`` to stop a worker
+    mid-plan).  Raises :class:`FabricError` if no plan appears within
+    ``plan_timeout`` seconds or the plan's code fingerprint does not
+    match this worker's checkout.
+    """
+    if isinstance(fabric, Transport):
+        transport = fabric
+    else:
+        transport = FileTransport(fabric)
+    if not isinstance(transport, FileTransport):
+        raise FabricError(
+            "run_worker currently requires a FileTransport for journal "
+            "and telemetry segments"
+        )
+    wid = worker_id or worker_identity()
+    stats = WorkerStats(worker_id=wid)
+
+    deadline = time.monotonic() + plan_timeout
+    plan = transport.read_plan()
+    while plan is None:
+        if time.monotonic() >= deadline:
+            raise FabricError(
+                f"no fabric plan appeared in {transport.root} within "
+                f"{plan_timeout:.0f}s"
+            )
+        time.sleep(min(poll_s, 0.2))
+        plan = transport.read_plan()
+
+    registry.load_builtin()
+    fingerprint = code_fingerprint()
+    if plan.get("fingerprint") != fingerprint:
+        raise FabricError(
+            f"fabric plan was made from code fingerprint "
+            f"{plan.get('fingerprint')}, this worker runs {fingerprint}; "
+            f"refusing to mix results from different code"
+        )
+    scenario_id = str(plan["scenario"])
+    stats.scenario = scenario_id
+    requests = decode_requests(plan)
+    items: List[dict] = list(plan["items"])
+    run_store = store
+    if run_store is None and plan.get("store"):
+        run_store = RunStore(plan["store"])
+
+    journal, telemetry = _open_segments(
+        transport, wid, scenario_id, fingerprint
+    )
+
+    try:
+        while True:
+            transport.heartbeat(wid)
+            published = transport.result_indices()
+            missing = [
+                i for i, item in enumerate(items)
+                if any(idx not in published for idx in item["indices"])
+            ]
+            if not missing:
+                break
+            progressed = False
+            for index in missing:
+                if max_items is not None and stats.claimed >= max_items:
+                    return stats
+                lease = transport.try_claim(item_id(index), wid, lease_ttl)
+                if lease is None:
+                    continue
+                item = items[index]
+                published = transport.result_indices()
+                if all(idx in published for idx in item["indices"]):
+                    # the missing-scan was stale: another worker
+                    # finished this item between our scan and our
+                    # claim — executing it again would only produce
+                    # duplicates, so hand the lease straight back
+                    transport.release(item_id(index), wid)
+                    progressed = True
+                    continue
+                stats.claimed += 1
+                if lease.attempt > 1:
+                    stats.takeovers += 1
+                if REGISTRY.enabled:
+                    REGISTRY.counter("fabric.items_claimed").inc()
+                    if lease.attempt > 1:
+                        REGISTRY.counter("fabric.takeovers").inc()
+                group = [requests[idx] for idx in item["indices"]]
+                work = (
+                    ("batch", group) if item["kind"] == "batch"
+                    else ("one", group[0])
+                )
+                with _LeaseRenewer(transport, item_id(index), wid,
+                                   lease_ttl):
+                    outcomes = engine.execute_item(work)
+                for idx, outcome in zip(item["indices"], outcomes):
+                    journal.append(outcome)
+                    telemetry.append_point(outcome)
+                    stats.executed_points += 1
+                    if REGISTRY.enabled:
+                        REGISTRY.counter("fabric.points_executed").inc()
+                    if outcome.error:
+                        stats.errors += 1
+                    elif run_store is not None:
+                        run_store.put(outcome)
+                    if transport.publish_result(
+                        idx, _result_record(outcome, wid)
+                    ):
+                        stats.published += 1
+                    else:
+                        stats.duplicate_results += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter(
+                                "fabric.duplicate_results"
+                            ).inc()
+                transport.release(item_id(index), wid)
+                transport.heartbeat(wid)
+                progressed = True
+            if once:
+                break
+            if not progressed:
+                # everything missing is leased elsewhere: wait for the
+                # owners to publish or their leases to expire
+                time.sleep(poll_s)
+    finally:
+        telemetry.finish({
+            "worker": wid,
+            "points": stats.executed_points,
+            "failures": stats.errors,
+            "claimed": stats.claimed,
+            "takeovers": stats.takeovers,
+        })
+    return stats

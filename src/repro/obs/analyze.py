@@ -47,6 +47,10 @@ class TelemetryReport:
     points: List[Dict[str, object]] = field(default_factory=list)
     summary: Dict[str, object] = field(default_factory=dict)
     has_store_info: bool = False      # journal fallback lacks store hits
+    #: set when built from a fabric directory: one row per worker
+    #: segment — ``{"worker", "points", "busy_s", "span_s",
+    #: "utilization"}`` (utilization None for an untimestamped segment)
+    worker_rows: List[Dict[str, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     @property
@@ -145,23 +149,34 @@ class TelemetryReport:
                 for err, count, example in self.failure_clusters()
             ],
             "counters": self.counter_rollup(),
+            **({"workers": self.worker_rows} if self.worker_rows
+               else {}),
         }
 
     def to_csv(self) -> str:
-        """One row per point: the flat facts, counters excluded."""
+        """One row per point: the flat facts, counters excluded.
+
+        Fabric reports gain a trailing ``worker`` column naming which
+        worker segment each point came from; single-stream reports
+        keep the original header shape.
+        """
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
-        writer.writerow(
-            ["scenario", "point", "ok", "store_hit", "duration_s"]
-        )
+        header = ["scenario", "point", "ok", "store_hit", "duration_s"]
+        if self.worker_rows:
+            header.append("worker")
+        writer.writerow(header)
         for p in self.points:
-            writer.writerow([
+            row = [
                 p.get("scenario", self.scenario),
                 _point_label(p.get("params")),
                 p.get("ok", True),
                 p.get("store_hit", "") if self.has_store_info else "",
                 p.get("duration_s", ""),
-            ])
+            ]
+            if self.worker_rows:
+                row.append(p.get("worker", ""))
+            writer.writerow(row)
         return buf.getvalue()
 
     def render(self) -> str:
@@ -194,6 +209,20 @@ class TelemetryReport:
             lines.append("failure clusters:")
             for err, count, example in clusters:
                 lines.append(f"  {count:4d} x {err}  (e.g. {example})")
+        if self.worker_rows:
+            lines.append("per-worker utilization:")
+            width = max(len(str(r["worker"])) for r in self.worker_rows)
+            for row in self.worker_rows:
+                util = row.get("utilization")
+                util_text = (
+                    f"{100 * util:.0f}% busy" if util is not None
+                    else "no timestamps"
+                )
+                lines.append(
+                    f"  {str(row['worker']):<{width}}  "
+                    f"{row['points']:4d} point(s)  "
+                    f"{row['busy_s']:9.3f} s busy  {util_text}"
+                )
         counters = self.counter_rollup()
         if counters:
             lines.append("kernel counters (summed over points):")
@@ -235,11 +264,86 @@ def _from_journal(path: Path) -> TelemetryReport:
     return report
 
 
+def _worker_streams(target: Path) -> List[Path]:
+    """Per-worker telemetry segments under a fabric directory."""
+    workers = target / "workers"
+    if not workers.is_dir():
+        return []
+    return sorted(workers.glob(f"*/{telemetry_mod.STREAM_FILENAME}"))
+
+
+def _segment_utilization(
+    points: List[Dict[str, object]]
+) -> Tuple[float, Optional[float], Optional[float]]:
+    """``(busy_s, span_s, utilization)`` of one worker's points."""
+    busy = sum(p.get("duration_s") or 0.0 for p in points)
+    stamps = [
+        (p["t_mono"] - (p.get("duration_s") or 0.0), p["t_mono"])
+        for p in points
+        if p.get("t_mono") is not None
+    ]
+    if not stamps:
+        return busy, None, None
+    span = max(end for _, end in stamps) - min(s for s, _ in stamps)
+    if span <= 0:
+        return busy, span, None
+    return busy, span, min(busy / span, 1.0)
+
+
+def _from_fabric(target: Path, streams: List[Path]) -> TelemetryReport:
+    """Aggregate every worker's telemetry segment in a fabric directory.
+
+    The merged report sums counter rollups and point lists across the
+    whole fleet (each point tagged with its worker), treats the worker
+    count as the job count for fleet-wide utilization, and adds one
+    per-worker utilization row per segment.  Unreadable segments — a
+    worker SIGKILLed before writing its header — are skipped, matching
+    the journal merge's damage-bounding rule.
+    """
+    report = TelemetryReport(
+        source=str(target),
+        has_store_info=True,
+        worker_rows=[],
+    )
+    for stream in streams:
+        worker_id = stream.parent.name
+        try:
+            header, records = telemetry_mod.read_stream(stream)
+        except (telemetry_mod.TelemetryError, OSError):
+            continue
+        if not report.scenario:
+            report.scenario = str(header.get("scenario", ""))
+        segment_points = []
+        for record in records:
+            if record.get("kind") != "point":
+                continue
+            tagged = dict(record)
+            tagged["worker"] = worker_id
+            segment_points.append(tagged)
+        report.points.extend(segment_points)
+        busy, span, util = _segment_utilization(segment_points)
+        report.worker_rows.append({
+            "worker": worker_id,
+            "points": len(segment_points),
+            "busy_s": busy,
+            "span_s": span,
+            "utilization": util,
+        })
+    if not report.worker_rows:
+        raise telemetry_mod.TelemetryError(
+            f"{target}: no readable worker telemetry segments"
+        )
+    report.jobs = len(report.worker_rows)
+    return report
+
+
 def summarize(target) -> TelemetryReport:
     """Build a report for a sweep directory (or a stream file directly).
 
-    Prefers ``telemetry.jsonl``; falls back to the journal, which since
-    this PR carries per-point durations too.
+    Prefers ``telemetry.jsonl``; a fabric directory (one with
+    ``workers/*/telemetry.jsonl`` segments and no top-level stream)
+    aggregates every worker's segment; otherwise falls back to the
+    journal, which carries per-point durations too.
     """
     target = Path(target)
     if target.is_file():
@@ -249,10 +353,14 @@ def summarize(target) -> TelemetryReport:
     stream = telemetry_mod.stream_path(target)
     if stream.exists():
         return _from_stream(stream)
+    worker_streams = _worker_streams(target)
+    if worker_streams:
+        return _from_fabric(target, worker_streams)
     journal_file = target / _JOURNAL_FILENAME
     if journal_file.exists():
         return _from_journal(journal_file)
     raise FileNotFoundError(
-        f"{target}: no {telemetry_mod.STREAM_FILENAME} or "
+        f"{target}: no {telemetry_mod.STREAM_FILENAME}, "
+        f"workers/*/{telemetry_mod.STREAM_FILENAME} or "
         f"{_JOURNAL_FILENAME} found"
     )

@@ -165,17 +165,35 @@ def _execute_batch(requests: Sequence[RunRequest]) -> list[RunOutcome]:
 
 
 #: one unit of pool work: a solo request or a packed group
-_WorkItem = Tuple[str, object]
+WorkItem = Tuple[str, object]
+_WorkItem = WorkItem
 
 
-def _execute_item(item: _WorkItem) -> list[RunOutcome]:
+def execute_item(item: WorkItem) -> list[RunOutcome]:
+    """Run one planned work item in the current process.
+
+    Public seam: the fabric worker executes leased items through this
+    exact call, so a leased batch group runs the compiled backend's
+    lane packing identically to a local sweep.
+    """
     kind, payload = item
     if kind == "one":
         return [_execute_one(payload)]
     return _execute_batch(payload)
 
 
-def _plan(requests: Sequence[RunRequest]) -> list[_WorkItem]:
+_execute_item = execute_item
+
+
+def _execute_indexed(pair: Tuple[int, WorkItem]
+                     ) -> Tuple[int, list[RunOutcome]]:
+    """Pool shim carrying each item's plan position through
+    ``imap_unordered`` (top-level: picklable)."""
+    index, item = pair
+    return index, execute_item(item)
+
+
+def plan_items(requests: Sequence[RunRequest]) -> list[WorkItem]:
     """Pack contiguous batchable requests into groups.
 
     Only *adjacent* requests sharing everything but the batch axis are
@@ -211,6 +229,9 @@ def _plan(requests: Sequence[RunRequest]) -> list[_WorkItem]:
     return items
 
 
+_plan = plan_items
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     # fork (where available) spares workers the re-import of the whole
     # package and keeps sys.path handling out of the picture
@@ -225,17 +246,21 @@ def execute(
     jobs: int = 1,
     on_outcome: Optional[Callable[[RunOutcome], None]] = None,
 ) -> list[RunOutcome]:
-    """Execute ``requests``; outcomes come back in request order.
+    """Execute ``requests``; the returned list is in request order.
 
     ``jobs > 1`` fans work out over a process pool.  Scenario failures
     are captured per-outcome (``error``), never raised, so one broken
     point cannot sink a sweep.
 
     ``on_outcome`` is invoked in the parent process for each outcome
-    *as it completes* (still in request order — the pool streams via
-    ``imap``, not all-at-the-end ``map``), so callers can journal or
-    store progress incrementally: a killed sweep keeps everything that
-    had finished by the time it died.
+    *as it completes* — in completion order, not request order, when
+    ``jobs > 1``.  The pool streams via ``imap_unordered`` so one slow
+    point never head-of-line-blocks the journal flushes and progress
+    display behind it; a reorder buffer reassembles the returned list
+    in request order regardless.  Callers that persist incrementally
+    (the journal) tolerate any completion order and normalize to
+    canonical grid order when the sweep finishes, which keeps the
+    final artifacts byte-identical to a serial run.
 
     Scenarios exposing a ``batch`` hook get adjacent requests that
     differ only in the batch axis packed into one call (up to
@@ -248,20 +273,28 @@ def execute(
     # validate ids up front so a typo fails fast, not in a worker
     for request in requests:
         registry.get(request.scenario_id)
-    items = _plan(requests)
-    outcomes: list[RunOutcome] = []
+    items = plan_items(requests)
     if jobs == 1 or len(items) < 2:
+        outcomes: list[RunOutcome] = []
         for item in items:
-            for outcome in _execute_item(item):
+            for outcome in execute_item(item):
                 if on_outcome is not None:
                     on_outcome(outcome)
                 outcomes.append(outcome)
         return outcomes
     ctx = _pool_context()
+    ordered: list[Optional[list[RunOutcome]]] = [None] * len(items)
     with ctx.Pool(processes=min(jobs, len(items))) as pool:
-        for group in pool.imap(_execute_item, items):
+        for index, group in pool.imap_unordered(
+            _execute_indexed, list(enumerate(items))
+        ):
+            ordered[index] = group
             for outcome in group:
                 if on_outcome is not None:
                     on_outcome(outcome)
-                outcomes.append(outcome)
-    return outcomes
+    return [
+        outcome
+        for group in ordered
+        if group is not None
+        for outcome in group
+    ]

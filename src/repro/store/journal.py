@@ -24,8 +24,9 @@ side-band load fine (readers treat the fields as optional).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..runner.engine import RunOutcome
 from . import codec
@@ -43,6 +44,16 @@ class JournalError(ValueError):
 
 def journal_path(out_dir) -> Path:
     return Path(out_dir) / FILENAME
+
+
+def _entry_line(outcome: RunOutcome) -> str:
+    """The exact serialized journal line for one outcome."""
+    entry = {
+        "kind": "outcome",
+        "key": request_key(outcome.request),
+        **codec.outcome_to_record(outcome),
+    }
+    return json.dumps(entry, sort_keys=True) + "\n"
 
 
 class Journal:
@@ -66,14 +77,34 @@ class Journal:
 
     def append(self, outcome: RunOutcome) -> None:
         """Durably record one completed point (open-write-close)."""
-        entry = {
-            "kind": "outcome",
-            "key": request_key(outcome.request),
-            **codec.outcome_to_record(outcome),
-        }
         with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.write(_entry_line(outcome))
             fh.flush()
+
+    def rewrite(self, scenario_id: str, outcomes: Sequence[RunOutcome],
+                fingerprint: str = "") -> None:
+        """Atomically replace the journal with ``outcomes`` in order.
+
+        The written bytes are exactly what ``start`` + ``append`` per
+        outcome would have produced, so a completed sweep that appended
+        in completion order (``--jobs N``, fabric workers) normalizes
+        to the canonical grid-order journal — raw-byte-identical to a
+        ``--jobs 1`` run — without ever exposing a half-written file.
+        A crash mid-rewrite leaves the old journal intact, and the old
+        journal already contains every outcome, so resume still works.
+        """
+        header = {
+            "kind": "header",
+            "version": JOURNAL_VERSION,
+            "scenario": scenario_id,
+            "fingerprint": fingerprint or code_fingerprint(),
+        }
+        lines = [json.dumps(header, sort_keys=True) + "\n"]
+        lines.extend(_entry_line(outcome) for outcome in outcomes)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+        tmp.write_text("".join(lines), encoding="utf-8")
+        os.replace(tmp, self.path)
 
 
 def _read(path: Path) -> Tuple[Dict[str, object], List[RunOutcome], int]:
@@ -156,3 +187,25 @@ def canonical_bytes(path) -> bytes:
     if not lines:
         raise JournalError(f"{path}: empty or headerless journal")
     return "".join(lines).encode("utf-8")
+
+
+def merge_segments(segment_paths: Iterable) -> Dict[str, RunOutcome]:
+    """Fold per-worker journal segments into one key→outcome map.
+
+    Segments are read in sorted path order and the first occurrence of
+    each request key wins, so the merge is deterministic regardless of
+    which worker finished first.  Torn tails and entirely unreadable
+    segments (a worker killed before writing its header) are skipped —
+    a dead worker's damage is bounded to its own unpublished tail.
+    Re-executed points publish canonically identical records, so
+    first-wins loses nothing but volatile timings.
+    """
+    merged: Dict[str, RunOutcome] = {}
+    for path in sorted(Path(p) for p in segment_paths):
+        try:
+            _, outcomes = load(path)
+        except (JournalError, OSError):
+            continue
+        for outcome in outcomes:
+            merged.setdefault(request_key(outcome.request), outcome)
+    return merged

@@ -124,7 +124,7 @@ class TestBenchCli:
         rc = main(["bench", *TINY, "--json", str(out)])
         assert rc == 0
         document = json.loads(out.read_text())
-        assert document["schema"] == 3
+        assert document["schema"] == 4
         assert document["suites"] == ["noc"]
         (point,) = document["points"]
         assert point["suite"] == "noc"
@@ -356,14 +356,16 @@ class TestGateSuiteCli:
         rc = main([
             "bench", "--suite", "all", "--mesh", "2", "--rates", "0.1",
             "--cycles", "40", "--gate-scale", "0.01",
-            "--compiled-scale", "0.01", "--repeats", "1",
-            "--no-reference", "--json", str(out),
+            "--compiled-scale", "0.01", "--sweep-scale", "0.01",
+            "--repeats", "1", "--no-reference", "--json", str(out),
         ])
         assert rc == 0
         document = json.loads(out.read_text())
-        assert document["suites"] == ["noc", "gate", "compiled"]
+        assert document["suites"] == [
+            "noc", "gate", "compiled", "sweep",
+        ]
         assert {p["suite"] for p in document["points"]} == {
-            "noc", "gate", "compiled",
+            "noc", "gate", "compiled", "sweep",
         }
 
     def test_gate_profile_smoke(self, capsys):
@@ -379,22 +381,31 @@ class TestGateSuiteCli:
         with pytest.raises(SystemExit):
             main(["bench", "--suite", "gate", "--gate-scale", "0"])
 
-    def test_committed_baseline_is_schema_3_with_every_suite(self):
-        """The committed baseline must gate all three kernels' speedups."""
+    def test_committed_baseline_is_schema_4_with_every_suite(self):
+        """The committed baseline must gate every suite's speedups."""
         from pathlib import Path
 
         baseline = json.loads(
             (Path(__file__).resolve().parent.parent
              / "benchmarks" / "baseline_bench.json").read_text()
         )
-        assert baseline["schema"] == 3
-        assert set(baseline["suites"]) == {"noc", "gate", "compiled"}
+        assert baseline["schema"] == 4
+        assert set(baseline["suites"]) == {
+            "noc", "gate", "compiled", "sweep",
+        }
         by_suite = {}
         for point in baseline["points"]:
             by_suite.setdefault(point["suite"], []).append(point)
         assert len(by_suite["noc"]) == 3
         assert len(by_suite["gate"]) == 4
         assert len(by_suite["compiled"]) == 2
+        assert len(by_suite["sweep"]) == 1
+        # the committed fabric point: --fast grid, one local worker,
+        # dispatch efficiency recorded as the gateable speedup ratio
+        (sweep_point,) = by_suite["sweep"]
+        assert sweep_point["cycles"] == 32
+        assert sweep_point["workers"] == 1
+        assert 0 < sweep_point["speedup"] < 1.0
         gate_keys = {p["workload"] for p in by_suite["gate"]}
         assert "serializer-i3" in gate_keys
         # the perf acceptance gates: >= 8x aggregate lanes/sec on the
