@@ -619,6 +619,8 @@ def _run_fabric(args, parser, sc, remaining, on_outcome):
             lease_ttl=args.lease_ttl,
             on_outcome=on_outcome,
             timeout=args.fabric_timeout,
+            point_timeout=args.point_timeout,
+            quarantine_after=args.quarantine_after,
         )
     except FabricError as exc:
         parser.error(str(exc))
@@ -629,10 +631,17 @@ def _run_fabric(args, parser, sc, remaining, on_outcome):
 
 
 def _cmd_worker(args, parser) -> int:
+    from .chaos import ChaosSpecError, parse_spec
     from .fabric import FabricError, run_worker
 
     if args.lease_ttl <= 0:
         parser.error("--lease-ttl must be positive")
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_spec(args.chaos)
+        except ChaosSpecError as exc:
+            parser.error(f"--chaos: {exc}")
     try:
         stats = run_worker(
             args.fabric,
@@ -642,12 +651,39 @@ def _cmd_worker(args, parser) -> int:
             plan_timeout=args.plan_timeout,
             once=args.once,
             max_items=args.max_items,
+            point_timeout=args.point_timeout,
+            quarantine_after=args.quarantine_after,
+            chaos=chaos,
         )
     except FabricError as exc:
         print(f"worker error: {exc}", file=sys.stderr)
         return 1
     print(stats.summary())
     return 0
+
+
+def _cmd_fsck(args, parser) -> int:
+    from .store.fsck import fsck_tree
+
+    try:
+        report = fsck_tree(
+            args.dir,
+            repair=not args.dry_run,
+            quarantine_dir=args.quarantine,
+        )
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    if args.json is not None:
+        payload = json.dumps(report.to_json(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)  # machine output only: keep stdout parseable
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+            print(f"fsck JSON written to {args.json}")
+            print(report.render())
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _counter_rollup(outcomes) -> dict:
@@ -1056,6 +1092,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up if the fabric sweep has not completed after SEC "
              "seconds (default: wait forever)",
     )
+    p_sweep.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SEC",
+        help="fabric mode: wall-clock budget per work item; a point "
+             "that blows it journals as a structured 'point timeout' "
+             "failure instead of wedging its worker (default: none)",
+    )
+    p_sweep.add_argument(
+        "--quarantine-after", type=int, default=None, metavar="N",
+        help="fabric mode: a work item whose executor died N times is "
+             "quarantined — recorded as a structured failure without "
+             "another execution attempt (default 2)",
+    )
 
     p_worker = sub.add_parser(
         "worker",
@@ -1095,6 +1143,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument(
         "--max-items", type=int, default=None, metavar="N",
         help="exit after executing N leased work items",
+    )
+    p_worker.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SEC",
+        help="wall-clock budget per work item; exceeded points journal "
+             "as structured 'point timeout' failures (default: none)",
+    )
+    p_worker.add_argument(
+        "--quarantine-after", type=int, default=2, metavar="N",
+        help="quarantine a work item after its lease record shows N "
+             "dead executors (default 2)",
+    )
+    p_worker.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+             "'7:worker.item=die#3,transport.claim=race@0.2' "
+             "(overrides the REPRO_CHAOS environment variable; "
+             "see repro.chaos for the grammar)",
+    )
+
+    p_fsck = sub.add_parser(
+        "fsck",
+        help="verify and repair sweep artifacts, stores, fabric state",
+        description=(
+            "Walk DIR checking every durable record it holds — sweep "
+            "journals, telemetry streams, run-store objects, fabric "
+            "plan/lease/result files — against structure and sha256 "
+            "integrity checksums.  Torn tails are truncated, corrupt "
+            "lines/objects quarantined into fsck-quarantine/ (nothing "
+            "valid is deleted, every removed byte is preserved), stale "
+            "lease debris removed.  Exits 0 when the tree is clean or "
+            "fully repaired."
+        ),
+    )
+    p_fsck.add_argument("dir", metavar="DIR")
+    p_fsck.add_argument(
+        "--dry-run", action="store_true",
+        help="report problems without touching anything (exits 1 if "
+             "any are found)",
+    )
+    p_fsck.add_argument(
+        "--quarantine", default=None, metavar="DIR",
+        help="where to put quarantined bytes "
+             "(default: DIR/fsck-quarantine/)",
+    )
+    p_fsck.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="FILE",
+        help="also emit the report as JSON to FILE (or stdout with no "
+             "argument)",
     )
 
     p_tele = sub.add_parser(
@@ -1298,6 +1394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_telemetry(args, parser)
     if args.command == "worker":
         return _cmd_worker(args, parser)
+    if args.command == "fsck":
+        return _cmd_fsck(args, parser)
     return _cmd_sweep(args, parser)
 
 

@@ -1,0 +1,73 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+Transient transport faults (a stalled NFS mount, an injected chaos
+IOError) should cost a few retries, not a dead worker.  The jitter here
+is *deterministic*: it is derived by hashing ``(seed, key, attempt)``
+rather than drawn from shared RNG state, so a replayed chaos run backs
+off by exactly the same delays and two call sites never perturb each
+other's schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from ..obs.metrics import REGISTRY
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry ``attempts`` times with capped exponential backoff.
+
+    ``jitter`` widens each delay to ``[1-jitter, 1+jitter]`` of its
+    nominal value using the hash-derived fraction — set it to 0 for
+    exact exponential delays.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Nominal sleep before retry number ``attempt`` (1-based)."""
+
+        raw = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if not self.jitter:
+            return raw
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2.0**64
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * frac)
+
+    def call(
+        self,
+        fn: Callable[..., T],
+        *args,
+        key: str = "",
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        **kwargs,
+    ) -> T:
+        """Invoke ``fn`` retrying transient failures; re-raise the last."""
+
+        for attempt in range(1, self.attempts + 1):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:
+                if attempt >= self.attempts:
+                    raise
+                if REGISTRY.enabled:
+                    REGISTRY.counter("fabric.retries").inc()
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(self.delay(attempt, key))
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -1,0 +1,131 @@
+"""A fault-injecting decorator over any fabric :class:`Transport`.
+
+Wrap a real transport and a :class:`~repro.chaos.policy.ChaosPolicy`;
+every protocol call first consults the policy at its named seam and
+may raise an injected ``OSError``, stall, lose a claim race, report a
+lost lease, tear a result write, or publish a duplicate — then (unless
+the fault preempts it) delegates to the inner transport.  The wrapper
+changes *when* calls fail, never *what* a successful call does, so
+everything the fabric recovers to under chaos is still protocol-legal.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from ..fabric.transport import FileTransport, LeaseRecord, Transport
+from .policy import ChaosPolicy, ChaosRule
+
+
+class ChaosTransport(Transport):
+    """Inject policy-scheduled faults in front of ``inner``."""
+
+    def __init__(self, inner: Transport, policy: ChaosPolicy) -> None:
+        self.inner = inner
+        self.policy = policy
+
+    def __getattr__(self, name: str):
+        # FileTransport extras (worker_dir, segment_journals, root, ...)
+        # pass straight through so callers needing the concrete surface
+        # can keep using the wrapped instance.
+        return getattr(self.inner, name)
+
+    # ------------------------------------------------------------------
+    def _consult(self, seam: str) -> Optional[ChaosRule]:
+        rule = self.policy.fire(seam)
+        if rule is None:
+            return None
+        if rule.fault == "stall":
+            time.sleep(rule.arg or 0.0)
+            return None
+        if rule.fault == "io":
+            raise OSError(
+                f"chaos[{seam}]: injected transient IOError "
+                f"(hit {self.policy.hits(seam)})"
+            )
+        return rule
+
+    # -- plan ----------------------------------------------------------
+    def read_plan(self) -> Optional[Dict[str, object]]:
+        self._consult("transport.read_plan")
+        return self.inner.read_plan()
+
+    def write_plan(self, plan: Dict[str, object]) -> None:
+        self.inner.write_plan(plan)
+
+    # -- leases --------------------------------------------------------
+    def try_claim(self, item: str, owner: str,
+                  ttl: float) -> Optional[LeaseRecord]:
+        rule = self._consult("transport.claim")
+        if rule is not None and rule.fault == "race":
+            return None  # somebody else "won" this claim
+        return self.inner.try_claim(item, owner, ttl)
+
+    def renew(self, item: str, owner: str, ttl: float) -> bool:
+        rule = self._consult("transport.renew")
+        if rule is not None and rule.fault == "fail":
+            return False  # lease "taken over" under us
+        return self.inner.renew(item, owner, ttl)
+
+    def release(self, item: str, owner: str) -> None:
+        self._consult("transport.release")
+        self.inner.release(item, owner)
+
+    def lease(self, item: str) -> Optional[LeaseRecord]:
+        return self.inner.lease(item)
+
+    def leases(self) -> Dict[str, LeaseRecord]:
+        return self.inner.leases()
+
+    def break_lease(self, item: str) -> bool:
+        return self.inner.break_lease(item)
+
+    # -- results -------------------------------------------------------
+    def publish_result(self, index: int,
+                       record: Dict[str, object]) -> bool:
+        rule = self._consult("transport.publish")
+        if rule is not None and rule.fault == "torn":
+            self._tear(index, record)
+            raise OSError(
+                f"chaos[transport.publish]: write torn mid-record "
+                f"for index {index}"
+            )
+        if rule is not None and rule.fault == "dup":
+            first = self.inner.publish_result(index, record)
+            self.inner.publish_result(index, record)
+            return first
+        return self.inner.publish_result(index, record)
+
+    def _tear(self, index: int, record: Dict[str, object]) -> None:
+        """Leave half a record at the result path, non-atomically."""
+        import json
+
+        if not isinstance(self.inner, FileTransport):
+            return  # only the file transport has a path to tear
+        path = self.inner._result_path(index)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record, sort_keys=True)
+        path.write_text(payload[: max(4, len(payload) // 2)],
+                        encoding="utf-8")
+
+    def read_result(self, index: int) -> Optional[Dict[str, object]]:
+        self._consult("transport.read_result")
+        return self.inner.read_result(index)
+
+    def discard_result(self, index: int) -> bool:
+        return self.inner.discard_result(index)
+
+    def result_indices(self) -> Set[int]:
+        return self.inner.result_indices()
+
+    # -- workers -------------------------------------------------------
+    def heartbeat(self, worker_id: str) -> None:
+        self._consult("transport.heartbeat")
+        self.inner.heartbeat(worker_id)
+
+    def worker_ids(self) -> List[str]:
+        return self.inner.worker_ids()
+
+    def alive_workers(self, ttl: float) -> List[str]:
+        return self.inner.alive_workers(ttl)

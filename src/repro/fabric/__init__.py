@@ -25,6 +25,11 @@ torn-tail recovery:
   journaled-but-unpublished outcomes, and merges everything back into
   the canonical grid-order artifacts — byte-identical to
   ``repro sweep --jobs 1``.
+
+Failure handling throughout (retry/backoff, publish fencing, point
+quarantine, integrity checksums) is exercised deterministically by the
+seeded fault schedules in :mod:`repro.chaos` and audited offline by
+``repro fsck``.
 """
 
 from .dispatch import CapacityDispatcher, Deferred

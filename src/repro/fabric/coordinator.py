@@ -63,15 +63,19 @@ class FabricSweep:
     worker_restarts: int = 0
     expired_leases: int = 0
     salvaged: int = 0
+    corrupt_results: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"fabric: {len(self.outcomes)} points via "
             f"{self.workers_spawned} spawned workers "
             f"({self.worker_restarts} restarts, "
             f"{self.expired_leases} expired leases, "
             f"{self.salvaged} salvaged)"
         )
+        if self.corrupt_results:
+            text += f", {self.corrupt_results} corrupt results discarded"
+        return text
 
 
 def plan_fabric(
@@ -121,11 +125,21 @@ def plan_fabric(
     return plan
 
 
-def _worker_command(fabric_root: Path, lease_ttl: float) -> List[str]:
-    return [
+def _worker_command(
+    fabric_root: Path,
+    lease_ttl: float,
+    point_timeout: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
+) -> List[str]:
+    command = [
         sys.executable, "-m", "repro", "worker", str(fabric_root),
         "--lease-ttl", str(lease_ttl),
     ]
+    if point_timeout is not None:
+        command += ["--point-timeout", str(point_timeout)]
+    if quarantine_after is not None:
+        command += ["--quarantine-after", str(quarantine_after)]
+    return command
 
 
 def _worker_env() -> Dict[str, str]:
@@ -192,10 +206,8 @@ class _WorkerCrew:
         return all(handle.done for handle in self.handles)
 
     def first_failure(self) -> Optional[BaseException]:
-        for handle in self.handles:
-            if handle.done and handle.exception is not None:
-                return handle.exception
-        return None
+        failed = self._dispatcher.failures()
+        return failed[0].exception if failed else None
 
     def shutdown(self) -> None:
         self.done.set()
@@ -233,7 +245,7 @@ def _salvage(
         record = codec.outcome_to_record(outcome)
         record["key"] = key
         record["worker"] = "salvage"
-        if transport.publish_result(index, record):
+        if transport.publish_result(index, codec.attach_hash(record)):
             salvaged += 1
     return salvaged
 
@@ -250,6 +262,9 @@ def run_fabric_sweep(
     timeout: Optional[float] = None,
     max_restarts: int = DEFAULT_MAX_RESTARTS,
     spawn: Optional[Callable[[int], subprocess.Popen]] = None,
+    point_timeout: Optional[float] = None,
+    quarantine_after: Optional[int] = None,
+    retry: Optional[object] = None,
 ) -> FabricSweep:
     """Run ``requests`` through the fabric; outcomes in request order.
 
@@ -259,7 +274,14 @@ def run_fabric_sweep(
     externally attached workers — other hosts on a shared mount —
     do the executing.  ``spawn`` overrides how a worker subprocess is
     launched (tests use it to inject crashing workers).
+    ``point_timeout``/``quarantine_after`` are forwarded to spawned
+    workers; ``retry`` is the coordinator's own
+    :class:`~repro.chaos.retry.RetryPolicy` for transient transport
+    faults.
     """
+    from ..chaos.retry import RetryPolicy
+
+    retry_policy = retry if retry is not None else RetryPolicy()
     if isinstance(fabric, Transport):
         transport = fabric
     else:
@@ -272,7 +294,10 @@ def run_fabric_sweep(
     sweep = FabricSweep()
     if not requests:
         return sweep
-    plan_fabric(transport, scenario_id, requests, store=store)
+    retry_policy.call(
+        plan_fabric, transport, scenario_id, requests, store=store,
+        key="plan",
+    )
     key_to_index = {
         request_key(request): i for i, request in enumerate(requests)
     }
@@ -282,7 +307,11 @@ def run_fabric_sweep(
     crew: Optional[_WorkerCrew] = None
     if workers > 0:
         if spawn is None:
-            command = _worker_command(transport.root, lease_ttl)
+            command = _worker_command(
+                transport.root, lease_ttl,
+                point_timeout=point_timeout,
+                quarantine_after=quarantine_after,
+            )
             env = _worker_env()
 
             def spawn(index: int) -> subprocess.Popen:  # noqa: F811
@@ -298,9 +327,32 @@ def run_fabric_sweep(
             fresh = transport.result_indices() - by_index.keys()
             for index in sorted(fresh):
                 record = transport.read_result(index)
-                if record is None:
+                if (record is None
+                        or codec.verify_hash(record) is False):
+                    # the index is listed but its record is unreadable
+                    # or fails its checksum: torn/corrupt debris at the
+                    # result path.  Leaving it would wedge the sweep
+                    # (the scan would skip it forever while workers see
+                    # it as published) — discard so it is republished.
+                    if transport.discard_result(index):
+                        sweep.corrupt_results += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter(
+                                "fabric.corrupt_results"
+                            ).inc()
                     continue
-                outcome = codec.outcome_from_record(record)
+                try:
+                    outcome = codec.outcome_from_record(record)
+                except (KeyError, TypeError, ValueError):
+                    # parseable JSON, but not a result record (an old
+                    # writer's debris): same treatment
+                    if transport.discard_result(index):
+                        sweep.corrupt_results += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter(
+                                "fabric.corrupt_results"
+                            ).inc()
+                    continue
                 by_index[index] = outcome
                 if REGISTRY.enabled:
                     REGISTRY.counter("fabric.results").inc()
@@ -344,6 +396,15 @@ def run_fabric_sweep(
                     if transport.result_indices() >= set(
                         range(total)
                     ):
+                        continue
+                    # last resort: a worker that exhausted its publish
+                    # retries exits with the work journaled but not
+                    # published — rescue those segments before giving up
+                    salvaged = _salvage(
+                        transport, key_to_index, set(by_index)
+                    )
+                    if salvaged:
+                        sweep.salvaged += salvaged
                         continue
                     raise FabricError(
                         "every fabric worker exited but "

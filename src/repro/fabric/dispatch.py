@@ -157,6 +157,20 @@ class CapacityDispatcher:
                 if self._running == 0:
                     self._idle.notify_all()
 
+    def failures(self) -> List[Deferred]:
+        """Completed submissions that raised, in submission order.
+
+        The supervising caller polls this to surface a failed task
+        promptly (e.g. a worker slot that exhausted its restarts) —
+        exceptions are captured on the handles, never raised here.
+        """
+        with self._lock:
+            snapshot = list(self._all)
+        return [
+            deferred for deferred in snapshot
+            if deferred.done and deferred.exception is not None
+        ]
+
     # ------------------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait until every submission so far has completed."""

@@ -46,7 +46,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set
 
+from ..obs.metrics import REGISTRY
 from ..runner.engine import RunRequest
+from ..store import codec
 
 PLAN_FILENAME = "plan.json"
 PLAN_VERSION = 1
@@ -193,6 +195,10 @@ class Transport(abc.ABC):
         """The published record for one point, if any."""
 
     @abc.abstractmethod
+    def discard_result(self, index: int) -> bool:
+        """Coordinator-side: drop a corrupt record so it is republished."""
+
+    @abc.abstractmethod
     def result_indices(self) -> Set[int]:
         """Indices of every published point."""
 
@@ -267,7 +273,10 @@ class FileTransport(Transport):
         except (json.JSONDecodeError, UnicodeDecodeError, OSError):
             # a reader racing os.replace never sees half a file, but a
             # crashed writer's debris (or a foreign file) reads as "not
-            # a record" rather than an exception
+            # a record" rather than an exception — counted so recovery
+            # paths are observable instead of silent
+            if REGISTRY.enabled:
+                REGISTRY.counter("fabric.corrupt_records").inc()
             return None
 
     # -- plan ----------------------------------------------------------
@@ -358,12 +367,27 @@ class FileTransport(Transport):
                        record: Dict[str, object]) -> bool:
         path = self._result_path(index)
         if path.exists():
-            return False
+            existing = self._read_json(path)
+            if (existing is not None
+                    and codec.verify_hash(existing) is not False):
+                return False
+            # unreadable or checksum-failed debris at the result path
+            # (a torn non-atomic write) would otherwise block the real
+            # record forever — overwrite it
+            if REGISTRY.enabled:
+                REGISTRY.counter("fabric.corrupt_results").inc()
         self._write_atomic(path, record)
         return True
 
     def read_result(self, index: int) -> Optional[Dict[str, object]]:
         return self._read_json(self._result_path(index))
+
+    def discard_result(self, index: int) -> bool:
+        try:
+            self._result_path(index).unlink()
+        except FileNotFoundError:
+            return False
+        return True
 
     def result_indices(self) -> Set[int]:
         results = self.root / "results"

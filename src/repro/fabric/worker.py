@@ -16,15 +16,36 @@ Publication is idempotent, so a worker that takes over an expired
 lease and re-executes a point another worker already half-finished is
 harmless: the first published record wins and both are canonically
 identical.
+
+Robustness seams layered on top of that happy path:
+
+* transient transport faults are retried with deterministic backoff
+  (:class:`~repro.chaos.retry.RetryPolicy`);
+* a lost lease renewal raises the renewer's ``lost`` flag, and the
+  worker re-verifies ownership *between execution and publish* — a
+  fenced worker never publishes over a takeover's results (its journal
+  segment keeps the work salvageable);
+* a work item may carry a wall-clock ``point_timeout``; an executor
+  that blows it is abandoned and the points journal as structured
+  ``point timeout`` failures;
+* an item whose lease attempt count says it already killed
+  ``quarantine_after`` executors is *quarantined*: journaled and
+  published as a structured failure without being executed, so one
+  poisoned point cannot wedge the whole sweep;
+* under ``REPRO_CHAOS`` (see :mod:`repro.chaos`) the worker wraps its
+  transport in a fault-injecting decorator and honors ``worker.item``
+  (die/hang) and ``journal.append`` (corrupt) crash points — the same
+  seed replays the same faults.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..runner import engine, registry
 from ..store import codec
@@ -42,6 +63,13 @@ from .transport import (
     worker_identity,
 )
 
+#: a point that already killed this many executors is not tried again
+DEFAULT_QUARANTINE_AFTER = 2
+
+#: exit status of a chaos-injected worker death (mirrors SIGKILL's 137
+#: so the crew's restart accounting treats it like a real kill)
+CHAOS_EXIT_STATUS = 137
+
 
 @dataclass
 class WorkerStats:
@@ -54,37 +82,57 @@ class WorkerStats:
     published: int = 0
     duplicate_results: int = 0
     errors: int = 0
+    fenced: int = 0
+    quarantined: int = 0
+    timeouts: int = 0
+    publish_failures: int = 0
     scenario: str = ""
     extra: Dict[str, object] = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"worker {self.worker_id}: {self.claimed} leases "
             f"({self.takeovers} takeovers), {self.executed_points} points, "
             f"{self.published} published, "
             f"{self.duplicate_results} duplicates, {self.errors} errors"
         )
+        if self.fenced or self.quarantined or self.timeouts:
+            text += (
+                f", {self.fenced} fenced, {self.quarantined} quarantined, "
+                f"{self.timeouts} timeouts"
+            )
+        return text
 
 
 def _result_record(outcome: engine.RunOutcome,
                    worker_id: str) -> Dict[str, object]:
-    """The published form of one outcome: codec record + key + worker."""
+    """The published form of one outcome: codec record + key + worker,
+    stamped with its integrity checksum."""
     record = codec.outcome_to_record(outcome)
     record["key"] = request_key(outcome.request)
     record["worker"] = worker_id
-    return record
+    return codec.attach_hash(record)
 
 
 class _LeaseRenewer:
-    """Background heartbeat for one held lease."""
+    """Background heartbeat for one held lease.
+
+    A renewal that reports ownership lost sets :attr:`lost` — the abort
+    flag the worker checks between execution and publish (fencing).  A
+    transient renew *error* is not a loss: the deadline still has most
+    of a TTL of slack, so the renewer just tries again next tick.
+    """
 
     def __init__(self, transport: Transport, item: str, owner: str,
-                 ttl: float) -> None:
+                 ttl: float, join_timeout: float = 5.0) -> None:
         self._transport = transport
         self._item = item
         self._owner = owner
         self._ttl = ttl
+        self._join_timeout = join_timeout
         self._stop = threading.Event()
+        self.lost = threading.Event()
+        self.leaked = False
         self._thread = threading.Thread(
             target=self._loop, name=f"lease-renew:{item}", daemon=True
         )
@@ -92,8 +140,17 @@ class _LeaseRenewer:
     def _loop(self) -> None:
         interval = max(0.05, self._ttl / 3.0)
         while not self._stop.wait(interval):
-            if not self._transport.renew(self._item, self._owner, self._ttl):
-                return  # ownership lost; stop renewing, executor finishes
+            try:
+                renewed = self._transport.renew(
+                    self._item, self._owner, self._ttl
+                )
+            except OSError:
+                continue  # transient; retry on the next tick
+            if not renewed:
+                self.lost.set()
+                if REGISTRY.enabled:
+                    REGISTRY.counter("fabric.leases_lost").inc()
+                return
         # one final renewal is pointless: the executor releases next
 
     def __enter__(self) -> "_LeaseRenewer":
@@ -102,7 +159,16 @@ class _LeaseRenewer:
 
     def __exit__(self, *exc_info) -> None:
         self._stop.set()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=self._join_timeout)
+        if self._thread.is_alive():
+            # a renew call wedged in a syscall: don't block the worker on
+            # it.  The thread is daemonized and re-checks the stop event
+            # before every renew, so it can never renew again after this
+            # point — the lease simply expires; record the leak instead
+            # of silently abandoning the thread.
+            self.leaked = True
+            if REGISTRY.enabled:
+                REGISTRY.counter("fabric.renewer_leaks").inc()
 
 
 def _open_segments(
@@ -124,6 +190,58 @@ def _open_segments(
     return journal, telemetry
 
 
+def _execute_guarded(
+    work: engine.WorkItem,
+    point_timeout: Optional[float],
+    hang_s: Optional[float],
+) -> Tuple[Optional[List[engine.RunOutcome]], bool]:
+    """Run one work item, optionally under a wall-clock timeout.
+
+    Returns ``(outcomes, timed_out)``.  With a timeout the item runs on
+    a daemon thread; blowing the deadline abandons the executor (it can
+    finish into the void — results are discarded) and returns
+    ``(None, True)``.  ``hang_s`` is the chaos hang: the executor stalls
+    *after* computing, before handing results back, which is how a
+    wedged simulation looks from the outside.
+    """
+    if point_timeout is None and hang_s is None:
+        return engine.execute_item(work), False
+    box: List[object] = []
+
+    def target() -> None:
+        try:
+            result: object = engine.execute_item(work)
+        except BaseException as exc:  # surfaced to the caller below
+            result = exc
+        if hang_s:
+            time.sleep(hang_s)
+        box.append(result)
+
+    thread = threading.Thread(
+        target=target, name="fabric-executor", daemon=True
+    )
+    thread.start()
+    thread.join(point_timeout)
+    if thread.is_alive():
+        return None, True
+    result = box[0]
+    if isinstance(result, BaseException):
+        raise result
+    return result, False
+
+
+def _scribble_last_line(path: Path) -> None:
+    """Chaos ``journal.append=corrupt``: flip bytes inside the line just
+    appended, keeping the trailing newline — the in-place bit-rot shape
+    that checksums (not torn-tail truncation) must catch."""
+    with path.open("r+b") as fh:
+        fh.seek(0, os.SEEK_END)
+        size = fh.tell()
+        if size > 16:
+            fh.seek(size - 10)
+            fh.write(b"\xffCHAOS\xff")
+
+
 def run_worker(
     fabric: Union[str, Path, Transport],
     worker_id: Optional[str] = None,
@@ -133,38 +251,65 @@ def run_worker(
     once: bool = False,
     max_items: Optional[int] = None,
     store: Optional[RunStore] = None,
+    point_timeout: Optional[float] = None,
+    quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+    chaos: Optional[object] = None,
+    retry: Optional[object] = None,
 ) -> WorkerStats:
     """Attach to a fabric and execute leased work until the plan is done.
 
     ``once`` makes a single claim pass and returns (tests and cron-style
     drivers); ``max_items`` caps how many leases this worker will
     execute (the dead-worker tests use ``max_items=1`` to stop a worker
-    mid-plan).  Raises :class:`FabricError` if no plan appears within
-    ``plan_timeout`` seconds or the plan's code fingerprint does not
-    match this worker's checkout.
+    mid-plan).  ``chaos`` is an explicit
+    :class:`~repro.chaos.policy.ChaosPolicy` (default: parsed from the
+    ``REPRO_CHAOS`` environment variable); ``retry`` an explicit
+    :class:`~repro.chaos.retry.RetryPolicy`.  Raises
+    :class:`FabricError` if no plan appears within ``plan_timeout``
+    seconds or the plan's code fingerprint does not match this worker's
+    checkout.
     """
+    # lazy imports: repro.chaos.transport imports this package
+    from ..chaos.policy import policy_from_env
+    from ..chaos.retry import RetryPolicy
+    from ..chaos.transport import ChaosTransport
+
     if isinstance(fabric, Transport):
         transport = fabric
     else:
         transport = FileTransport(fabric)
+    policy = chaos if chaos is not None else policy_from_env(os.environ)
+    if isinstance(transport, ChaosTransport):
+        bus: Transport = transport
+        transport = transport.inner
+    elif policy is not None:
+        bus = ChaosTransport(transport, policy)
+    else:
+        bus = transport
     if not isinstance(transport, FileTransport):
         raise FabricError(
             "run_worker currently requires a FileTransport for journal "
             "and telemetry segments"
         )
+    retry_policy: RetryPolicy = retry if retry is not None else RetryPolicy()
     wid = worker_id or worker_identity()
     stats = WorkerStats(worker_id=wid)
 
     deadline = time.monotonic() + plan_timeout
-    plan = transport.read_plan()
+    plan = None
     while plan is None:
+        try:
+            plan = bus.read_plan()
+        except OSError:
+            plan = None  # transient transport fault: poll again
+        if plan is not None:
+            break
         if time.monotonic() >= deadline:
             raise FabricError(
                 f"no fabric plan appeared in {transport.root} within "
                 f"{plan_timeout:.0f}s"
             )
         time.sleep(min(poll_s, 0.2))
-        plan = transport.read_plan()
 
     registry.load_builtin()
     fingerprint = code_fingerprint()
@@ -186,9 +331,15 @@ def run_worker(
         transport, wid, scenario_id, fingerprint
     )
 
+    def heartbeat() -> None:
+        try:
+            retry_policy.call(bus.heartbeat, wid, key=f"{wid}:heartbeat")
+        except OSError:
+            pass  # liveness beacon is best-effort
+
     try:
         while True:
-            transport.heartbeat(wid)
+            heartbeat()
             published = transport.result_indices()
             missing = [
                 i for i, item in enumerate(items)
@@ -200,7 +351,13 @@ def run_worker(
             for index in missing:
                 if max_items is not None and stats.claimed >= max_items:
                     return stats
-                lease = transport.try_claim(item_id(index), wid, lease_ttl)
+                try:
+                    lease = retry_policy.call(
+                        bus.try_claim, item_id(index), wid, lease_ttl,
+                        key=f"{wid}:claim:{index}",
+                    )
+                except OSError:
+                    continue  # persistent claim failure: try other items
                 if lease is None:
                     continue
                 item = items[index]
@@ -225,22 +382,104 @@ def run_worker(
                     ("batch", group) if item["kind"] == "batch"
                     else ("one", group[0])
                 )
-                with _LeaseRenewer(transport, item_id(index), wid,
-                                   lease_ttl):
-                    outcomes = engine.execute_item(work)
-                for idx, outcome in zip(item["indices"], outcomes):
+                renewer: Optional[_LeaseRenewer] = None
+                die_pending = False
+                if lease.attempt > quarantine_after:
+                    # this item's previous owners died mid-execution
+                    # quarantine_after times; executing it again would
+                    # kill us too — record the failure and move on
+                    stats.quarantined += 1
+                    if REGISTRY.enabled:
+                        REGISTRY.counter("fabric.quarantined").inc()
+                    outcomes = engine.failed_outcomes(
+                        group,
+                        f"quarantined: {item_id(index)} killed "
+                        f"{lease.attempt - 1} executor(s); not retrying",
+                    )
+                else:
+                    hang_s: Optional[float] = None
+                    if policy is not None:
+                        rule = policy.fire("worker.item")
+                        if rule is not None and rule.fault == "die":
+                            die_pending = True
+                        elif rule is not None and rule.fault == "hang":
+                            hang_s = rule.arg
+                    with _LeaseRenewer(bus, item_id(index), wid,
+                                       lease_ttl) as renewer:
+                        outcomes, timed_out = _execute_guarded(
+                            work, point_timeout, hang_s
+                        )
+                    if timed_out:
+                        stats.timeouts += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter("fabric.point_timeouts").inc()
+                        outcomes = engine.failed_outcomes(
+                            group,
+                            f"point timeout: exceeded "
+                            f"{point_timeout:g}s wall clock; "
+                            f"executor abandoned",
+                        )
+                # durable first: journal + telemetry before publication,
+                # so a crash in the publish loop leaves salvageable
+                # segments
+                for outcome in outcomes:
                     journal.append(outcome)
+                    if policy is not None:
+                        rule = policy.fire("journal.append")
+                        if rule is not None and rule.fault == "corrupt":
+                            _scribble_last_line(journal.path)
                     telemetry.append_point(outcome)
                     stats.executed_points += 1
                     if REGISTRY.enabled:
                         REGISTRY.counter("fabric.points_executed").inc()
                     if outcome.error:
                         stats.errors += 1
-                    elif run_store is not None:
+                if die_pending:
+                    # chaos crash point: after the durable append, before
+                    # publication — the exact window the salvage path and
+                    # lease takeover exist for
+                    os._exit(CHAOS_EXIT_STATUS)
+                # fencing: re-verify ownership between execution and
+                # publish.  A lost renewal (or a takeover visible in the
+                # lease record) means another worker may already be
+                # re-executing this item — publishing now could overwrite
+                # nothing (publication is idempotent) but racing is
+                # pointless: abort, keep the journaled work salvageable.
+                current = transport.lease(item_id(index))
+                if renewer is not None and (
+                    renewer.lost.is_set()
+                    or current is None
+                    or current.owner != wid
+                ):
+                    stats.fenced += 1
+                    if REGISTRY.enabled:
+                        REGISTRY.counter("fabric.fenced").inc()
+                    try:
+                        transport.release(item_id(index), wid)
+                    except OSError:
+                        pass
+                    progressed = True
+                    continue
+                for idx, outcome in zip(item["indices"], outcomes):
+                    if not outcome.error and run_store is not None:
                         run_store.put(outcome)
-                    if transport.publish_result(
-                        idx, _result_record(outcome, wid)
-                    ):
+                    try:
+                        fresh = retry_policy.call(
+                            bus.publish_result, idx,
+                            _result_record(outcome, wid),
+                            key=f"{wid}:publish:{idx}",
+                        )
+                    except OSError:
+                        # persistently unpublishable: the outcome is
+                        # journaled, so the coordinator's salvage pass
+                        # still completes the point
+                        stats.publish_failures += 1
+                        if REGISTRY.enabled:
+                            REGISTRY.counter(
+                                "fabric.publish_failures"
+                            ).inc()
+                        continue
+                    if fresh:
                         stats.published += 1
                     else:
                         stats.duplicate_results += 1
@@ -248,8 +487,14 @@ def run_worker(
                             REGISTRY.counter(
                                 "fabric.duplicate_results"
                             ).inc()
-                transport.release(item_id(index), wid)
-                transport.heartbeat(wid)
+                try:
+                    retry_policy.call(
+                        bus.release, item_id(index), wid,
+                        key=f"{wid}:release:{index}",
+                    )
+                except OSError:
+                    pass  # the lease will expire on its own
+                heartbeat()
                 progressed = True
             if once:
                 break
@@ -264,5 +509,8 @@ def run_worker(
             "failures": stats.errors,
             "claimed": stats.claimed,
             "takeovers": stats.takeovers,
+            "fenced": stats.fenced,
+            "quarantined": stats.quarantined,
+            "timeouts": stats.timeouts,
         })
     return stats

@@ -185,6 +185,21 @@ def execute_item(item: WorkItem) -> list[RunOutcome]:
 _execute_item = execute_item
 
 
+def failed_outcomes(requests: Sequence[RunRequest],
+                    error: str) -> list[RunOutcome]:
+    """Fabricated failure outcomes for points the *infrastructure*
+    abandoned (wall-clock timeout, quarantine after repeated executor
+    deaths) rather than a scenario raising.  The error string is the
+    structured reason; it must be deterministic for a given cause so
+    replayed chaos runs journal identical failures."""
+    t_end = time.monotonic()
+    return [
+        RunOutcome(request=request, error=error,
+                   duration_s=0.0, t_mono=t_end)
+        for request in requests
+    ]
+
+
 def _execute_indexed(pair: Tuple[int, WorkItem]
                      ) -> Tuple[int, list[RunOutcome]]:
     """Pool shim carrying each item's plan position through

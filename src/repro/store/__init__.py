@@ -13,20 +13,25 @@ parallel; this package makes them *durable* and *comparable*:
   trees (new failures, check drift beyond tolerance, row deltas),
   powering ``repro diff`` and the CI regression gate;
 * :mod:`~repro.store.codec` — the loss-free outcome round-trip the
-  other three share.
+  other three share, plus the additive sha256 integrity checksums;
+* :mod:`~repro.store.fsck` — offline verification and repair of all of
+  the above (and fabric state), powering ``repro fsck``.
 """
 
 from .codec import outcome_from_record, outcome_to_record
 from .diff import DiffReport, diff_trees, load_summary
+from .fsck import FsckReport, fsck_tree
 from .journal import Journal, JournalError, journal_path
 from .store import RunStore, code_fingerprint, request_key
 from . import journal
 
 __all__ = [
     "DiffReport",
+    "FsckReport",
     "Journal",
     "JournalError",
     "RunStore",
+    "fsck_tree",
     "code_fingerprint",
     "diff_trees",
     "journal",

@@ -21,6 +21,8 @@ byte-level determinism is being compared.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Dict, List, Optional
 
 from ..experiments.common import Check, ExperimentResult
@@ -28,6 +30,10 @@ from ..runner.engine import RunOutcome, RunRequest
 
 #: bump when the record layout changes incompatibly
 RECORD_VERSION = 1
+
+#: additive integrity field on persisted records; readers tolerate its
+#: absence (old journals/stores verify as "unchecksummed", not corrupt)
+CHECKSUM_FIELD = "sha256"
 
 #: record keys that vary between identical runs (observability
 #: side-band); everything else is part of the deterministic contract
@@ -145,3 +151,36 @@ def strip_volatile(record: Dict[str, object]) -> Dict[str, object]:
     """The record minus :data:`VOLATILE_FIELDS` — the deterministic
     part two identical runs must agree on byte-for-byte."""
     return {k: v for k, v in record.items() if k not in VOLATILE_FIELDS}
+
+
+def integrity_hash(record: Dict[str, object]) -> str:
+    """sha256 over the record's deterministic body.
+
+    Volatile fields and the checksum field itself are excluded, so the
+    hash is stable across identical reruns and across append/rewrite —
+    the same property :func:`strip_volatile` gives byte comparisons.
+    """
+    body = {
+        k: v
+        for k, v in record.items()
+        if k != CHECKSUM_FIELD and k not in VOLATILE_FIELDS
+    }
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def attach_hash(record: Dict[str, object]) -> Dict[str, object]:
+    """Stamp the record with its integrity hash (mutates and returns)."""
+    record[CHECKSUM_FIELD] = integrity_hash(record)
+    return record
+
+
+def verify_hash(record: Dict[str, object]) -> Optional[bool]:
+    """``True``/``False`` for a (mis)matching checksum, ``None`` if the
+    record predates checksums (absent field: tolerated, not corrupt)."""
+    if not isinstance(record, dict):
+        return False
+    stated = record.get(CHECKSUM_FIELD)
+    if stated is None:
+        return None
+    return stated == integrity_hash(record)

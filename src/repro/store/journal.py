@@ -47,13 +47,18 @@ def journal_path(out_dir) -> Path:
 
 
 def _entry_line(outcome: RunOutcome) -> str:
-    """The exact serialized journal line for one outcome."""
+    """The exact serialized journal line for one outcome.
+
+    Each line carries an integrity checksum over its deterministic
+    body (volatile side-band excluded), so append and the canonical
+    rewrite stamp identical hashes and bit rot is detectable per line.
+    """
     entry = {
         "kind": "outcome",
         "key": request_key(outcome.request),
         **codec.outcome_to_record(outcome),
     }
-    return json.dumps(entry, sort_keys=True) + "\n"
+    return json.dumps(codec.attach_hash(entry), sort_keys=True) + "\n"
 
 
 class Journal:
@@ -124,6 +129,8 @@ def _read(path: Path) -> Tuple[Dict[str, object], List[RunOutcome], int]:
             entry = json.loads(line.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
             break  # killed mid-write; the rest is untrustworthy
+        if codec.verify_hash(entry) is False:
+            break  # checksum mismatch: bit rot or an in-place scribble
         if i == 0:
             if entry.get("kind") != "header":
                 raise JournalError(
@@ -178,6 +185,8 @@ def canonical_bytes(path) -> bytes:
         try:
             entry = json.loads(line.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError):
+            break
+        if codec.verify_hash(entry) is False:
             break
         if i == 0 and entry.get("kind") != "header":
             raise JournalError(f"{path}: first line is not a journal header")

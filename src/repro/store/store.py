@@ -91,7 +91,14 @@ class RunStore:
         path = self._object_path(self.key(request))
         if not path.exists():
             return None
-        record = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None  # unreadable object: treat as a miss, re-execute
+        if codec.verify_hash(record) is False:
+            # bit rot under the content address — self-healing: report a
+            # miss so the caller recomputes and put() replaces the object
+            return None
         return codec.outcome_from_record(record)
 
     def put(self, outcome: RunOutcome) -> str:
@@ -114,12 +121,12 @@ class RunStore:
         # so the volatile observability fields (durations, timestamps,
         # counter deltas) stay out — a cache hit replays the result,
         # not the weather of the run that produced it
-        record = {
+        record = codec.attach_hash({
             "key": key,
             "fingerprint": self.fingerprint,
             "point": point_slug(outcome),
             **codec.strip_volatile(codec.outcome_to_record(outcome)),
-        }
+        })
         path = self._object_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         # atomic publish: a reader never sees a half-written object, and

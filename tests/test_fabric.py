@@ -111,6 +111,23 @@ class TestCapacityDispatcher:
         assert peak[0] == 2
         dispatcher.drain(timeout=5.0)
 
+    def test_failures_in_submission_order(self):
+        dispatcher = CapacityDispatcher(capacity=2)
+
+        def boom(msg):
+            def inner():
+                raise ValueError(msg)
+            return inner
+
+        first = dispatcher.submit(boom("first"))
+        ok = dispatcher.submit(lambda: 42)
+        second = dispatcher.submit(boom("second"))
+        dispatcher.drain(timeout=5.0)
+        failed = dispatcher.failures()
+        assert failed == [first, second]
+        assert ok not in failed
+        assert str(failed[0].exception) == "first"
+
     def test_done_callback_fires(self):
         dispatcher = CapacityDispatcher(capacity=1)
         seen = []
@@ -371,7 +388,10 @@ class TestFabricSweep:
             workers=0, poll_s=0.01, timeout=60.0,
         )
         for thread in threads:
-            thread.join(timeout=10.0)
+            thread.join(timeout=30.0)
+            # a straggler would keep appending to its telemetry
+            # segment while summarize() reads it — fail loudly instead
+            assert not thread.is_alive(), "worker thread never exited"
         report = obs_analyze.summarize(tmp_path)
         assert report.total == 20
         assert report.jobs == len(report.worker_rows)
