@@ -7,6 +7,8 @@ Usage::
     python -m repro list --verbose            # + full typed parameter specs
     python -m repro inspect gals-mesh --tree  # scenario's instance tree
     python -m repro inspect compiled-fault-campaign --compiled  # levelized stats
+    python -m repro lint --all                # static checks, all designs
+    python -m repro lint gals-mesh --format sarif --fail-on warning
     python -m repro run                       # every paper table/figure
     python -m repro run fig12 table1          # just these (nothing else runs)
     python -m repro run --tags ablation       # the extension studies
@@ -250,6 +252,24 @@ def _cmd_inspect(args, parser) -> int:
     else:
         print(f"{n_instances} instance(s) (structural view, "
               f"not elaborated onto a simulator)")
+    from . import lint as lint_pkg
+
+    findings = lint_pkg.lint_design(
+        design, scenario=sc.id,
+        waivers=_load_default_waivers(parser, None),
+    )
+    if findings:
+        counts: dict = {}
+        for f in findings:
+            key = "waived" if f.waived else f.severity
+            counts[key] = counts.get(key, 0) + 1
+        print("lint: " + ", ".join(
+            f"{n} {key}" for key, n in sorted(counts.items())
+        ))
+        for f in findings:
+            print(f"  {f.render()}")
+    else:
+        print("lint: clean")
     if args.compiled:
         from .compiled import CompileError, compile_component
 
@@ -267,6 +287,121 @@ def _cmd_inspect(args, parser) -> int:
                 f"batch packing: up to {sc.batch_lanes} "
                 f"{sc.batch_axis!r}-sweep request(s) per 64-bit word"
             )
+    return 0
+
+
+def _load_default_waivers(parser, explicit: Optional[str]):
+    """Waivers from ``--waivers FILE`` or ``./lint-waivers.toml``.
+
+    An explicitly named file must exist and parse; the conventional
+    default is optional (no file → no waivers).
+    """
+    from . import lint as lint_pkg
+
+    path = explicit
+    if path is None:
+        default = Path("lint-waivers.toml")
+        if not default.exists():
+            return []
+        path = str(default)
+    try:
+        return lint_pkg.load_waivers(path)
+    except lint_pkg.WaiverError as exc:
+        parser.error(str(exc))
+
+
+def _cmd_lint(args, parser) -> int:
+    from . import lint as lint_pkg
+
+    registry.load_builtin()
+    if not args.scenarios and not args.all:
+        parser.error(
+            "name at least one scenario or pass --all; scenarios with "
+            "design trees: "
+            + ", ".join(
+                s.id for s in registry.all_scenarios() if s.has_design
+            )
+        )
+    ids = None
+    if not args.all:
+        known = set(registry.ids())
+        unknown = [i for i in args.scenarios if i not in known]
+        if unknown:
+            parser.error(
+                f"unknown scenario(s) {unknown}; choose from "
+                f"{', '.join(sorted(known))}"
+            )
+        ids = list(args.scenarios)
+    overrides = {}
+    for raw in args.set or []:
+        name, eq, value = raw.partition("=")
+        if not eq:
+            parser.error(f"--set expects name=value, got {raw!r}")
+        overrides[name.strip()] = value
+    if ids and overrides:
+        declared = set()
+        for sid in ids:
+            declared |= {spec.name for spec in registry.get(sid).params}
+        bogus = sorted(set(overrides) - declared)
+        if bogus:
+            parser.error(
+                f"--set {', '.join(bogus)}: no selected scenario "
+                f"declares such a parameter"
+            )
+    waivers = _load_default_waivers(parser, args.waivers)
+    try:
+        reports = lint_pkg.lint_registry(
+            ids=ids, overrides=overrides or None,
+            fast=not args.full, waivers=waivers,
+        )
+    except (registry.ScenarioError, ValueError) as exc:
+        parser.error(str(exc))
+    formatter = {
+        "text": lint_pkg.format_text,
+        "json": lint_pkg.format_json,
+        "sarif": lint_pkg.format_sarif,
+    }[args.format]
+    print(formatter(reports))
+    if lint_pkg.gate(reports, fail_on=args.fail_on):
+        print(
+            f"lint gate: unwaived finding(s) at or above "
+            f"{args.fail_on!r}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _lint_preflight(args, parser, sc, fixed) -> int:
+    """The ``sweep --lint`` gate: refuse grids with error findings."""
+    from . import lint as lint_pkg
+
+    if not sc.has_design:
+        print(f"lint pre-flight: {sc.id} exposes no design tree; "
+              f"nothing to check")
+        return 0
+    waivers = _load_default_waivers(parser, None)
+    try:
+        report = lint_pkg.lint_scenario(
+            sc, overrides=fixed or None, fast=args.fast,
+            waivers=waivers,
+        )
+    except (registry.ScenarioError, ValueError) as exc:
+        parser.error(str(exc))
+    errors = [
+        f for f in report.findings
+        if not f.waived and f.severity == "error"
+    ]
+    if errors:
+        print(
+            f"lint pre-flight: {len(errors)} error-level finding(s) "
+            f"in {sc.id}; refusing to dispatch the sweep",
+            file=sys.stderr,
+        )
+        for finding in errors:
+            print(f"  {finding.render()}", file=sys.stderr)
+        return 1
+    print(f"lint pre-flight: {sc.id} clean at error level")
     return 0
 
 
@@ -376,6 +511,11 @@ def _cmd_sweep(args, parser) -> int:
         )
     except registry.ScenarioError as exc:
         parser.error(str(exc))
+
+    if args.lint:
+        code = _lint_preflight(args, parser, sc, fixed)
+        if code:
+            return code
 
     fabric_mode = bool(args.fabric) or args.workers > 0
     if args.workers < 0:
@@ -1019,6 +1159,45 @@ def build_parser() -> argparse.ArgumentParser:
              "lanes), or why it cannot be compiled",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="static design checks over scenario design trees",
+    )
+    p_lint.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help="scenario ids to lint (or pass --all)",
+    )
+    p_lint.add_argument(
+        "--all", action="store_true",
+        help="lint every registered scenario (those without a design "
+             "tree are listed as skipped)",
+    )
+    p_lint.add_argument(
+        "--set", action="append", metavar="NAME=VALUE",
+        help="pin a scenario parameter (repeatable; applied to every "
+             "selected scenario that declares it)",
+    )
+    p_lint.add_argument(
+        "--full", action="store_true",
+        help="build designs at their full default parameters instead "
+             "of the fast-mode overrides",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default text; sarif is SARIF 2.1.0 with "
+             "logical design-path locations)",
+    )
+    p_lint.add_argument(
+        "--fail-on", dest="fail_on",
+        choices=("info", "warning", "error"), default="error",
+        help="exit 1 when an unwaived finding at or above this "
+             "severity exists (default error)",
+    )
+    p_lint.add_argument(
+        "--waivers", metavar="FILE",
+        help="waiver file (default: ./lint-waivers.toml when present)",
+    )
+
     p_run = sub.add_parser("run", help="execute scenarios")
     p_run.add_argument(
         "scenarios", nargs="*", metavar="SCENARIO",
@@ -1097,6 +1276,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fabric mode: wall-clock budget per work item; a point "
              "that blows it journals as a structured 'point timeout' "
              "failure instead of wedging its worker (default: none)",
+    )
+    p_sweep.add_argument(
+        "--lint", action="store_true",
+        help="static pre-flight: lint the scenario's design at the "
+             "sweep's pinned parameters and refuse to dispatch the "
+             "grid if any unwaived error-level finding exists",
     )
     p_sweep.add_argument(
         "--quarantine-after", type=int, default=None, metavar="N",
@@ -1384,6 +1569,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args, parser)
     if args.command == "inspect":
         return _cmd_inspect(args, parser)
+    if args.command == "lint":
+        return _cmd_lint(args, parser)
     if args.command == "run":
         return _cmd_run(args, parser)
     if args.command == "diff":

@@ -18,10 +18,10 @@ hierarchy path, found with a BFS from each remaining gate.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, List
 
-from .netlist import CombGate, CompileError, Netlist
+from ..graphutil import shortest_cycle, topological_levels
+from .netlist import CompileError, Netlist
 
 
 class CombinationalLoopError(CompileError):
@@ -53,73 +53,22 @@ def _gate_deps(netlist: Netlist) -> List[List[int]]:
     return deps
 
 
-def _shortest_cycle(deps: List[List[int]], members: List[int],
-                    gates: List[CombGate]) -> List[str]:
-    """Shortest gate cycle among ``members``, as hierarchy paths.
-
-    BFS from each member along dependency edges until the start gate
-    reappears; the globally shortest such loop is the most readable
-    diagnostic (a 2-gate cross-coupled pair is reported as 2 gates, not
-    as the 40-gate strongly-connected blob it might sit inside).
-    """
-    member_set = set(members)
-    best: List[int] = []
-    for start in members:
-        # parent links let us reconstruct the path start -> ... -> start
-        parent: Dict[int, int] = {}
-        queue = deque([start])
-        seen = {start}
-        found = None
-        while queue and found is None:
-            node = queue.popleft()
-            for dep in deps[node]:
-                if dep not in member_set:
-                    continue
-                if dep == start:
-                    found = node
-                    break
-                if dep not in seen:
-                    seen.add(dep)
-                    parent[dep] = node
-                    queue.append(dep)
-        if found is None:
-            continue
-        path = [found]
-        while path[-1] != start:
-            path.append(parent[path[-1]])
-        path.reverse()
-        if not best or len(path) < len(best):
-            best = path
-    # `best` lists gates in dependency order (each reads the previous);
-    # present it signal-flow first
-    return [gates[gi].path for gi in best]
-
-
 def levelize(netlist: Netlist) -> List[List[int]]:
-    """Topological levels of gate indices; raises on comb feedback."""
+    """Topological levels of gate indices; raises on comb feedback.
+
+    The Kahn pass and the shortest-feedback-cycle diagnostic both live
+    in :mod:`repro.graphutil` now, shared with the lint engine's loop
+    rule — the globally shortest loop is the most readable diagnostic
+    (a 2-gate cross-coupled pair is reported as 2 gates, not as the
+    40-gate strongly-connected blob it might sit inside), and the cycle
+    lists gates in dependency order (each reads the previous), i.e.
+    signal-flow first.
+    """
     deps = _gate_deps(netlist)
-    fanout: List[List[int]] = [[] for _ in netlist.gates]
-    missing = []
-    for gi, row in enumerate(deps):
-        missing.append(len(row))
-        for src in row:
-            fanout[src].append(gi)
-    levels: List[List[int]] = []
-    frontier = [gi for gi, count in enumerate(missing) if count == 0]
-    placed = 0
-    while frontier:
-        levels.append(sorted(frontier))
-        placed += len(frontier)
-        next_frontier: List[int] = []
-        for gi in frontier:
-            for dst in fanout[gi]:
-                missing[dst] -= 1
-                if missing[dst] == 0:
-                    next_frontier.append(dst)
-        frontier = next_frontier
-    if placed != len(netlist.gates):
-        leftover = [gi for gi, count in enumerate(missing) if count > 0]
+    levels, leftover = topological_levels(deps)
+    if leftover:
         raise CombinationalLoopError(
-            _shortest_cycle(deps, leftover, netlist.gates)
+            [netlist.gates[gi].path
+             for gi in shortest_cycle(deps, leftover)]
         )
     return levels

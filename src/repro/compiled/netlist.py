@@ -279,21 +279,42 @@ def _state_record(comp: Component, path: str) -> Optional[StateElement]:
     return None
 
 
+def _problem(problems: Optional[List[Dict[str, object]]],
+             kind: str, path: str, message: str,
+             **extra: object) -> None:
+    """Record (relaxed mode) or raise (strict mode) one extraction
+    problem.  Strict mode — ``problems is None`` — is the compiled
+    backend's historical contract: the first problem is a hard
+    :class:`CompileError`.  Relaxed mode is the lint engine's: collect
+    everything, keep walking, and let rules decide severity."""
+    if problems is None:
+        raise CompileError(message)
+    problems.append(
+        {"kind": kind, "path": path, "message": message, **extra}
+    )
+
+
 def _visit(comp: Component, path: str, gates: List[CombGate],
-           states: List[StateElement]) -> None:
+           states: List[StateElement],
+           problems: Optional[List[Dict[str, object]]] = None) -> None:
     for cls, reason in _REJECTED.items():
         if isinstance(comp, cls):
-            raise CompileError(
+            _problem(
+                problems, "unsupported", path,
                 f"cannot compile {path!r} ({type(comp).__name__}): "
-                f"{reason}"
+                f"{reason}",
+                type=type(comp).__name__,
             )
+            return
     kind = _COMB_KINDS.get(type(comp))
     if kind is not None:
         tag, arity = kind
         if len(comp.inputs) != arity:
-            raise CompileError(
-                f"{path!r}: {tag} gate with {len(comp.inputs)} inputs"
+            _problem(
+                problems, "bad-arity", path,
+                f"{path!r}: {tag} gate with {len(comp.inputs)} inputs",
             )
+            return
         gates.append(
             CombGate(path, tag, tuple(comp.inputs), comp.output)
         )
@@ -301,16 +322,19 @@ def _visit(comp: Component, path: str, gates: List[CombGate],
     if isinstance(comp, Gate):
         # a Gate subclass (or raw Gate) outside the table carries an
         # arbitrary Python func the compiler cannot translate
-        raise CompileError(
+        _problem(
+            problems, "unsupported", path,
             f"cannot compile {path!r}: generic Gate with an opaque "
             f"evaluation function; use the named gate classes "
-            f"({', '.join(c.__name__ for c in _COMB_KINDS)})"
+            f"({', '.join(c.__name__ for c in _COMB_KINDS)})",
+            type=type(comp).__name__,
         )
+        return
     state = _state_record(comp, path)
     if state is not None:
         states.append(state)
         for leaf, child in comp.children.items():
-            _visit(child, f"{path}.{leaf}", gates, states)
+            _visit(child, f"{path}.{leaf}", gates, states, problems)
         return
     if isinstance(comp, _CONTAINERS) or type(comp) is Component \
             or comp.children or type(comp).build is not Component.build \
@@ -321,12 +345,14 @@ def _visit(comp: Component, path: str, gates: List[CombGate],
         # process instead placed nothing compilable, and the resulting
         # empty netlist (or the equivalence machinery) makes that loud.
         for leaf, child in comp.children.items():
-            _visit(child, f"{path}.{leaf}", gates, states)
+            _visit(child, f"{path}.{leaf}", gates, states, problems)
         return
-    raise CompileError(
+    _problem(
+        problems, "unsupported", path,
         f"cannot compile {path!r}: unsupported component type "
         f"{type(comp).__name__} (supported primitives: "
-        f"{', '.join(sorted(_supported_names()))})"
+        f"{', '.join(sorted(_supported_names()))})",
+        type=type(comp).__name__,
     )
 
 
@@ -338,19 +364,29 @@ def _supported_names() -> List[str]:
     return names
 
 
-def extract(root: Component) -> Netlist:
+def extract(root: Component,
+            problems: Optional[List[Dict[str, object]]] = None
+            ) -> Netlist:
     """Build the compiled IR for the subtree rooted at ``root``.
 
-    Raises :class:`CompileError` on unsupported component types and on
-    nets with more than one structural driver.
+    Strict mode (the default) raises :class:`CompileError` on
+    unsupported component types and on nets with more than one
+    structural driver — the compiled backend's contract.  Passing a
+    list as ``problems`` switches to relaxed mode for static analysis:
+    every problem is appended as a ``{"kind", "path", "message", ...}``
+    record (kinds: ``unsupported``, ``bad-arity``, ``multi-driver``,
+    ``empty``), unsupported subtrees are skipped, the first driver of a
+    contested net wins, and the (possibly partial, possibly empty)
+    netlist is still returned.
     """
     gates: List[CombGate] = []
     states: List[StateElement] = []
-    _visit(root, root.path, gates, states)
+    _visit(root, root.path, gates, states, problems)
     if not gates and not states:
-        raise CompileError(
+        _problem(
+            problems, "empty", root.path,
             f"{root.path!r} contains nothing compilable — no supported "
-            f"gates or state elements were found in the tree"
+            f"gates or state elements were found in the tree",
         )
 
     nets: List[object] = []
@@ -375,10 +411,13 @@ def extract(root: Component) -> Netlist:
             i = intern(sig)
             other = driver_of.get(i)
             if other is not None:
-                raise CompileError(
+                _problem(
+                    problems, "multi-driver", nets[i].name,
                     f"net {nets[i].name!r} has two structural drivers: "
-                    f"{other} and {element.path}"
+                    f"{other} and {element.path}",
+                    drivers=[other, element.path],
                 )
+                continue
             driver_of[i] = element.path
     return Netlist(
         nets=nets,

@@ -581,6 +581,27 @@ class Component:
             child._render(lines, prefix + ("   " if last else "│  "), ports)
 
 
+def _nearest_paths(target: "Component", base: str,
+                   limit: int = 3) -> List[str]:
+    """Closest child/port paths to a mistyped segment, best first.
+
+    Suggestions are full dotted paths (the same form lint findings and
+    force/inspect use), so an error message can be pasted straight back
+    into ``find``.
+    """
+    import difflib
+
+    candidates = {
+        leaf: child.path for leaf, child in target._children.items()
+    }
+    for name, port in target._ports.items():
+        candidates.setdefault(name, port.path)
+    matches = difflib.get_close_matches(
+        base, list(candidates), n=limit, cutoff=0.5
+    )
+    return [candidates[m] for m in matches]
+
+
 def _resolve_segment(target: object, segment: str, full_path: str):
     base, indices = _parse_segment(segment)
     resolved = None
@@ -604,10 +625,16 @@ def _resolve_segment(target: object, segment: str, full_path: str):
     if resolved is None:
         hints = ""
         if isinstance(target, Component):
-            hints = (
-                f"; children: {sorted(target._children) or 'none'}, "
-                f"ports: {sorted(target._ports) or 'none'}"
-            )
+            nearest = _nearest_paths(target, base)
+            if nearest:
+                hints = "; did you mean " + ", ".join(
+                    repr(p) for p in nearest
+                ) + "?"
+            else:
+                hints = (
+                    f"; children: {sorted(target._children) or 'none'}, "
+                    f"ports: {sorted(target._ports) or 'none'}"
+                )
         raise DesignError(
             f"cannot resolve {segment!r} while walking {full_path!r} "
             f"from {getattr(target, 'path', target)!r}{hints}"

@@ -25,13 +25,18 @@ def _is_bus(net) -> bool:
 class Design:
     """An instance tree bound (or bindable) to a simulator."""
 
-    def __init__(self, top: Component, sim=None) -> None:
+    def __init__(self, top: Component, sim=None,
+                 watched: Optional[List[str]] = None) -> None:
         if not isinstance(top, Component):
             raise DesignError(
                 f"Design wraps a Component tree, got {type(top).__name__}"
             )
         self.top = top
         self.sim = sim if sim is not None else top.sim
+        #: net names the experiment observes (bench outputs, scoreboard
+        #: taps); the lint dead-cone rule treats these as live roots in
+        #: addition to the root component's output ports
+        self.watched: List[str] = list(watched or [])
 
     # ------------------------------------------------------------------
     def elaborate(self, sim) -> "Design":

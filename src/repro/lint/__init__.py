@@ -1,0 +1,46 @@
+"""Static design verification: rule-based lint over Component trees.
+
+Validate the *model* without running it (VOODB's argument, see
+PAPERS.md): walk a scenario's design tree — and, where the design is
+elaborated and compilable, its relaxed-mode extracted netlist — and
+report structural problems as :class:`~repro.lint.findings.Finding`
+records long before any simulator or sweep fabric is constructed.
+
+Entry points:
+
+* :func:`~repro.lint.engine.lint_design` — findings for one design;
+* :func:`~repro.lint.engine.lint_registry` — every registered
+  scenario plus the waiver audit (the ``repro lint --all`` payload);
+* :func:`~repro.lint.engine.gate` — the ``--fail-on`` decision shared
+  by the CLI and the ``sweep --lint`` pre-flight.
+"""
+
+from .engine import (  # noqa: F401
+    WAIVER_AUDIT,
+    LintReport,
+    gate,
+    lint_design,
+    lint_registry,
+    lint_scenario,
+)
+from .findings import (  # noqa: F401
+    SEVERITIES,
+    Finding,
+    severity_rank,
+    worst_severity,
+)
+from .output import format_json, format_sarif, format_text  # noqa: F401
+from .rules import (  # noqa: F401
+    LintContext,
+    Rule,
+    default_rules,
+    rule_table,
+)
+from .waivers import (  # noqa: F401
+    Waiver,
+    WaiverError,
+    apply_waivers,
+    load_waivers,
+    parse_waivers,
+    unused_waiver_findings,
+)

@@ -1,0 +1,85 @@
+"""Lint findings: the one record every rule, formatter and gate shares.
+
+A :class:`Finding` is deliberately tiny and serializable — ``rule_id``
+names the rule that fired, ``severity`` is one of :data:`SEVERITIES`,
+``path`` is the dotted design path the finding anchors to (the same
+path :meth:`repro.design.Design.find` accepts, so a finding can be
+pasted straight into ``force``/``inspect``), ``message`` explains, and
+``span`` lists every other path involved (the members of a loop, the
+two drivers of a contested net, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: recognised severities, mildest first (rank = index)
+SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity (higher = worse); unknown raises."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of "
+            f"{', '.join(SEVERITIES)}"
+        ) from None
+
+
+@dataclass
+class Finding:
+    """One diagnostic emitted by a lint rule."""
+
+    rule_id: str
+    severity: str
+    path: str
+    message: str
+    #: related design paths (loop members, conflicting drivers, …)
+    span: Tuple[str, ...] = ()
+    #: set by the waiver layer, never by rules
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validate eagerly
+        self.span = tuple(self.span)
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "message": self.message,
+        }
+        if self.span:
+            doc["span"] = list(self.span)
+        if self.waived:
+            doc["waived"] = True
+            doc["waiver_reason"] = self.waiver_reason
+        return doc
+
+    def render(self) -> str:
+        tag = "waived " if self.waived else ""
+        line = (
+            f"[{tag}{self.severity}] {self.rule_id}: "
+            f"{self.path}: {self.message}"
+        )
+        if self.waived and self.waiver_reason:
+            line += f"  (waiver: {self.waiver_reason})"
+        return line
+
+
+def worst_severity(findings, include_waived: bool = False) -> str:
+    """The highest severity present (``""`` when nothing counts)."""
+    worst = ""
+    worst_rank = -1
+    for finding in findings:
+        if finding.waived and not include_waived:
+            continue
+        rank = severity_rank(finding.severity)
+        if rank > worst_rank:
+            worst, worst_rank = finding.severity, rank
+    return worst

@@ -1,0 +1,118 @@
+"""Render lint reports as text, JSON, or SARIF 2.1.0.
+
+SARIF results use *logical* locations (the dotted design path) — there
+is no source file to point at; the design is an object tree.  Waived
+findings are emitted with a ``suppressions`` entry carrying the
+waiver's justification, which is how SARIF viewers grey them out
+without losing the record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .engine import LintReport
+from .rules import rule_table
+
+_SARIF_LEVEL = {"info": "note", "warning": "warning", "error": "error"}
+
+
+def format_text(reports: Sequence[LintReport]) -> str:
+    lines: List[str] = []
+    total = {"error": 0, "warning": 0, "info": 0, "waived": 0}
+    for report in reports:
+        if report.skipped:
+            lines.append(f"{report.scenario}: skipped ({report.skipped})")
+            continue
+        counts = report.counts()
+        for key in total:
+            total[key] += counts.get(key, 0)
+        if not report.findings:
+            lines.append(f"{report.scenario}: clean")
+            continue
+        summary = ", ".join(
+            f"{n} {key}" for key, n in sorted(counts.items())
+        )
+        lines.append(f"{report.scenario}: {summary}")
+        for finding in report.findings:
+            lines.append(f"  {finding.render()}")
+    lines.append(
+        "total: "
+        + ", ".join(f"{n} {key}" for key, n in sorted(total.items()))
+    )
+    return "\n".join(lines)
+
+
+def format_json(reports: Sequence[LintReport]) -> str:
+    doc = {
+        "reports": [
+            {
+                "scenario": report.scenario,
+                **({"skipped": report.skipped} if report.skipped else {}),
+                "findings": [f.to_dict() for f in report.findings],
+            }
+            for report in reports
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def format_sarif(reports: Sequence[LintReport]) -> str:
+    results = []
+    for report in reports:
+        for finding in report.findings:
+            result = {
+                "ruleId": finding.rule_id,
+                "level": _SARIF_LEVEL[finding.severity],
+                "message": {"text": finding.message},
+                "locations": [{
+                    "logicalLocations": [{
+                        "fullyQualifiedName": finding.path,
+                        "kind": "member",
+                    }],
+                }],
+                "properties": {"scenario": report.scenario},
+            }
+            if finding.span:
+                result["relatedLocations"] = [
+                    {
+                        "logicalLocations": [
+                            {"fullyQualifiedName": p, "kind": "member"}
+                        ],
+                        "message": {"text": "involved"},
+                    }
+                    for p in finding.span
+                ]
+            if finding.waived:
+                result["suppressions"] = [{
+                    "kind": "external",
+                    "justification": finding.waiver_reason,
+                }]
+            results.append(result)
+    doc = {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": [
+                        {
+                            "id": rule_id,
+                            "shortDescription": {"text": description},
+                            "defaultConfiguration": {
+                                "level": _SARIF_LEVEL[severity],
+                            },
+                        }
+                        for rule_id, severity, description
+                        in rule_table()
+                    ],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

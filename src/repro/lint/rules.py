@@ -1,0 +1,535 @@
+"""The rule framework and the built-in rule pack.
+
+A rule is a small object with an ``id``, a default ``severity``, a
+``description`` and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.  The shared
+:class:`LintContext` is built once per design and carries every view a
+rule might want:
+
+* the instance **tree** (always available — even a structural, never
+  elaborated design like the GALS mesh has one);
+* the **mesh** view when the root is a
+  :class:`~repro.design.mesh.MeshDesign` (clock domains, links);
+* the relaxed-mode **netlist** when the design is elaborated — the
+  compiled extractor runs with a ``problems`` collector, so constructs
+  the backend rejects become lint records instead of hard errors and
+  the rest of the circuit is still analyzable.
+
+No rule ever constructs a simulator or advances time: everything here
+is static, which is what makes ``repro lint --all`` cheap enough to be
+a pre-flight gate for million-point sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..design.component import Component
+from ..design.design import Design
+from ..design.mesh import MeshDesign
+from ..graphutil import feedback_cycles, topological_levels
+from .findings import Finding
+
+#: span entries beyond this are elided (keeps findings readable and
+#: SARIF payloads bounded on pathological designs)
+_SPAN_CAP = 12
+
+
+def _cap(paths: Iterable[str]) -> Tuple[str, ...]:
+    out = tuple(paths)
+    if len(out) <= _SPAN_CAP:
+        return out
+    return out[:_SPAN_CAP] + (f"... {len(out) - _SPAN_CAP} more",)
+
+
+class LintContext:
+    """Everything the rule pack may inspect, built once per design."""
+
+    def __init__(self, root: Component,
+                 design: Optional[Design] = None,
+                 scenario: str = "") -> None:
+        self.root = root
+        self.design = design
+        self.scenario = scenario
+        self.mesh: Optional[MeshDesign] = (
+            root if isinstance(root, MeshDesign) else None
+        )
+        self.elaborated = bool(
+            design.is_elaborated if design is not None
+            else root._elaborated
+        )
+        self.watched: Tuple[str, ...] = tuple(
+            getattr(design, "watched", ()) or ()
+        )
+        self.netlist = None
+        self.problems: List[Dict[str, object]] = []
+        if self.elaborated and self.mesh is None:
+            from ..compiled.netlist import extract
+
+            try:
+                self.netlist = extract(root, problems=self.problems)
+            except Exception as exc:  # defensive: never block linting
+                self.netlist = None
+                self.problems.append({
+                    "kind": "extract-failed", "path": root.path,
+                    "message": f"netlist extraction failed: {exc}",
+                })
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_design(cls, obj, scenario: str = "") -> "LintContext":
+        """Build a context from a :class:`Design` or a bare tree root."""
+        if isinstance(obj, Design):
+            return cls(obj.top, design=obj, scenario=scenario)
+        if isinstance(obj, Component):
+            return cls(obj, scenario=scenario)
+        raise TypeError(
+            f"lint needs a Design or Component, got {type(obj).__name__}"
+        )
+
+    @property
+    def partial_netlist(self) -> bool:
+        """True when extraction skipped subtrees (observability rules
+        would report false positives on the holes)."""
+        return any(
+            p["kind"] in ("unsupported", "extract-failed")
+            for p in self.problems
+        )
+
+    def net_readers(self) -> Dict[int, List[str]]:
+        """Net index → paths of every element reading it."""
+        readers: Dict[int, List[str]] = {}
+        netlist = self.netlist
+        for element in [*netlist.gates, *netlist.states]:
+            for sig in element.reads():
+                readers.setdefault(netlist.idx(sig), []).append(
+                    element.path
+                )
+        return readers
+
+
+class Rule:
+    """One static check; subclasses set the class attributes."""
+
+    id: str = ""
+    severity: str = "warning"
+    description: str = ""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, message: str,
+                span: Iterable[str] = (),
+                severity: Optional[str] = None) -> Finding:
+        return Finding(
+            rule_id=self.id,
+            severity=severity or self.severity,
+            path=path,
+            message=message,
+            span=_cap(span),
+        )
+
+
+# ----------------------------------------------------------------------
+# tree rules (work on any design, elaborated or structural)
+# ----------------------------------------------------------------------
+def _declared_groups(root: Component):
+    """Distinct declarative net groups: (group, ports-in-walk-order)."""
+    groups: Dict[int, Tuple[object, List]] = {}
+    for _path, comp in root.walk():
+        for port in comp._ports.values():
+            if port.group is None:
+                continue  # eager port, net built by construction
+            group = port.group.root()
+            entry = groups.get(id(group))
+            if entry is None:
+                groups[id(group)] = (group, [port])
+            else:
+                entry[1].append(port)
+    return groups.values()
+
+
+class UndrivenInputRule(Rule):
+    id = "undriven-input"
+    severity = "error"
+    description = (
+        "a declarative input port resolves to a net with no driver, "
+        "no feeding input above it and no bound net — the component "
+        "reads a floating wire"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for path, comp in ctx.root.walk():
+            if comp is ctx.root:
+                continue  # the root's 'in' ports are external pins
+            for port in comp._ports.values():
+                if port.direction != "in" or port.group is None:
+                    continue
+                group = port.group.root()
+                if (group.driver is None and group.feed is None
+                        and group.bound is None):
+                    yield self.finding(
+                        port.path,
+                        f"input port of {path!r} is undriven: nothing "
+                        f"connects into it and no net is bound",
+                    )
+
+
+class DanglingOutputRule(Rule):
+    id = "dangling-output"
+    severity = "warning"
+    description = (
+        "a declarative output port is connected to nothing — the value "
+        "it drives is computed and then dropped"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for path, comp in ctx.root.walk():
+            if comp is ctx.root:
+                continue  # the root's 'out' ports are external pins
+            for port in comp._ports.values():
+                if port.direction != "out" or port.group is None:
+                    continue
+                group = port.group.root()
+                if len(group.ports) == 1 and group.bound is None:
+                    yield self.finding(
+                        port.path,
+                        f"output port of {path!r} drives no sink",
+                    )
+
+
+class WidthMismatchRule(Rule):
+    id = "width-mismatch"
+    severity = "error"
+    description = (
+        "ports sharing one net disagree on bus width (connect() checks "
+        "pairs at wiring time; this re-checks whole net groups and "
+        "bound nets, catching merges that bypassed connect())"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for group, ports in _declared_groups(ctx.root):
+            widths = {port.width for port in ports}
+            anchor = group.driver or ports[0]
+            if len(widths) > 1:
+                yield self.finding(
+                    anchor.path,
+                    f"net group mixes port widths "
+                    f"{sorted(widths)}: "
+                    + "; ".join(p.describe() for p in ports[:4]),
+                    span=[p.path for p in ports],
+                )
+                continue
+            bound = group.bound
+            if bound is not None:
+                net_width = len(getattr(bound, "signals", ())) or 1
+                if net_width != anchor.width:
+                    yield self.finding(
+                        anchor.path,
+                        f"bound net "
+                        f"{getattr(bound, 'name', bound)!r} has width "
+                        f"{net_width} but the port group expects "
+                        f"{anchor.width}",
+                        span=[p.path for p in ports],
+                    )
+
+
+# ----------------------------------------------------------------------
+# netlist rules (elaborated, non-mesh designs)
+# ----------------------------------------------------------------------
+class MultiDriverRule(Rule):
+    id = "multi-driver"
+    severity = "error"
+    description = (
+        "one net has two structural drivers in the extracted netlist "
+        "(last writer wins in event simulation — electrically it is "
+        "contention)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for problem in ctx.problems:
+            if problem["kind"] != "multi-driver":
+                continue
+            yield self.finding(
+                str(problem["path"]),
+                str(problem["message"]),
+                span=[str(d) for d in problem.get("drivers", ())],
+            )
+
+
+class CombLoopRule(Rule):
+    id = "comb-loop"
+    severity = "error"
+    description = (
+        "combinational feedback not broken by a state element; event "
+        "kernels resolve it by physical delay, the compiled backend "
+        "rejects it — every independent loop is reported"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.netlist is None or not ctx.netlist.gates:
+            return
+        from ..compiled.levelize import _gate_deps
+
+        deps = _gate_deps(ctx.netlist)
+        _levels, leftover = topological_levels(deps)
+        if not leftover:
+            return
+        for cycle in feedback_cycles(deps, leftover):
+            paths = [ctx.netlist.gates[gi].path for gi in cycle]
+            loop = " -> ".join(paths + [paths[0]])
+            yield self.finding(
+                paths[0],
+                f"combinational loop ({len(paths)} gates): {loop}; "
+                f"break the feedback with a state element",
+                span=paths,
+            )
+
+
+class DeadConeRule(Rule):
+    id = "dead-cone"
+    severity = "warning"
+    description = (
+        "logic whose output reaches no watched net and no output port "
+        "of the design root — simulated work nothing can observe"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        netlist = ctx.netlist
+        if netlist is None or ctx.partial_netlist:
+            # holes in the netlist (rejected subtrees) would make
+            # everything feeding them look dead; stay silent instead
+            return
+        roots: Set[int] = set()
+        for name in ctx.watched:
+            idx = netlist.names.get(name)
+            if idx is not None:
+                roots.add(idx)
+        for port in ctx.root._ports.values():
+            if port.direction == "in":
+                continue
+            try:
+                net = port.net
+            except Exception:
+                continue
+            for sig in getattr(net, "signals", None) or (net,):
+                idx = netlist.index.get(id(sig))
+                if idx is not None:
+                    roots.add(idx)
+        if not roots:
+            return  # no observability anchor: nothing to judge against
+        by_path = {
+            e.path: e for e in [*netlist.gates, *netlist.states]
+        }
+        live: Set[str] = set()
+        frontier = list(roots)
+        seen_nets = set(frontier)
+        while frontier:
+            idx = frontier.pop()
+            path = netlist.driver_of.get(idx)
+            element = by_path.get(path) if path is not None else None
+            if element is None or element.path in live:
+                continue
+            live.add(element.path)
+            for sig in element.reads():
+                sidx = netlist.idx(sig)
+                if sidx not in seen_nets:
+                    seen_nets.add(sidx)
+                    frontier.append(sidx)
+        dead = [
+            e for e in [*netlist.gates, *netlist.states]
+            if e.path not in live
+        ]
+        if not dead:
+            return
+        dead_paths = {e.path for e in dead}
+        read_by_dead: Set[int] = set()
+        for element in dead:
+            for sig in element.reads():
+                read_by_dead.add(netlist.idx(sig))
+        for element in dead:
+            drives_dead = any(
+                netlist.idx(sig) in read_by_dead
+                for sig in element.drives()
+            )
+            if drives_dead:
+                continue  # interior of the cone; report its heads only
+            upstream = len(dead_paths) - 1
+            extra = (
+                f" (plus {upstream} element(s) feeding only dead logic)"
+                if upstream else ""
+            )
+            yield self.finding(
+                element.path,
+                f"output reaches no watched net or root output port"
+                f"{extra}",
+                span=sorted(dead_paths),
+            )
+
+
+class HighFanoutRule(Rule):
+    id = "high-fanout"
+    severity = "warning"
+    description = (
+        "a net read by more elements than the threshold (default 16); "
+        "in an async implementation such a net needs buffering that "
+        "the behavioural model does not charge for"
+    )
+
+    def __init__(self, threshold: int = 16) -> None:
+        self.threshold = threshold
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.netlist is None:
+            return
+        for idx, readers in sorted(ctx.net_readers().items()):
+            if len(readers) <= self.threshold:
+                continue
+            name = ctx.netlist.nets[idx].name
+            yield self.finding(
+                name,
+                f"net is read by {len(readers)} elements "
+                f"(threshold {self.threshold})",
+                span=readers,
+            )
+
+
+class LatchFeedbackRule(Rule):
+    id = "latch-feedback"
+    severity = "warning"
+    description = (
+        "a level-sensitive element's output feeds back to its own "
+        "inputs through combinational logic only; the event kernels "
+        "settle this by delay, the compiled backend's two-phase update "
+        "may disagree with them cycle-for-cycle"
+    )
+
+    #: state kinds that are transparent while enabled (edge-triggered
+    #: kinds — dff/regbus/flagsync — and the self-timed ringosc break
+    #: feedback by construction)
+    LEVEL_SENSITIVE = frozenset(
+        {"dlatch", "celement", "davidcell", "onehotmux"}
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        netlist = ctx.netlist
+        if netlist is None:
+            return
+        gates_reading: Dict[int, List[int]] = {}
+        for gi, gate in enumerate(netlist.gates):
+            for sig in gate.inputs:
+                gates_reading.setdefault(
+                    netlist.idx(sig), []
+                ).append(gi)
+        for state in netlist.states:
+            if state.kind not in self.LEVEL_SENSITIVE:
+                continue
+            targets = {netlist.idx(sig) for sig in state.reads()}
+            frontier = [netlist.idx(sig) for sig in state.drives()]
+            seen: Set[int] = set(frontier)
+            via: List[str] = []
+            hit = None
+            while frontier and hit is None:
+                idx = frontier.pop()
+                if idx in targets:
+                    hit = netlist.nets[idx].name
+                    break
+                for gi in gates_reading.get(idx, ()):
+                    out_idx = netlist.idx(netlist.gates[gi].output)
+                    if out_idx not in seen:
+                        seen.add(out_idx)
+                        via.append(netlist.gates[gi].path)
+                        frontier.append(out_idx)
+            if hit is not None:
+                yield self.finding(
+                    state.path,
+                    f"{state.kind} output feeds back to its own input "
+                    f"net {hit!r} through combinational logic only",
+                    span=via,
+                )
+
+
+class CompileRejectedRule(Rule):
+    id = "compile-rejected"
+    severity = "info"
+    description = (
+        "constructs only the event kernels can simulate (serializer "
+        "processes, callback-driven registers, …) — fine for event "
+        "simulation, invisible to the bit-parallel compiled backend; "
+        "malformed gates (wrong arity) escalate to error"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for problem in ctx.problems:
+            kind = problem["kind"]
+            if kind == "multi-driver":
+                continue  # the multi-driver rule owns those
+            severity = "error" if kind == "bad-arity" else "info"
+            yield self.finding(
+                str(problem["path"]),
+                str(problem["message"]),
+                severity=severity,
+            )
+
+
+# ----------------------------------------------------------------------
+# mesh rules (structural NoC designs)
+# ----------------------------------------------------------------------
+class CdcRule(Rule):
+    id = "cdc-unsync"
+    severity = "error"
+    description = (
+        "a mesh link crosses clock domains with no synchronizing link "
+        "parameters attached — both kernels would simulate a "
+        "metastability-free fiction"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.mesh is None:
+            return
+        for link in ctx.mesh.cross_domain_links():
+            if link.params is not None:
+                continue
+            src_dom = ctx.mesh.node_at(link.src).domain
+            dst_dom = ctx.mesh.node_at(link.dst).domain
+            yield self.finding(
+                link.path,
+                f"link crosses clock domains "
+                f"({src_dom!r} -> {dst_dom!r}) without synchronizer "
+                f"link parameters; attach params via degrade()/"
+                f"link.params or keep both endpoints in one domain",
+            )
+
+
+#: rule id reserved by the waiver layer (documented with the pack)
+UNUSED_WAIVER_RULE_ID = "unused-waiver"
+
+
+def default_rules() -> List[Rule]:
+    """A fresh instance of every built-in rule, in evaluation order."""
+    return [
+        UndrivenInputRule(),
+        DanglingOutputRule(),
+        WidthMismatchRule(),
+        MultiDriverRule(),
+        CombLoopRule(),
+        CdcRule(),
+        DeadConeRule(),
+        HighFanoutRule(),
+        LatchFeedbackRule(),
+        CompileRejectedRule(),
+    ]
+
+
+def rule_table() -> List[Tuple[str, str, str]]:
+    """(id, default severity, description) for docs and SARIF."""
+    rows = [
+        (rule.id, rule.severity, rule.description)
+        for rule in default_rules()
+    ]
+    rows.append((
+        UNUSED_WAIVER_RULE_ID, "warning",
+        "a waiver in the waiver file matched no finding in this run — "
+        "stale waivers hide future regressions",
+    ))
+    return rows

@@ -1,0 +1,177 @@
+"""Waiver files: intentional constructs the lint gate must not flag.
+
+Format is a TOML subset parsed here directly (``tomllib`` only exists
+on Python 3.11+ and the CI matrix runs 3.10; the subset keeps the file
+readable by any TOML tool)::
+
+    # lint-waivers.toml
+    [[waiver]]
+    rule = "dangling-output"        # fnmatch glob over rule ids
+    path = "bench.osc.*"            # fnmatch glob over finding paths
+    scenario = "*"                  # optional, default "*"
+    reason = "scope taps are observe-only"   # REQUIRED, non-empty
+
+Semantics: a finding is waived (kept in the report, excluded from
+``--fail-on`` severity accounting) when any waiver matches its rule id,
+its path and the scenario being linted.  A waiver that matches nothing
+across the whole run is itself reported as an ``unused-waiver``
+warning — stale waivers are how real regressions sneak past a gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterable, List
+
+from .findings import Finding
+from .rules import UNUSED_WAIVER_RULE_ID
+
+
+class WaiverError(ValueError):
+    """Malformed waiver file; the message names file and line."""
+
+
+_TABLE_RE = re.compile(r"^\[\[\s*waiver\s*\]\]$")
+_KEY_RE = re.compile(r'^(rule|path|scenario|reason)\s*=\s*"((?:[^"\\]|\\.)*)"$')
+_KEYS = ("rule", "path", "scenario", "reason")
+
+
+@dataclass
+class Waiver:
+    """One waiver entry; ``used`` is set by :func:`apply_waivers`."""
+
+    rule: str
+    path: str
+    reason: str
+    scenario: str = "*"
+    source: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, finding: Finding, scenario: str) -> bool:
+        return (
+            fnmatchcase(finding.rule_id, self.rule)
+            and fnmatchcase(finding.path, self.path)
+            and fnmatchcase(scenario, self.scenario)
+        )
+
+    def describe(self) -> str:
+        scope = "" if self.scenario == "*" else f" [{self.scenario}]"
+        return f"{self.rule} @ {self.path}{scope}"
+
+
+def _unescape(raw: str) -> str:
+    return raw.replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_waivers(text: str, source: str = "<waivers>") -> List[Waiver]:
+    """Parse waiver-file text into :class:`Waiver` entries."""
+    waivers: List[Waiver] = []
+    current: dict = {}
+    current_line = 0
+
+    def close(line_no: int) -> None:
+        if not current and not waivers and line_no == 0:
+            return
+        if current_line == 0:
+            return
+        missing = [k for k in ("rule", "path") if k not in current]
+        if missing:
+            raise WaiverError(
+                f"{source}:{current_line}: waiver is missing "
+                f"{', '.join(missing)}"
+            )
+        if not current.get("reason", "").strip():
+            raise WaiverError(
+                f"{source}:{current_line}: waiver for "
+                f"{current['rule']!r} @ {current['path']!r} has no "
+                f"reason; every waiver must say why the construct is "
+                f"intentional"
+            )
+        waivers.append(Waiver(
+            rule=current["rule"],
+            path=current["path"],
+            reason=current["reason"].strip(),
+            scenario=current.get("scenario", "*"),
+            source=f"{source}:{current_line}",
+        ))
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if _TABLE_RE.match(line):
+            close(line_no)
+            current = {}
+            current_line = line_no
+            continue
+        match = _KEY_RE.match(line)
+        if match is None:
+            raise WaiverError(
+                f"{source}:{line_no}: cannot parse {line!r}; expected "
+                f"[[waiver]] or one of "
+                + ", ".join(f'{k} = "..."' for k in _KEYS)
+            )
+        if current_line == 0:
+            raise WaiverError(
+                f"{source}:{line_no}: {match.group(1)!r} appears "
+                f"before any [[waiver]] table"
+            )
+        key, value = match.group(1), _unescape(match.group(2))
+        if key in current:
+            raise WaiverError(
+                f"{source}:{line_no}: duplicate key {key!r} in one "
+                f"waiver"
+            )
+        current[key] = value
+    close(len(text.splitlines()) + 1)
+    return waivers
+
+
+def load_waivers(path) -> List[Waiver]:
+    """Read and parse a waiver file from disk."""
+    p = Path(path)
+    try:
+        text = p.read_text()
+    except OSError as exc:
+        raise WaiverError(f"cannot read waiver file {p}: {exc}") from exc
+    return parse_waivers(text, source=str(p))
+
+
+def apply_waivers(findings: Iterable[Finding], waivers: List[Waiver],
+                  scenario: str = "") -> List[Finding]:
+    """Mark waived findings in place; returns the same findings.
+
+    Waiver ``used`` flags accumulate across calls, so one waiver list
+    can be applied scenario by scenario and audited once at the end
+    with :func:`unused_waiver_findings`.
+    """
+    out: List[Finding] = []
+    for finding in findings:
+        for waiver in waivers:
+            if waiver.matches(finding, scenario):
+                waiver.used = True
+                finding.waived = True
+                finding.waiver_reason = waiver.reason
+                break
+        out.append(finding)
+    return out
+
+
+def unused_waiver_findings(waivers: List[Waiver]) -> List[Finding]:
+    """One warning finding per waiver that never matched anything."""
+    return [
+        Finding(
+            rule_id=UNUSED_WAIVER_RULE_ID,
+            severity="warning",
+            path=waiver.path,
+            message=(
+                f"waiver {waiver.describe()} ({waiver.source or 'inline'}) "
+                f"matched no finding; remove it or fix the glob"
+            ),
+        )
+        for waiver in waivers
+        if not waiver.used
+    ]

@@ -1,0 +1,155 @@
+"""The ``tools/check_hotpath.py`` AST lint: contract + seeded bugs.
+
+The checker must accept every guard idiom the hot paths actually use
+(plain ``if _OBS.enabled``, conditional expressions, compound tests,
+``_obs_*`` bulk-publish helpers) and reject the regressions it exists
+to prevent: unguarded metric calls, unguarded helper call sites, and
+``snapshot()``/``reset()`` anywhere in a hot-path module.
+"""
+
+import importlib.util
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_hotpath", REPO / "tools" / "check_hotpath.py")
+check_hotpath = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_hotpath)
+
+
+def _violations(source):
+    return check_hotpath.check_source(textwrap.dedent(source))
+
+
+class TestGuardIdioms:
+    def test_plain_if_guard_accepted(self):
+        assert _violations("""
+            if _OBS.enabled:
+                _OBS.counter("events").inc()
+        """) == []
+
+    def test_conditional_expression_guard_accepted(self):
+        assert _violations("""
+            base = self._obs_totals() if _OBS.enabled else None
+        """) == []
+
+    def test_compound_test_guard_accepted(self):
+        assert _violations("""
+            if base is not None and _OBS.enabled:
+                self._obs_publish(base)
+        """) == []
+
+    def test_helper_body_exempt(self):
+        assert _violations("""
+            class Net:
+                def _obs_publish(self, base):
+                    _OBS.counter("noc.flits").inc(self.flits)
+                    _OBS.gauge("noc.depth").set(self.depth)
+                    self._obs_totals()
+        """) == []
+
+    def test_nested_function_inside_guard_stays_guarded(self):
+        assert _violations("""
+            if _OBS.enabled:
+                for name in names:
+                    _OBS.counter(name).inc()
+        """) == []
+
+
+class TestSeededViolations:
+    def test_unguarded_counter_flagged(self):
+        bad = _violations("""
+            def step(self):
+                _OBS.counter("events").inc()
+        """)
+        assert len(bad) == 1
+        assert "outside an `if _OBS.enabled` guard" in bad[0][2]
+
+    def test_else_branch_is_not_guarded(self):
+        bad = _violations("""
+            if _OBS.enabled:
+                pass
+            else:
+                _OBS.counter("events").inc()
+        """)
+        assert len(bad) == 1
+
+    def test_conditional_expression_orelse_not_guarded(self):
+        bad = _violations("""
+            x = 0 if _OBS.enabled else _OBS.counter("n").inc()
+        """)
+        assert len(bad) == 1
+
+    def test_wrong_guard_attribute_rejected(self):
+        bad = _violations("""
+            if _OBS.verbose:
+                _OBS.counter("events").inc()
+        """)
+        assert len(bad) == 1
+
+    def test_unguarded_helper_call_site_flagged(self):
+        bad = _violations("""
+            def run(self):
+                self._obs_publish(base)
+        """)
+        assert len(bad) == 1
+        assert "_obs_publish" in bad[0][2]
+
+    def test_snapshot_forbidden_even_when_guarded(self):
+        bad = _violations("""
+            if _OBS.enabled:
+                data = _OBS.snapshot()
+        """)
+        assert len(bad) == 1
+        assert "forbidden" in bad[0][2]
+
+    def test_reset_forbidden_inside_helper(self):
+        bad = _violations("""
+            def _obs_publish(self):
+                _OBS.reset()
+        """)
+        assert len(bad) == 1
+        assert "forbidden" in bad[0][2]
+
+    def test_violation_carries_line_number(self):
+        bad = _violations("""
+            x = 1
+            _OBS.gauge("depth").set(x)
+        """)
+        assert bad[0][1] == 3  # dedented source keeps its blank line
+
+
+class TestRepoTree:
+    def test_current_tree_is_clean(self):
+        assert check_hotpath.check_tree(REPO) == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        clean = subprocess.run(
+            [sys.executable, "tools/check_hotpath.py"],
+            cwd=REPO, capture_output=True, text=True)
+        assert clean.returncode == 0
+        assert "contract holds" in clean.stdout
+
+        bad_root = tmp_path / "r"
+        for pkg in check_hotpath.HOT_PACKAGES:
+            (bad_root / pkg).mkdir(parents=True)
+        (bad_root / "src/repro/sim/kernel.py").write_text(
+            '_OBS.counter("events").inc()\n')
+        broken = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_hotpath.py"),
+             str(bad_root)],
+            capture_output=True, text=True)
+        assert broken.returncode == 1
+        assert "src/repro/sim/kernel.py:1" in broken.stderr
+
+    def test_missing_packages_reported(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(REPO / "tools" / "check_hotpath.py"),
+             str(tmp_path)],
+            capture_output=True, text=True)
+        assert result.returncode == 2
+        assert "repository root" in result.stderr

@@ -376,6 +376,32 @@ class TestPathAddressing:
         with pytest.raises(DesignError, match="children"):
             design.find("i3.nonexistent.x")
 
+    def test_find_typo_suggests_nearest_path(self):
+        sim, _clock, link = self.make_link()
+        design = Design(link, sim)
+        with pytest.raises(DesignError, match="did you mean") as err:
+            design.find("i3.s2a.flagg0")
+        # the suggestion is the full dotted path — the same form lint
+        # findings use — so it pastes straight back into find()
+        assert "'i3.s2a.flag0'" in str(err.value)
+        design.find("i3.s2a.flag0")  # and it resolves
+
+    def test_find_typo_suggests_ports_too(self):
+        sim, _clock, link = self.make_link()
+        design = Design(link, sim)
+        with pytest.raises(DesignError, match="did you mean") as err:
+            design.find("s2a.stal")
+        assert "stall" in str(err.value)
+
+    def test_find_with_no_near_match_falls_back_to_listing(self):
+        sim, _clock, link = self.make_link()
+        design = Design(link, sim)
+        with pytest.raises(DesignError) as err:
+            design.find("i3.zzzzqqqq")
+        message = str(err.value)
+        assert "did you mean" not in message
+        assert "children" in message
+
     def test_force_release_scalar_by_path(self):
         sim, _clock, link = self.make_link()
         design = Design(link, sim)

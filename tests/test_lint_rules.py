@@ -1,0 +1,487 @@
+"""Fixture designs proving every lint rule fires — and waives.
+
+Each rule gets at least one seeded-violation design asserting the
+finding's rule id, severity and anchor path, plus a waiver test
+showing the same finding can be suppressed with a justification.
+"""
+
+import pytest
+
+from repro.design.component import Component
+from repro.design.design import Design
+from repro.design.mesh import MeshDesign
+from repro.elements.gates import Gate, Inverter, Nor2
+from repro.elements.latches import DLatch
+from repro.lint import (
+    Finding,
+    lint_design,
+    parse_waivers,
+    severity_rank,
+    worst_severity,
+)
+from repro.lint.engine import lint_design as engine_lint_design
+from repro.lint.rules import (
+    CdcRule,
+    CombLoopRule,
+    CompileRejectedRule,
+    DanglingOutputRule,
+    DeadConeRule,
+    HighFanoutRule,
+    LatchFeedbackRule,
+    LintContext,
+    MultiDriverRule,
+    UndrivenInputRule,
+    WidthMismatchRule,
+    default_rules,
+    rule_table,
+)
+from repro.lint.waivers import (
+    WaiverError,
+    apply_waivers,
+    unused_waiver_findings,
+)
+from repro.noc.topology import Topology
+from repro.sim import Simulator
+
+
+def _adopted(name, *components):
+    root = Component(name)
+    for comp in components:
+        root.adopt(comp)
+    return root
+
+
+def _findings(design, rule):
+    ctx = LintContext.for_design(design)
+    return list(rule.check(ctx))
+
+
+# ----------------------------------------------------------------------
+# tree rules
+# ----------------------------------------------------------------------
+class TestUndrivenInput:
+    def test_fires_on_floating_declarative_input(self):
+        top = Component("top")
+        child = Component("c")
+        child.port_in("a")
+        top.add("c", child)
+        found = _findings(Design(top), UndrivenInputRule())
+        assert len(found) == 1
+        assert found[0].rule_id == "undriven-input"
+        assert found[0].severity == "error"
+        assert found[0].path == "top.c.a"
+
+    def test_connected_input_is_clean(self):
+        top = Component("top")
+        src = Component("src")
+        y = src.port_out("y")
+        dst = Component("dst")
+        a = dst.port_in("a")
+        top.add("src", src)
+        top.add("dst", dst)
+        top.connect(y, a)
+        assert _findings(Design(top), UndrivenInputRule()) == []
+
+    def test_root_input_ports_are_external_pins(self):
+        top = Component("top")
+        top.port_in("clk")
+        assert _findings(Design(top), UndrivenInputRule()) == []
+
+    def test_input_fed_from_root_port_is_clean(self):
+        top = Component("top")
+        clk = top.port_in("clk")
+        child = Component("c")
+        a = child.port_in("a")
+        top.add("c", child)
+        top.connect(clk, a)
+        assert _findings(Design(top), UndrivenInputRule()) == []
+
+
+class TestDanglingOutput:
+    def test_fires_on_unconnected_output(self):
+        top = Component("top")
+        child = Component("c")
+        child.port_out("y")
+        top.add("c", child)
+        found = _findings(Design(top), DanglingOutputRule())
+        assert [f.path for f in found] == ["top.c.y"]
+        assert found[0].severity == "warning"
+
+    def test_root_outputs_are_external_pins(self):
+        top = Component("top")
+        top.port_out("done")
+        assert _findings(Design(top), DanglingOutputRule()) == []
+
+
+class TestWidthMismatch:
+    def test_fires_on_mixed_width_group(self):
+        top = Component("top")
+        a = Component("a")
+        wide = a.port_out("y", width=4)
+        b = Component("b")
+        narrow = b.port_in("d", width=2)
+        top.add("a", a)
+        top.add("b", b)
+        # connect() would refuse; merge directly to seed the violation
+        wide.group.merge(narrow.group)
+        found = _findings(Design(top), WidthMismatchRule())
+        assert len(found) == 1
+        assert found[0].severity == "error"
+        assert "top.a.y" in found[0].span and "top.b.d" in found[0].span
+
+    def test_consistent_group_is_clean(self):
+        top = Component("top")
+        a = Component("a")
+        y = a.port_out("y", width=4)
+        b = Component("b")
+        d = b.port_in("d", width=4)
+        top.add("a", a)
+        top.add("b", b)
+        top.connect(y, d)
+        assert _findings(Design(top), WidthMismatchRule()) == []
+
+    def test_fires_on_bound_net_width_mismatch(self):
+        sim = Simulator()
+        top = Component("top")
+        child = Component("c")
+        d = child.port_in("d", width=2)
+        top.add("c", child)
+        d.group.root().bound = sim.bus(4, "wide")
+        found = _findings(Design(top), WidthMismatchRule())
+        assert len(found) == 1
+        assert "width 4" in found[0].message
+
+
+# ----------------------------------------------------------------------
+# netlist rules (need an elaborated design)
+# ----------------------------------------------------------------------
+class TestMultiDriver:
+    def _contested(self):
+        sim = Simulator()
+        a, b = sim.signal("a"), sim.signal("b")
+        shared = sim.signal("shared")
+        root = _adopted(
+            "md",
+            Inverter(sim, a, out=shared, name="inv1"),
+            Inverter(sim, b, out=shared, name="inv2"),
+        )
+        return Design(root, sim)
+
+    def test_fires_with_both_drivers_in_span(self):
+        found = _findings(self._contested(), MultiDriverRule())
+        assert len(found) == 1
+        assert found[0].severity == "error"
+        assert found[0].path == "shared"
+        assert set(found[0].span) == {"md.inv1", "md.inv2"}
+
+    def test_strict_extraction_still_raises(self):
+        from repro.compiled import CompileError, extract
+
+        design = self._contested()
+        with pytest.raises(CompileError, match="two structural drivers"):
+            extract(design.top)
+
+
+class TestCombLoop:
+    def test_fires_once_per_independent_loop(self):
+        sim = Simulator()
+        s, r = sim.signal("s"), sim.signal("r")
+        q, nq = sim.signal("q"), sim.signal("nq")
+        q2, nq2 = sim.signal("q2"), sim.signal("nq2")
+        root = _adopted(
+            "sr",
+            Nor2(sim, r, nq, out=q, name="n1"),
+            Nor2(sim, s, q, out=nq, name="n2"),
+            Nor2(sim, r, nq2, out=q2, name="m1"),
+            Nor2(sim, s, q2, out=nq2, name="m2"),
+        )
+        found = _findings(Design(root, sim), CombLoopRule())
+        assert len(found) == 2
+        assert all(f.severity == "error" for f in found)
+        spans = sorted(tuple(sorted(f.span)) for f in found)
+        assert spans == [("sr.m1", "sr.m2"), ("sr.n1", "sr.n2")]
+
+    def test_loop_free_design_is_clean(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        inv = Inverter(sim, a, name="inv")
+        found = _findings(
+            Design(_adopted("ok", inv), sim), CombLoopRule()
+        )
+        assert found == []
+
+
+class TestDeadCone:
+    def _two_chains(self):
+        sim = Simulator()
+        a, b = sim.signal("a"), sim.signal("b")
+        live = Inverter(sim, a, name="live")
+        dead = Inverter(sim, b, name="dead")
+        root = _adopted("top", live, dead)
+        return sim, live, root
+
+    def test_fires_on_logic_missing_watched_roots(self):
+        sim, live, root = self._two_chains()
+        design = Design(root, sim, watched=[live.output.name])
+        found = _findings(design, DeadConeRule())
+        assert [f.path for f in found] == ["top.dead"]
+        assert found[0].severity == "warning"
+
+    def test_everything_watched_is_clean(self):
+        sim, live, root = self._two_chains()
+        design = Design(
+            root, sim,
+            watched=[s.name for s in sim.created_signals],
+        )
+        assert _findings(design, DeadConeRule()) == []
+
+    def test_no_observability_anchor_stays_silent(self):
+        sim, _live, root = self._two_chains()
+        assert _findings(Design(root, sim), DeadConeRule()) == []
+
+    def test_reports_cone_head_not_interior(self):
+        sim = Simulator()
+        a = sim.signal("a")
+        first = Inverter(sim, a, name="first")
+        second = Inverter(sim, first.output, name="second")
+        watched = Inverter(sim, a, name="seen")
+        root = _adopted("top", first, second, watched)
+        design = Design(root, sim, watched=[watched.output.name])
+        found = _findings(design, DeadConeRule())
+        # 'second' is the head; 'first' only feeds dead logic
+        assert [f.path for f in found] == ["top.second"]
+        assert "1 element(s)" in found[0].message
+        assert "top.first" in found[0].span
+
+
+class TestHighFanout:
+    def test_fires_above_threshold(self):
+        sim = Simulator()
+        hub = sim.signal("hub")
+        taps = [
+            Inverter(sim, hub, name=f"tap{i}") for i in range(3)
+        ]
+        design = Design(_adopted("fan", *taps), sim)
+        found = _findings(design, HighFanoutRule(threshold=2))
+        assert [f.path for f in found] == ["hub"]
+        assert found[0].severity == "warning"
+        assert len(found[0].span) == 3
+
+    def test_at_threshold_is_clean(self):
+        sim = Simulator()
+        hub = sim.signal("hub")
+        taps = [
+            Inverter(sim, hub, name=f"tap{i}") for i in range(3)
+        ]
+        design = Design(_adopted("fan", *taps), sim)
+        assert _findings(design, HighFanoutRule(threshold=3)) == []
+
+
+class TestLatchFeedback:
+    def test_fires_on_latch_loop_through_comb(self):
+        sim = Simulator()
+        g = sim.signal("g")
+        d = sim.signal("d")
+        latch = DLatch(sim, d, g, name="lat")
+        inv = Inverter(sim, latch.q, out=d, name="inv")
+        design = Design(_adopted("fb", latch, inv), sim)
+        found = _findings(design, LatchFeedbackRule())
+        assert [f.path for f in found] == ["fb.lat"]
+        assert found[0].severity == "warning"
+        assert "fb.inv" in found[0].span
+
+    def test_dff_in_the_path_breaks_the_pattern(self):
+        from repro.elements.latches import DFlipFlop
+
+        sim = Simulator()
+        g, d = sim.signal("g"), sim.signal("d")
+        clk = sim.signal("clk")
+        latch = DLatch(sim, d, g, name="lat")
+        ff = DFlipFlop(sim, latch.q, clk, name="ff")
+        inv = Inverter(sim, ff.q, out=d, name="inv")
+        design = Design(_adopted("ok", latch, ff, inv), sim)
+        assert _findings(design, LatchFeedbackRule()) == []
+
+
+class TestCompileRejected:
+    def test_info_on_event_kernel_only_constructs(self):
+        sim = Simulator()
+        a, out = sim.signal("a"), sim.signal("out")
+        gate = Gate(sim, [a], out, lambda a: not a, delay=10,
+                    name="odd")
+        design = Design(_adopted("ek", gate), sim)
+        found = _findings(design, CompileRejectedRule())
+        assert [f.severity for f in found].count("info") >= 1
+        assert any(f.path == "ek.odd" for f in found)
+
+    def test_rejected_subtree_suppresses_dead_cone(self):
+        sim = Simulator()
+        a, out = sim.signal("a"), sim.signal("out")
+        gate = Gate(sim, [a], out, lambda a: not a, delay=10,
+                    name="odd")
+        inv = Inverter(sim, a, name="inv")
+        design = Design(
+            _adopted("ek", gate, inv), sim, watched=[out.name]
+        )
+        ctx = LintContext.for_design(design)
+        assert ctx.partial_netlist
+        assert list(DeadConeRule().check(ctx)) == []
+
+
+# ----------------------------------------------------------------------
+# mesh rules
+# ----------------------------------------------------------------------
+class TestCdc:
+    def _split_mesh(self):
+        mesh = MeshDesign(Topology(2, 1))
+        mesh.assign_domains(
+            lambda node: "fast" if node.x == 0 else "slow"
+        )
+        return mesh
+
+    def test_fires_on_unsynchronized_crossing(self):
+        mesh = self._split_mesh()
+        found = _findings(Design(mesh), CdcRule())
+        assert len(found) == 2  # east and west crossings
+        assert all(f.severity == "error" for f in found)
+        assert {f.path for f in found} == {
+            "mesh.node[0][0].east", "mesh.node[0][1].west",
+        }
+        assert "'fast' -> 'slow'" in "".join(
+            f.message for f in found
+        )
+
+    def test_links_with_params_attached_are_clean(self):
+        mesh = self._split_mesh()
+        for link in mesh.cross_domain_links():
+            link.params = object()
+        assert _findings(Design(mesh), CdcRule()) == []
+
+    def test_single_domain_mesh_is_clean(self):
+        mesh = MeshDesign(Topology(2, 2))
+        mesh.assign_domains(lambda node: "core")
+        assert _findings(Design(mesh), CdcRule()) == []
+
+
+# ----------------------------------------------------------------------
+# waivers
+# ----------------------------------------------------------------------
+WAIVER_TEXT = '''
+# fixture waivers
+[[waiver]]
+rule = "undriven-input"
+path = "top.c.*"
+reason = "stimulus attaches at runtime"
+'''
+
+
+class TestWaivers:
+    def _floating(self):
+        top = Component("top")
+        child = Component("c")
+        child.port_in("a")
+        top.add("c", child)
+        return Design(top)
+
+    def test_each_rule_waivable(self):
+        # every rule id in the table can be targeted by a waiver glob
+        for rule_id, severity, _desc in rule_table():
+            finding = Finding(rule_id, severity or "warning",
+                              "x.y", "seeded")
+            waivers = parse_waivers(
+                f'[[waiver]]\nrule = "{rule_id}"\npath = "*"\n'
+                f'reason = "intentional"\n'
+            )
+            apply_waivers([finding], waivers, scenario="any")
+            assert finding.waived
+            assert waivers[0].used
+
+    def test_waived_finding_keeps_record_but_clears_gate(self):
+        waivers = parse_waivers(WAIVER_TEXT)
+        found = engine_lint_design(self._floating(), waivers=waivers)
+        assert len(found) == 1
+        assert found[0].waived
+        assert found[0].waiver_reason == "stimulus attaches at runtime"
+        assert worst_severity(found) == ""
+        assert worst_severity(found, include_waived=True) == "error"
+
+    def test_non_matching_waiver_left_unused(self):
+        waivers = parse_waivers(WAIVER_TEXT.replace("top.c", "nope"))
+        found = engine_lint_design(self._floating(), waivers=waivers)
+        assert not found[0].waived
+        unused = unused_waiver_findings(waivers)
+        assert len(unused) == 1
+        assert unused[0].rule_id == "unused-waiver"
+        assert unused[0].severity == "warning"
+
+    def test_scenario_glob_scopes_waivers(self):
+        waivers = parse_waivers(
+            '[[waiver]]\nrule = "*"\npath = "*"\n'
+            'scenario = "gals-*"\nreason = "scoped"\n'
+        )
+        finding = Finding("undriven-input", "error", "p", "m")
+        apply_waivers([finding], waivers, scenario="throughput")
+        assert not finding.waived
+        apply_waivers([finding], waivers, scenario="gals-mesh")
+        assert finding.waived
+
+    def test_reason_is_required(self):
+        with pytest.raises(WaiverError, match="no reason"):
+            parse_waivers('[[waiver]]\nrule = "x"\npath = "y"\n')
+
+    def test_malformed_line_names_location(self):
+        with pytest.raises(WaiverError, match="wv.toml:2"):
+            parse_waivers("[[waiver]]\nbogus!\n", source="wv.toml")
+
+    def test_key_outside_table_rejected(self):
+        with pytest.raises(WaiverError, match="before any"):
+            parse_waivers('rule = "x"\n')
+
+
+# ----------------------------------------------------------------------
+# engine-level behavior
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_findings_sorted_worst_first(self):
+        sim = Simulator()
+        a, b = sim.signal("a"), sim.signal("b")
+        shared = sim.signal("shared")
+        root = _adopted(
+            "md",
+            Inverter(sim, a, out=shared, name="inv1"),
+            Inverter(sim, b, out=shared, name="inv2"),
+        )
+        child = Component("c")
+        child.port_out("y")
+        root.add("c", child)
+        found = lint_design(Design(root, sim))
+        ranks = [severity_rank(f.severity) for f in found]
+        assert ranks == sorted(ranks, reverse=True)
+        assert found[0].rule_id == "multi-driver"
+
+    def test_structural_design_skips_netlist_rules(self):
+        mesh = MeshDesign(Topology(2, 2))
+        ctx = LintContext.for_design(Design(mesh))
+        assert ctx.netlist is None
+        assert ctx.problems == []
+
+    def test_default_rule_pack_size(self):
+        ids = [rule.id for rule in default_rules()]
+        assert len(ids) == len(set(ids)) == 10
+
+    def test_metrics_counted_when_enabled(self):
+        from repro.obs import metrics
+
+        with metrics.collecting(reset=True) as reg:
+            lint_design(self._floating_design())
+            counters = reg.counters()
+        assert counters.get("lint.designs") == 1
+        assert counters.get("lint.findings.error") == 1
+
+    @staticmethod
+    def _floating_design():
+        top = Component("top")
+        child = Component("c")
+        child.port_in("a")
+        top.add("c", child)
+        return Design(top)

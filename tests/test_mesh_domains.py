@@ -1,0 +1,116 @@
+"""Edge cases of MeshDesign clock-domain bookkeeping.
+
+The lint CDC rule is driven entirely by ``assign_domains()`` and
+``cross_domain_links()``; these tests pin the corner cases the rule
+depends on (no assignment, single domain, per-node maps with holes,
+degraded links crossing the wall, re-assignment).
+"""
+
+from repro.design.mesh import MeshDesign
+from repro.noc.topology import Port as NocPort
+from repro.noc.topology import Topology
+
+
+class TestAssignDomains:
+    def test_default_is_one_default_domain(self):
+        mesh = MeshDesign(Topology(2, 2))
+        assert all(
+            node.domain == "default"
+            for node in (mesh.node_at((x, y))
+                         for x in range(2) for y in range(2))
+        )
+        assert mesh.cross_domain_links() == []
+
+    def test_empty_classifier_map_keeps_default(self):
+        mesh = MeshDesign(Topology(2, 2))
+        domain_map = {}  # a per-coord map with no entries
+        counts = mesh.assign_domains(
+            lambda node: domain_map.get(node.coord, "default")
+        )
+        assert counts == {"default": 4}
+        assert mesh.cross_domain_links() == []
+
+    def test_partial_map_creates_crossings_at_the_holes(self):
+        mesh = MeshDesign(Topology(2, 1))
+        domain_map = {(0, 0): "fast"}  # (1, 0) falls through
+        counts = mesh.assign_domains(
+            lambda node: domain_map.get(node.coord, "default")
+        )
+        assert counts == {"fast": 1, "default": 1}
+        crossing = mesh.cross_domain_links()
+        assert {link.name for link in crossing} == {"east", "west"}
+
+    def test_all_one_domain_has_no_crossings(self):
+        mesh = MeshDesign(Topology(4, 4))
+        counts = mesh.assign_domains(lambda node: "core")
+        assert counts == {"core": 16}
+        assert mesh.cross_domain_links() == []
+
+    def test_counts_sum_to_node_count(self):
+        mesh = MeshDesign(Topology(3, 2))
+        counts = mesh.assign_domains(
+            lambda node: f"col{node.x}"
+        )
+        assert sum(counts.values()) == 6
+        assert counts == {"col0": 2, "col1": 2, "col2": 2}
+
+    def test_reassignment_overwrites_previous_domains(self):
+        mesh = MeshDesign(Topology(2, 1))
+        mesh.assign_domains(
+            lambda node: "fast" if node.x == 0 else "slow"
+        )
+        assert len(mesh.cross_domain_links()) == 2
+        mesh.assign_domains(lambda node: "merged")
+        assert mesh.cross_domain_links() == []
+
+    def test_single_node_mesh_has_no_links_at_all(self):
+        mesh = MeshDesign(Topology(1, 1))
+        counts = mesh.assign_domains(lambda node: "only")
+        assert counts == {"only": 1}
+        assert mesh.cross_domain_links() == []
+
+
+class TestCrossDomainLinks:
+    def _wall(self):
+        mesh = MeshDesign(Topology(2, 2))
+        mesh.assign_domains(
+            lambda node: "fast" if node.x == 0 else "slow"
+        )
+        return mesh
+
+    def test_both_directions_reported(self):
+        mesh = self._wall()
+        crossing = mesh.cross_domain_links()
+        pairs = {(link.src, link.dst) for link in crossing}
+        # each row crosses the wall in both directions
+        assert ((0, 0), (1, 0)) in pairs
+        assert ((1, 0), (0, 0)) in pairs
+        assert len(crossing) == 4
+
+    def test_degraded_link_across_domains_still_crossing(self):
+        mesh = self._wall()
+        marker = object()
+        path = mesh.link_path((0, 0), NocPort.EAST)
+        mesh.degrade(path, marker, tag="cross-domain")
+        crossing = mesh.cross_domain_links()
+        degraded = [link for link in crossing if link.params is marker]
+        assert len(degraded) == 1
+        assert degraded[0].tag == "cross-domain"
+        # degradation does not remove the link from the crossing set
+        assert len(crossing) == 4
+
+    def test_crossing_set_consistent_with_lint_cdc_rule(self):
+        from repro.design.design import Design
+        from repro.lint.rules import CdcRule, LintContext
+
+        mesh = self._wall()
+        findings = list(
+            CdcRule().check(LintContext.for_design(Design(mesh)))
+        )
+        assert len(findings) == len(mesh.cross_domain_links())
+        for link in mesh.cross_domain_links():
+            link.params = object()
+        findings = list(
+            CdcRule().check(LintContext.for_design(Design(mesh)))
+        )
+        assert findings == []
